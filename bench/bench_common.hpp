@@ -1,0 +1,108 @@
+// Shared infrastructure for the per-table / per-figure bench binaries.
+//
+// Every bench accepts:
+//   --jobs N        bulk jobs per system (default varies per bench)
+//   --seed S        generator seed (default 42)
+//   --logs-scale X  logs-per-job mean scale (default 0.25)
+//   --files-scale X files-per-log mean scale (default 0.25)
+//   --threads T     worker threads (default: hardware)
+//   --csv           emit CSV instead of ASCII tables
+//
+// Benches print the paper's reported value next to the measured/estimated
+// value.  Full-scale estimates multiply bulk measurements by the generator's
+// scale factors and add the full-scale huge stratum where applicable
+// (DESIGN.md §4).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workload/pipeline.hpp"
+
+namespace mlio::bench {
+
+struct Args {
+  std::uint64_t jobs = 600;
+  std::uint64_t seed = 42;
+  double logs_scale = 0.25;
+  double files_scale = 0.25;
+  unsigned threads = 0;
+  bool csv = false;
+
+  static Args parse(int argc, char** argv, std::uint64_t default_jobs) {
+    Args args;
+    args.jobs = default_jobs;
+    for (int i = 1; i < argc; ++i) {
+      auto next = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", flag);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (!std::strcmp(argv[i], "--jobs")) args.jobs = std::strtoull(next("--jobs"), nullptr, 10);
+      else if (!std::strcmp(argv[i], "--seed")) args.seed = std::strtoull(next("--seed"), nullptr, 10);
+      else if (!std::strcmp(argv[i], "--logs-scale")) args.logs_scale = std::strtod(next("--logs-scale"), nullptr);
+      else if (!std::strcmp(argv[i], "--files-scale")) args.files_scale = std::strtod(next("--files-scale"), nullptr);
+      else if (!std::strcmp(argv[i], "--threads")) args.threads = static_cast<unsigned>(std::strtoul(next("--threads"), nullptr, 10));
+      else if (!std::strcmp(argv[i], "--csv")) args.csv = true;
+      else if (!std::strcmp(argv[i], "--help")) {
+        std::printf("usage: %s [--jobs N] [--seed S] [--logs-scale X] [--files-scale X] "
+                    "[--threads T] [--csv]\n", argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+/// One system's generated+simulated+analyzed population.
+struct SystemRun {
+  const wl::SystemProfile* profile;
+  wl::WorkloadGenerator gen;
+  wl::PipelineResult result;
+};
+
+inline SystemRun run_system(const wl::SystemProfile& profile, const Args& args,
+                            bool include_huge = true) {
+  wl::GeneratorConfig cfg;
+  cfg.seed = args.seed;
+  cfg.n_jobs = args.jobs;
+  cfg.logs_per_job_scale = args.logs_scale;
+  cfg.files_per_log_scale = args.files_scale;
+  wl::WorkloadGenerator gen(profile, cfg);
+  wl::PipelineOptions opts;
+  opts.threads = args.threads;
+  opts.include_huge = include_huge;
+  std::fprintf(stderr, "[%s] generating %llu jobs (seed %llu)...\n", profile.system.c_str(),
+               static_cast<unsigned long long>(args.jobs),
+               static_cast<unsigned long long>(args.seed));
+  wl::PipelineResult result = wl::run_pipeline(gen, opts);
+  return SystemRun{&profile, std::move(gen), std::move(result)};
+}
+
+inline void emit(const Args& args, const util::Table& table) {
+  std::printf("%s", (args.csv ? table.to_csv() : table.to_string()).c_str());
+}
+
+inline std::string fmt(double v, int digits = 2) { return util::format_fixed(v, digits); }
+
+/// "paper -> measured" convenience: percent deviation string, or "n/a".
+inline std::string deviation(double paper, double measured) {
+  if (paper == 0) return measured == 0 ? "exact" : "n/a";
+  return util::format_fixed(100.0 * (measured - paper) / paper, 1) + "%";
+}
+
+inline void header(const char* experiment, const char* caption) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment, caption);
+}
+
+}  // namespace mlio::bench

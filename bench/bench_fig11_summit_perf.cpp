@@ -1,0 +1,35 @@
+// Fig. 11 — Summit: read/write bandwidth of single-shared files, POSIX vs
+// STDIO, per layer and transfer-size bin (boxplots).
+//
+// Paper shape anchors: PFS reads — POSIX ~40x STDIO at 100GB-1TB, ~3x below
+// 100 GB; SCNL reads — 5x at 100MB-1GB rising to 8x at 10-100GB; PFS writes
+// — 1.6x at 100MB-1GB, comparable elsewhere; SCNL writes — *inversion*:
+// STDIO 1.5x faster than POSIX at 100MB-1GB; and only 5 STDIO shared files
+// above 1 TB (they appear in the 1TB+ write boxes).
+#include "bench_perf_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlio;
+  const bench::Args args = bench::Args::parse(argc, argv, 2500);
+  bench::header("Figure 11",
+                "Summit: single-shared-file bandwidth, POSIX vs STDIO (MB/s boxplots)");
+
+  const bench::SystemRun run = bench::run_system(wl::SystemProfile::summit_2020(), args);
+
+  const bench::RatioCheck checks[] = {
+      {core::Layer::kPfs, true, 4, "~40x (100GB-1TB)"},
+      {core::Layer::kPfs, true, 2, "~3x (<100GB)"},
+      {core::Layer::kPfs, true, 1, "~3x (<100GB)"},
+      {core::Layer::kInSystem, true, 1, "5x (100MB-1GB)"},
+      {core::Layer::kInSystem, true, 3, "8x (10-100GB)"},
+      {core::Layer::kPfs, false, 1, "1.6x (100MB-1GB)"},
+      {core::Layer::kInSystem, false, 1, "0.67x (STDIO wins 1.5x)"},
+  };
+  bench::print_perf_figure(args, run, checks);
+
+  // The Fig. 11b footnote: exactly 5 STDIO shared files > 1 TB written.
+  const auto cell = run.result.combined().performance().cell(core::Layer::kPfs, 1, 5, false);
+  std::printf("STDIO shared files >1TB written: %llu (paper: 5)\n",
+              static_cast<unsigned long long>(cell.count));
+  return 0;
+}

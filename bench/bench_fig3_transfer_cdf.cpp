@@ -1,0 +1,52 @@
+// Fig. 3 — CDFs of per-file transfer size for reads and writes on each
+// layer of each system, over the coarse transfer bins.
+//
+// Paper anchor points (§3.2.1): Summit PFS 97% of reads / 99% of writes
+// below 1 GB, SCNL 99%/99%; Cori CBB 99.04%/97.77%, PFS 99.05%/90.91%.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlio;
+  const bench::Args args = bench::Args::parse(argc, argv, 2000);
+  bench::header("Figure 3", "CDF of per-file transfer size (percent of files <= bin)");
+
+  struct Anchor {
+    double read, write;
+  };
+  // [system][layer] anchors at the 1 GB point.
+  const Anchor anchors_summit[2] = {{99.0, 99.0}, {97.0, 99.0}};   // in-system, PFS
+  const Anchor anchors_cori[2] = {{99.04, 97.77}, {99.05, 90.91}};
+
+  const auto& bins = util::BinSpec::transfer_bins_coarse();
+  std::vector<std::string> headers = {"system", "layer", "dir"};
+  for (const auto& l : bins.labels()) headers.push_back(l);
+  util::Table t(headers);
+
+  util::Table anchor_table(
+      {"system", "layer", "dir", "paper %<1GB", "measured %<1GB"});
+
+  for (const auto* prof : {&wl::SystemProfile::summit_2020(), &wl::SystemProfile::cori_2019()}) {
+    const bench::SystemRun run = bench::run_system(*prof, args, /*include_huge=*/false);
+    const Anchor* anchors = prof->system == "Summit" ? anchors_summit : anchors_cori;
+    for (int li = 0; li < 2; ++li) {
+      const auto layer = li == 0 ? core::Layer::kInSystem : core::Layer::kPfs;
+      const auto& st = run.result.bulk.access().layer(layer);
+      const char* lname = li == 0 ? (prof->system == "Summit" ? "SCNL" : "CBB") : "PFS";
+      for (const bool read : {true, false}) {
+        const auto cdf = (read ? st.read_transfer : st.write_transfer).cdf_percent();
+        std::vector<std::string> row = {prof->system, lname, read ? "read" : "write"};
+        for (const double v : cdf) row.push_back(bench::fmt(v));
+        t.add_row(std::move(row));
+        anchor_table.add_row({prof->system, lname, read ? "read" : "write",
+                              bench::fmt(read ? anchors[li].read : anchors[li].write),
+                              bench::fmt(cdf[0])});
+      }
+    }
+    t.add_separator();
+    anchor_table.add_separator();
+  }
+  bench::emit(args, t);
+  std::printf("\nAnchor check (cumulative share of files below 1 GB):\n");
+  bench::emit(args, anchor_table);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 5 — Fig. 4 restricted to jobs with more than 1,024 processes.
+//
+// Paper observations: the PFS trend matches the all-jobs trend (Fig. 4) on
+// both systems, while the in-system layer sees noticeably more large
+// requests from large jobs.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlio;
+  const bench::Args args = bench::Args::parse(argc, argv, 2500);
+  bench::header("Figure 5", "Request-size CDFs for jobs with > 1,024 processes");
+
+  const auto& bins = util::BinSpec::darshan_request_bins();
+  std::vector<std::string> headers = {"system", "layer", "dir"};
+  for (const auto& l : bins.labels()) headers.push_back(l);
+  util::Table t(headers);
+  util::Table checks({"system", "shape check", "all jobs", "large jobs"});
+
+  for (const auto* prof : {&wl::SystemProfile::summit_2020(), &wl::SystemProfile::cori_2019()}) {
+    const bench::SystemRun run = bench::run_system(*prof, args, /*include_huge=*/false);
+    for (int li = 0; li < 2; ++li) {
+      const auto layer = li == 0 ? core::Layer::kInSystem : core::Layer::kPfs;
+      const auto& st = run.result.bulk.access().layer(layer);
+      const char* lname = li == 0 ? (prof->system == "Summit" ? "SCNL" : "CBB") : "PFS";
+      for (const bool read : {true, false}) {
+        const auto& large = read ? st.read_requests_large : st.write_requests_large;
+        const auto cdf = large.cdf_percent();
+        std::vector<std::string> row = {prof->system, lname, read ? "read" : "write"};
+        for (const double v : cdf) row.push_back(bench::fmt(v, 1));
+        t.add_row(std::move(row));
+      }
+
+      // Share of calls >= 1 MB, all jobs vs large jobs.
+      auto big_share = [&](const util::Histogram& h) {
+        double big = 0;
+        const auto share = h.share_percent();
+        for (std::size_t b = 5; b < share.size(); ++b) big += share[b];
+        return big;
+      };
+      checks.add_row({prof->system, std::string(lname) + " read calls >= 1MB",
+                      bench::fmt(big_share(st.read_requests), 1) + "%",
+                      bench::fmt(big_share(st.read_requests_large), 1) + "%"});
+    }
+    t.add_separator();
+    checks.add_separator();
+  }
+  bench::emit(args, t);
+  std::printf("\nShape check (paper: large jobs push bigger requests to the in-system layer, "
+              "while the PFS trend matches Fig. 4):\n");
+  bench::emit(args, checks);
+  return 0;
+}

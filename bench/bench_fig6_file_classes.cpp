@@ -1,0 +1,34 @@
+// Fig. 6 — read-only / read-write / write-only classification of files
+// (POSIX + STDIO population) per layer.
+//
+// Paper anchors: 95.7% (Summit) and 90.1% (Cori) of PFS files are read-only
+// or write-only — i.e., stageable between layers without consistency
+// concerns, which is the premise of Recommendation 3.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlio;
+  const bench::Args args = bench::Args::parse(argc, argv, 2000);
+  bench::header("Figure 6", "File classification by I/O direction, per layer");
+
+  util::Table t({"system", "layer", "read-only", "read-write", "write-only",
+                 "RO+WO % (paper)", "RO+WO % (measured)"});
+  for (const auto* prof : {&wl::SystemProfile::summit_2020(), &wl::SystemProfile::cori_2019()}) {
+    const bench::SystemRun run = bench::run_system(*prof, args, /*include_huge=*/false);
+    for (int li = 0; li < 2; ++li) {
+      const auto layer = li == 0 ? core::Layer::kInSystem : core::Layer::kPfs;
+      const auto& c = run.result.bulk.layers().classes(layer);
+      const char* lname = li == 0 ? (prof->system == "Summit" ? "SCNL" : "CBB") : "PFS";
+      const char* paper = li == 1 ? (prof->system == "Summit" ? "95.7" : "90.1") : "-";
+      t.add_row({prof->system, lname, util::format_count(double(c.read_only)),
+                 util::format_count(double(c.read_write)),
+                 util::format_count(double(c.write_only)), paper,
+                 bench::fmt(c.ro_or_wo_percent())});
+    }
+    t.add_separator();
+  }
+  bench::emit(args, t);
+  std::printf("\nRecommendation 3 context: every RO or WO file on the PFS could be staged "
+              "to the in-system layer without coherence traffic.\n");
+  return 0;
+}

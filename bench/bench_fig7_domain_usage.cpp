@@ -1,0 +1,55 @@
+// Fig. 7 — usage of the in-system layers across science domains.
+//
+// Paper observations: 9 domains used SCNL (>3K jobs; CS + Physics = 60% of
+// those jobs; biology & materials read-only; chemistry write-only); 12
+// domains used CBB, with physics moving 71.95% of the CBB bytes.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlio;
+  const bench::Args args = bench::Args::parse(argc, argv, 2500);
+  bench::header("Figure 7", "In-system layer usage by science domain (read/write TB)");
+
+  for (const auto* prof : {&wl::SystemProfile::summit_2020(), &wl::SystemProfile::cori_2019()}) {
+    const bench::SystemRun run = bench::run_system(*prof, args, /*include_huge=*/false);
+    const auto& domains = run.result.bulk.layers().domains();
+
+    double total_bytes = 0;
+    for (const auto& [name, d] : domains) {
+      total_bytes += d.insys_bytes_read + d.insys_bytes_written;
+    }
+
+    util::Table t({"domain", "read TB (full-scale est.)", "write TB (est.)",
+                   "share of layer transfer", "logs"});
+    // Sort by total transfer, descending, like the figure.
+    std::vector<std::pair<std::string, core::LayerUsage::DomainUsage>> sorted(domains.begin(),
+                                                                              domains.end());
+    std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+      return a.second.insys_bytes_read + a.second.insys_bytes_written >
+             b.second.insys_bytes_read + b.second.insys_bytes_written;
+    });
+    std::string physics_share = "n/a";
+    for (const auto& [name, d] : sorted) {
+      const double share =
+          100.0 * (d.insys_bytes_read + d.insys_bytes_written) / std::max(1.0, total_bytes);
+      if (name == "Physics") physics_share = bench::fmt(share, 2) + "%";
+      t.add_row({name, bench::fmt(util::to_tb(d.insys_bytes_read * run.gen.count_scale())),
+                 bench::fmt(util::to_tb(d.insys_bytes_written * run.gen.count_scale())),
+                 bench::fmt(share, 2) + "%", std::to_string(d.insys_logs)});
+    }
+    std::printf("\n-- %s: %zu domains used the in-system layer; %llu distinct jobs --\n",
+                prof->system.c_str(), domains.size(),
+                static_cast<unsigned long long>(run.result.bulk.layers().insys_jobs()));
+    bench::emit(args, t);
+    if (prof->system == "Cori") {
+      std::printf("Physics share of CBB transfer: %s (paper: 71.95%%)\n",
+                  physics_share.c_str());
+    } else {
+      std::printf("Paper: CS+Physics = 60%% of SCNL jobs; biology/materials read-only; "
+                  "chemistry write-only on SCNL.\n");
+    }
+  }
+  return 0;
+}

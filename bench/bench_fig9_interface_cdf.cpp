@@ -1,0 +1,48 @@
+// Fig. 9 — per-interface transfer-size CDFs on Summit (reads and writes,
+// POSIX / MPI-IO / STDIO, on each layer).
+//
+// Paper anchors: STDIO reads below 1 GB: >= 98.7% on SCNL, 100% on PFS;
+// STDIO writes below 1 GB: >= 82.4% on SCNL, >= 97.6% on PFS.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlio;
+  const bench::Args args = bench::Args::parse(argc, argv, 2000);
+  bench::header("Figure 9", "Summit: per-interface transfer-size CDFs (percent of files)");
+
+  const bench::SystemRun run =
+      bench::run_system(wl::SystemProfile::summit_2020(), args, /*include_huge=*/false);
+
+  const auto& bins = util::BinSpec::transfer_bins_perf();
+  std::vector<std::string> headers = {"layer", "iface", "dir"};
+  for (const auto& l : bins.labels()) headers.push_back(l);
+  util::Table t(headers);
+  util::Table anchors({"layer", "dir", "paper STDIO %<1GB", "measured"});
+
+  const char* iface_names[3] = {"POSIX", "MPI-IO", "STDIO"};
+  for (int li = 0; li < 2; ++li) {
+    const auto layer = li == 0 ? core::Layer::kInSystem : core::Layer::kPfs;
+    const char* lname = li == 0 ? "SCNL" : "PFS";
+    for (std::size_t iface = 0; iface < 3; ++iface) {
+      for (const bool read : {true, false}) {
+        const auto& h = run.result.bulk.interfaces().transfer(layer, iface, read);
+        const auto cdf = h.cdf_percent();
+        std::vector<std::string> row = {lname, iface_names[iface], read ? "read" : "write"};
+        for (const double v : cdf) row.push_back(bench::fmt(v, 1));
+        t.add_row(std::move(row));
+        if (iface == 2) {
+          // Below 1 GB = bins 0 + 1 of the perf binning.
+          const double below = cdf[1];
+          anchors.add_row({lname, read ? "read" : "write",
+                           li == 0 ? (read ? ">=98.7" : ">=82.4") : (read ? "100" : ">=97.6"),
+                           bench::fmt(below)});
+        }
+      }
+    }
+    t.add_separator();
+  }
+  bench::emit(args, t);
+  std::printf("\nAnchor check (STDIO file transfers below 1 GB):\n");
+  bench::emit(args, anchors);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared rendering for the Figs. 11/12 performance benches.
+#pragma once
+
+#include "bench_common.hpp"
+#include "core/performance.hpp"
+
+namespace mlio::bench {
+
+struct RatioCheck {
+  core::Layer layer;
+  bool read;
+  std::size_t bin;                 ///< perf transfer bin index
+  const char* paper;               ///< paper's reported POSIX/STDIO ratio
+};
+
+inline void print_perf_figure(const Args& args, const SystemRun& run,
+                              std::span<const RatioCheck> checks) {
+  const core::Analysis all = run.result.combined();
+  const core::Performance& perf = all.performance();
+  const auto& bins = core::Performance::bins();
+
+  util::Table t({"layer", "iface", "dir", "bin", "n", "min MB/s", "q1", "median", "q3",
+                 "max MB/s"});
+  const char* iface_names[2] = {"POSIX", "STDIO"};
+  for (int li = 0; li < 2; ++li) {
+    const auto layer = li == 0 ? core::Layer::kInSystem : core::Layer::kPfs;
+    const char* lname =
+        li == 0 ? (run.profile->system == "Summit" ? "SCNL" : "CBB") : "PFS";
+    for (std::size_t iface = 0; iface < 2; ++iface) {
+      for (const bool read : {true, false}) {
+        for (std::size_t b = 0; b < bins.size(); ++b) {
+          const util::FiveNumber f = perf.cell(layer, iface, b, read);
+          if (f.count == 0) continue;  // empty boxes are omitted, as in the figure
+          t.add_row({lname, iface_names[iface], read ? "read" : "write", bins.label(b),
+                     std::to_string(f.count), fmt(f.min, 1), fmt(f.q1, 1), fmt(f.median, 1),
+                     fmt(f.q3, 1), fmt(f.max, 1)});
+        }
+      }
+    }
+    t.add_separator();
+  }
+  emit(args, t);
+
+  util::Table ratio_table({"layer", "dir", "bin", "paper POSIX/STDIO", "measured"});
+  for (const RatioCheck& c : checks) {
+    const double r = perf.posix_over_stdio(c.layer, c.bin, c.read);
+    ratio_table.add_row({c.layer == core::Layer::kPfs ? "PFS" : "in-system",
+                         c.read ? "read" : "write", bins.label(c.bin), c.paper,
+                         r > 0 ? fmt(r, 2) + "x" : "n/a (empty cell)"});
+  }
+  std::printf("\nMedian-bandwidth ratio checks (POSIX over STDIO):\n");
+  emit(args, ratio_table);
+  std::printf("\nTotal shared-file observations: %llu\n",
+              static_cast<unsigned long long>(perf.observations()));
+}
+
+}  // namespace mlio::bench

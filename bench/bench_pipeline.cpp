@@ -1,0 +1,128 @@
+// Pipeline microbenchmarks (google-benchmark): throughput of the log format,
+// the simulator, and the analysis engine.
+#include <benchmark/benchmark.h>
+
+#include "core/analysis.hpp"
+#include "darshan/log_format.hpp"
+#include "iosim/executor.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+#include "workload/generator.hpp"
+#include "workload/pipeline.hpp"
+
+namespace {
+
+using namespace mlio;
+
+std::vector<sim::JobSpec> sample_specs(std::size_t n) {
+  wl::GeneratorConfig cfg;
+  cfg.seed = 11;
+  cfg.n_jobs = 64;
+  cfg.logs_per_job_scale = 0.25;
+  cfg.files_per_log_scale = 0.25;
+  const wl::WorkloadGenerator gen(wl::SystemProfile::summit_2020(), cfg);
+  std::vector<sim::JobSpec> specs;
+  gen.generate_bulk([&](const sim::JobSpec& s) {
+    if (specs.size() < n) specs.push_back(s);
+  });
+  return specs;
+}
+
+std::vector<darshan::LogData> sample_logs(std::size_t n) {
+  static const sim::Machine machine = sim::Machine::summit();
+  const sim::JobExecutor ex(machine);
+  std::vector<darshan::LogData> logs;
+  for (const auto& spec : sample_specs(n)) logs.push_back(ex.execute(spec));
+  return logs;
+}
+
+void BM_GenerateJobs(benchmark::State& state) {
+  wl::GeneratorConfig cfg;
+  cfg.seed = 3;
+  cfg.n_jobs = static_cast<std::uint64_t>(state.range(0));
+  cfg.logs_per_job_scale = 0.25;
+  cfg.files_per_log_scale = 0.25;
+  const wl::WorkloadGenerator gen(wl::SystemProfile::summit_2020(), cfg);
+  std::uint64_t files = 0;
+  for (auto _ : state) {
+    files = 0;
+    gen.generate_bulk([&](const sim::JobSpec& s) { files += s.files.size(); });
+    benchmark::DoNotOptimize(files);
+  }
+  state.counters["files"] = static_cast<double>(files);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(files));
+}
+BENCHMARK(BM_GenerateJobs)->Arg(16)->Arg(64);
+
+void BM_ExecuteJob(benchmark::State& state) {
+  static const sim::Machine machine = sim::Machine::summit();
+  const sim::JobExecutor ex(machine);
+  const auto specs = sample_specs(32);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.execute(specs[i % specs.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExecuteJob);
+
+void BM_LogWrite(benchmark::State& state) {
+  const auto logs = sample_logs(16);
+  std::size_t i = 0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto buf = darshan::write_log_bytes(logs[i % logs.size()]);
+    bytes += buf.size();
+    benchmark::DoNotOptimize(buf);
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_LogWrite);
+
+void BM_LogRead(benchmark::State& state) {
+  const auto logs = sample_logs(16);
+  std::vector<std::vector<std::byte>> bufs;
+  for (const auto& log : logs) bufs.push_back(darshan::write_log_bytes(log));
+  std::size_t i = 0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(darshan::read_log_bytes(bufs[i % bufs.size()]));
+    bytes += bufs[i % bufs.size()].size();
+    ++i;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_LogRead);
+
+void BM_Analyze(benchmark::State& state) {
+  const auto logs = sample_logs(32);
+  for (auto _ : state) {
+    core::Analysis a;
+    for (const auto& log : logs) a.add(log);
+    benchmark::DoNotOptimize(a.summary().files());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(logs.size()));
+}
+BENCHMARK(BM_Analyze);
+
+void BM_EndToEndPipeline(benchmark::State& state) {
+  wl::GeneratorConfig cfg;
+  cfg.seed = 5;
+  cfg.n_jobs = 32;
+  cfg.logs_per_job_scale = 0.25;
+  cfg.files_per_log_scale = 0.25;
+  const wl::WorkloadGenerator gen(wl::SystemProfile::cori_2019(), cfg);
+  wl::PipelineOptions opts;
+  opts.include_huge = false;
+  for (auto _ : state) {
+    const auto result = wl::run_pipeline(gen, opts);
+    benchmark::DoNotOptimize(result.bulk.summary().files());
+  }
+}
+BENCHMARK(BM_EndToEndPipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// System-load view: reconstruct the year's per-layer I/O load from the log
+// archive (the operations perspective the paper's deployment conclusions
+// address).  Reports per-layer mean/peak throughput, utilization against the
+// machines' published peaks, and concurrency — and checks the paper's
+// premise that the systems are "consistently busy".
+#include "bench_common.hpp"
+#include "core/load_timeline.hpp"
+#include "iosim/executor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlio;
+  const bench::Args args = bench::Args::parse(argc, argv, 1500);
+  bench::header("System load", "Per-layer load reconstructed from the log archive");
+
+  constexpr std::int64_t kYear = 365ll * 24 * 3600;
+  for (const auto* prof : {&wl::SystemProfile::summit_2020(), &wl::SystemProfile::cori_2019()}) {
+    wl::GeneratorConfig cfg;
+    cfg.n_jobs = args.jobs;
+    cfg.seed = args.seed;
+    cfg.logs_per_job_scale = args.logs_scale;
+    cfg.files_per_log_scale = args.files_scale;
+    const wl::WorkloadGenerator gen(*prof, cfg);
+    const sim::Machine& machine = wl::machine_for(*prof);
+    const sim::JobExecutor executor(machine);
+
+    core::LoadTimeline tl(kYear, 24 * 365);  // hourly buckets
+    gen.generate_bulk([&](const sim::JobSpec& spec) { tl.add_log(executor.execute(spec)); });
+
+    const double cs = gen.count_scale();  // scale throughputs to full production
+    util::Table t({"layer", "dir", "mean (est.)", "peak bucket (est.)", "peak util."});
+    const double peaks[2][2] = {
+        {machine.in_system().perf().peak_read_bw, machine.in_system().perf().peak_write_bw},
+        {machine.pfs().perf().peak_read_bw, machine.pfs().perf().peak_write_bw}};
+    for (int li = 0; li < 2; ++li) {
+      const auto layer = li == 0 ? core::Layer::kInSystem : core::Layer::kPfs;
+      const char* lname = li == 0 ? (prof->system == "Summit" ? "SCNL" : "CBB") : "PFS";
+      for (const bool read : {true, false}) {
+        const double mean = tl.mean_throughput(layer, read) * cs;
+        const double peak = tl.peak_throughput(layer, read) * cs;
+        t.add_row({lname, read ? "read" : "write", util::format_bandwidth(mean),
+                   util::format_bandwidth(peak),
+                   bench::fmt(100.0 * peak / peaks[li][read ? 0 : 1], 2) + "%"});
+      }
+    }
+    std::printf("\n-- %s --\n", prof->system.c_str());
+    bench::emit(args, t);
+    std::printf("busy fraction of hourly buckets: %.1f%%; peak concurrent logs (at %.3f%% "
+                "of production job scale): %u\n",
+                100.0 * tl.busy_fraction(), 100.0 / gen.log_scale(),
+                tl.peak_concurrency());
+  }
+  std::printf("\nPaper premise (§3.4): the systems are consistently busy, so per-job\n"
+              "delivered bandwidth is a small contended share of the peak.  Read the\n"
+              "mean rows for utilization; scaling a single bench-scale burst bucket by\n"
+              "the count factor overstates peaks (at full scale the load spreads over\n"
+              "many more concurrent jobs rather than amplifying one spike).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 2 — census of the Darshan collections: logs, jobs, files, node-hours.
+//
+// Measured counts are taken from the generated bulk population and scaled to
+// full production scale via the generator's scale factors; the paper's
+// published census is printed alongside.
+#include "bench_common.hpp"
+
+namespace mlio {
+namespace {
+
+void census_rows(util::Table& t, const bench::SystemRun& run) {
+  const auto& s = run.result.bulk.summary();
+  const auto& p = *run.profile;
+  const double job_est = static_cast<double>(s.jobs()) * run.gen.job_scale();
+  const double log_est = static_cast<double>(s.logs()) * run.gen.log_scale();
+  const double file_est = static_cast<double>(s.files()) * run.gen.count_scale();
+  const double nh_est = s.node_hours() * run.gen.log_scale();
+
+  auto row = [&](const char* what, double paper, double measured, double estimate) {
+    t.add_row({p.system, what, util::format_count(paper), util::format_count(measured),
+               util::format_count(estimate), bench::deviation(paper, estimate)});
+  };
+  row("jobs", p.real_jobs, static_cast<double>(s.jobs()), job_est);
+  row("logs", p.real_logs, static_cast<double>(s.logs()), log_est);
+  row("files", p.real_files, static_cast<double>(s.files()), file_est);
+  row("node-hours", p.real_node_hours, s.node_hours(), nh_est);
+  t.add_row({p.system, "darshan version", p.darshan_version, "-", "-", "-"});
+  t.add_row({p.system, "logs/job (max)", p.system == "Summit" ? "34341" : "9999",
+             std::to_string(s.max_logs_per_job()), "-", "-"});
+  t.add_separator();
+}
+
+}  // namespace
+}  // namespace mlio
+
+int main(int argc, char** argv) {
+  using namespace mlio;
+  const bench::Args args = bench::Args::parse(argc, argv, 1200);
+  bench::header("Table 2", "Summary of Darshan data on both systems (paper vs. estimate)");
+
+  util::Table t({"system", "metric", "paper", "measured", "full-scale est.", "deviation"});
+  for (const auto* prof : {&wl::SystemProfile::summit_2020(), &wl::SystemProfile::cori_2019()}) {
+    census_rows(t, bench::run_system(*prof, args, /*include_huge=*/false));
+  }
+  bench::emit(args, t);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Table 3 — number of files and total data transfer per storage layer.
+//
+// Full-scale estimates: bulk counts/volumes scaled by the generator factors
+// plus the exact full-scale huge stratum.  The paper's headline ratios
+// (PFS/in-system file and volume dominance; Summit's opposite read/write
+// dominance across layers; Cori's read dominance) are printed as the
+// shape check.
+#include "bench_common.hpp"
+
+namespace mlio {
+namespace {
+
+struct LayerEst {
+  double files, read_pb, write_pb;
+};
+
+LayerEst estimate(const bench::SystemRun& run, core::Layer layer) {
+  const auto& bulk = run.result.bulk.access().layer(layer);
+  const auto& huge = run.result.huge.access().layer(layer);
+  const double cs = run.gen.count_scale();
+  LayerEst e;
+  e.files = static_cast<double>(bulk.files) * cs + static_cast<double>(huge.files);
+  e.read_pb = util::to_pb(bulk.bytes_read * cs + huge.bytes_read);
+  e.write_pb = util::to_pb(bulk.bytes_written * cs + huge.bytes_written);
+  return e;
+}
+
+}  // namespace
+}  // namespace mlio
+
+int main(int argc, char** argv) {
+  using namespace mlio;
+  const bench::Args args = bench::Args::parse(argc, argv, 2500);
+  bench::header("Table 3",
+                "Files and total transfer per layer; PB at full scale (bulk scaled + huge "
+                "stratum exact)");
+
+  struct PaperRow {
+    const char* layer;
+    double files_m, read_pb, write_pb;
+  };
+  const PaperRow paper_summit[] = {{"SCNL", 279.39, 4.43, 2.69},
+                                   {"PFS", 1015.46, 197.75, 8278.05}};
+  const PaperRow paper_cori[] = {{"CBB", 13.96, 13.71, 4.34}, {"PFS", 402.95, 171.64, 26.10}};
+
+  util::Table t({"system", "layer", "files paper", "files est.", "read PB paper",
+                 "read PB est.", "write PB paper", "write PB est."});
+  util::Table ratios({"system", "shape check", "paper", "measured"});
+
+  for (const auto* prof : {&wl::SystemProfile::summit_2020(), &wl::SystemProfile::cori_2019()}) {
+    const bench::SystemRun run = bench::run_system(*prof, args);
+    const bool summit = prof->system == "Summit";
+    const PaperRow* rows = summit ? paper_summit : paper_cori;
+
+    const LayerEst ins = estimate(run, core::Layer::kInSystem);
+    const LayerEst pfs = estimate(run, core::Layer::kPfs);
+    const LayerEst est[2] = {ins, pfs};
+    for (int i = 0; i < 2; ++i) {
+      t.add_row({prof->system, rows[i].layer, bench::fmt(rows[i].files_m) + "M",
+                 util::format_count(est[i].files), bench::fmt(rows[i].read_pb),
+                 bench::fmt(est[i].read_pb), bench::fmt(rows[i].write_pb),
+                 bench::fmt(est[i].write_pb)});
+    }
+    t.add_separator();
+
+    const double paper_file_ratio = rows[1].files_m / rows[0].files_m;
+    ratios.add_row({prof->system, "PFS/in-system file count",
+                    bench::fmt(paper_file_ratio, 1) + "x",
+                    bench::fmt(pfs.files / std::max(1.0, ins.files), 1) + "x"});
+    ratios.add_row({prof->system, summit ? "PFS write >> PFS read" : "PFS read >> PFS write",
+                    bench::fmt(summit ? rows[1].write_pb / rows[1].read_pb
+                                      : rows[1].read_pb / rows[1].write_pb, 1) + "x",
+                    bench::fmt(summit ? pfs.write_pb / std::max(1e-9, pfs.read_pb)
+                                      : pfs.read_pb / std::max(1e-9, pfs.write_pb), 1) + "x"});
+    ratios.add_row({prof->system,
+                    summit ? "SCNL read > SCNL write" : "CBB read > CBB write",
+                    bench::fmt(rows[0].read_pb / rows[0].write_pb, 2) + "x",
+                    bench::fmt(ins.read_pb / std::max(1e-9, ins.write_pb), 2) + "x"});
+    ratios.add_separator();
+  }
+  bench::emit(args, t);
+  std::printf("\nShape checks (who dominates, and by roughly how much):\n");
+  bench::emit(args, ratios);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table 6 — files using the POSIX / MPI-IO / STDIO interfaces per layer.
+// A file reached through MPI-IO also counts under POSIX (MPI-IO initiates
+// POSIX), matching how real Darshan logs double-count Table 6.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlio;
+  const bench::Args args = bench::Args::parse(argc, argv, 2000);
+  bench::header("Table 6", "Files per I/O interface per layer (millions at full scale)");
+
+  struct PaperRow {
+    const char* layer;
+    double posix_m, mpiio_m, stdio_m;
+  };
+  const PaperRow paper_summit[] = {{"SCNL", 52, 6e-6, 227}, {"PFS", 743, 157, 404}};
+  const PaperRow paper_cori[] = {{"CBB", 13, 13, 0.65}, {"PFS", 313, 207, 89}};
+
+  util::Table t({"system", "layer", "iface", "paper (M)", "est. (M)", "deviation"});
+  for (const auto* prof : {&wl::SystemProfile::summit_2020(), &wl::SystemProfile::cori_2019()}) {
+    const bench::SystemRun run = bench::run_system(*prof, args, /*include_huge=*/false);
+    const PaperRow* rows = prof->system == "Summit" ? paper_summit : paper_cori;
+    const double cs = run.gen.count_scale() / 1e6;  // to millions
+    for (int i = 0; i < 2; ++i) {
+      const auto layer = i == 0 ? core::Layer::kInSystem : core::Layer::kPfs;
+      const auto& c = run.result.bulk.interfaces().counts(layer);
+      const double est[3] = {static_cast<double>(c.posix) * cs,
+                             static_cast<double>(c.mpiio) * cs,
+                             static_cast<double>(c.stdio) * cs};
+      const double paper[3] = {rows[i].posix_m, rows[i].mpiio_m, rows[i].stdio_m};
+      const char* names[3] = {"POSIX", "MPI-IO", "STDIO"};
+      for (int k = 0; k < 3; ++k) {
+        t.add_row({prof->system, rows[i].layer, names[k], bench::fmt(paper[k]),
+                   bench::fmt(est[k]), bench::deviation(paper[k], est[k])});
+      }
+      t.add_separator();
+    }
+  }
+  bench::emit(args, t);
+  std::printf("\nHeadlines (paper): POSIX manages ~50%% of files on both systems; STDIO is "
+              "4.37x POSIX on SCNL and ~40%% of Summit's files overall; MPI-IO is rare on "
+              "Summit.\n");
+  return 0;
+}

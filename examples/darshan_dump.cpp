@@ -1,0 +1,98 @@
+// darshan_dump — a darshan-parser-style CLI: print the contents of a log
+// file produced by this library.
+//
+//   ./darshan_dump <log-file> [--records] [--counters]
+//
+// With no flags, prints the job header, mount table, and per-module record
+// counts.  --records adds one line per file record; --counters dumps every
+// counter of every record (darshan-parser's default verbosity).
+//
+// To produce a log file to inspect, run `./quickstart_logs` or use
+// darshan::write_log_file from your own code.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "darshan/log_format.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace mlio;
+using darshan::LogData;
+using darshan::ModuleId;
+
+void print_header(const LogData& log) {
+  const auto& j = log.job;
+  std::printf("# darshan log\n");
+  std::printf("# job id     : %llu\n", static_cast<unsigned long long>(j.job_id));
+  std::printf("# user id    : %u\n", j.user_id);
+  std::printf("# nprocs     : %u  (nodes: %u)\n", j.nprocs, j.nnodes);
+  std::printf("# start/end  : %lld .. %lld (%lld s)\n",
+              static_cast<long long>(j.start_time), static_cast<long long>(j.end_time),
+              static_cast<long long>(j.end_time - j.start_time));
+  std::printf("# exe        : %s\n", j.exe.c_str());
+  for (const auto& [k, v] : j.metadata) std::printf("# meta %-6s: %s\n", k.c_str(), v.c_str());
+  std::printf("#\n# mount table:\n");
+  for (const auto& m : log.mounts) {
+    std::printf("#   %-30s %s\n", m.prefix.c_str(), m.fs_type.c_str());
+  }
+}
+
+void print_summary(const LogData& log) {
+  std::map<ModuleId, std::size_t> counts;
+  for (const auto& r : log.records) counts[r.module] += 1;
+  std::printf("#\n# records: %zu total across %zu names\n", log.records.size(),
+              log.names.size());
+  for (const auto& [mod, n] : counts) {
+    std::printf("#   %-7s %zu\n", std::string(module_name(mod)).c_str(), n);
+  }
+}
+
+void print_records(const LogData& log, bool with_counters) {
+  std::printf("\n#module\trank\trecord_id\tpath\n");
+  for (const auto& r : log.records) {
+    std::printf("%s\t%d\t%016llx\t%s\n", std::string(module_name(r.module)).c_str(), r.rank,
+                static_cast<unsigned long long>(r.record_id),
+                std::string(log.path_of(r.record_id)).c_str());
+    if (!with_counters) continue;
+    for (std::size_t i = 0; i < r.counters.size(); ++i) {
+      std::printf("  %-32s %lld\n", std::string(counter_name(r.module, i)).c_str(),
+                  static_cast<long long>(r.counters[i]));
+    }
+    for (std::size_t i = 0; i < r.fcounters.size(); ++i) {
+      std::printf("  %-32s %.6f\n", std::string(fcounter_name(r.module, i)).c_str(),
+                  r.fcounters[i]);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <log-file> [--records] [--counters]\n", argv[0]);
+    return 2;
+  }
+  bool records = false, counters = false;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--records")) records = true;
+    else if (!std::strcmp(argv[i], "--counters")) records = counters = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  try {
+    const LogData log = darshan::read_log_file(argv[1]);
+    print_header(log);
+    print_summary(log);
+    if (records) print_records(log, counters);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: generate a small synthetic production workload for Summit,
+// simulate it on the two-layer I/O subsystem, and run the paper's analyses
+// over the resulting Darshan logs.
+//
+//   ./quickstart [n_jobs] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workload/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlio;
+
+  wl::GeneratorConfig cfg;
+  cfg.n_jobs = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200;
+  cfg.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  cfg.logs_per_job_scale = 0.25;
+  cfg.files_per_log_scale = 0.25;
+
+  const wl::WorkloadGenerator gen(wl::SystemProfile::summit_2020(), cfg);
+  std::printf("Generating %llu Summit jobs (seed %llu)...\n",
+              static_cast<unsigned long long>(cfg.n_jobs),
+              static_cast<unsigned long long>(cfg.seed));
+
+  const wl::PipelineResult result = wl::run_pipeline(gen);
+  const core::Analysis all = result.combined();
+
+  std::printf("\n== Census (cf. Table 2) ==\n");
+  std::printf("logs: %llu   jobs: %llu   files: %llu   node-hours: %s\n",
+              static_cast<unsigned long long>(all.summary().logs()),
+              static_cast<unsigned long long>(all.summary().jobs()),
+              static_cast<unsigned long long>(all.summary().files()),
+              util::format_count(all.summary().node_hours()).c_str());
+
+  std::printf("\n== Per-layer volumes (cf. Table 3) ==\n");
+  util::Table t({"layer", "files", "read", "write"});
+  for (const core::Layer layer : {core::Layer::kInSystem, core::Layer::kPfs}) {
+    const auto& st = all.access().layer(layer);
+    t.add_row({std::string(core::layer_name(layer)), util::format_count(double(st.files)),
+               util::format_bytes(st.bytes_read), util::format_bytes(st.bytes_written)});
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  std::printf("\n== POSIX/STDIO median bandwidth ratio, PFS reads (cf. Fig. 11a) ==\n");
+  const auto& bins = core::Performance::bins();
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    // Skip thin cells: medians over a handful of files are noise.
+    const auto p = all.performance().cell(core::Layer::kPfs, 0, b, true);
+    const auto s = all.performance().cell(core::Layer::kPfs, 1, b, true);
+    if (p.count < 10 || s.count < 10) continue;
+    const double ratio = all.performance().posix_over_stdio(core::Layer::kPfs, b, true);
+    if (ratio > 0) std::printf("  %-10s POSIX is %.1fx STDIO\n", bins.label(b).c_str(), ratio);
+  }
+
+  std::printf("\nDone. %llu shared-file performance observations.\n",
+              static_cast<unsigned long long>(all.performance().observations()));
+  return 0;
+}

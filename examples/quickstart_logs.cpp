@@ -1,0 +1,67 @@
+// quickstart_logs — produce real Darshan log *files* on disk, then analyze
+// them by reading the files back (the full write->read->analyze loop a
+// facility would run against its own archive).
+//
+//   ./quickstart_logs [out_dir] [n_jobs] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/analysis.hpp"
+#include "darshan/log_format.hpp"
+#include "iosim/executor.hpp"
+#include "util/units.hpp"
+#include "workload/generator.hpp"
+#include "workload/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mlio;
+  namespace fs = std::filesystem;
+
+  const fs::path out_dir = argc > 1 ? argv[1] : "darshan_logs";
+  wl::GeneratorConfig cfg;
+  cfg.n_jobs = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 25;
+  cfg.seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 42;
+  cfg.logs_per_job_scale = 0.2;
+  cfg.files_per_log_scale = 0.2;
+
+  const wl::SystemProfile& prof = wl::SystemProfile::cori_2019();
+  const wl::WorkloadGenerator gen(prof, cfg);
+  const sim::JobExecutor executor(wl::machine_for(prof));
+
+  fs::create_directories(out_dir);
+  std::size_t written = 0;
+  std::uintmax_t bytes = 0;
+  gen.generate_bulk([&](const sim::JobSpec& spec) {
+    const darshan::LogData log = executor.execute(spec);
+    char name[128];
+    std::snprintf(name, sizeof name, "user%u_job%llu_%zu.darshan", log.job.user_id,
+                  static_cast<unsigned long long>(log.job.job_id), written);
+    const fs::path path = out_dir / name;
+    darshan::write_log_file(log, path);
+    bytes += fs::file_size(path);
+    ++written;
+  });
+  std::printf("wrote %zu compressed logs (%s) to %s\n", written,
+              util::format_bytes(static_cast<double>(bytes)).c_str(), out_dir.c_str());
+
+  // Read every file back and run the full analysis on the parsed logs.
+  core::Analysis analysis;
+  for (const auto& entry : fs::directory_iterator(out_dir)) {
+    if (entry.path().extension() != ".darshan") continue;
+    analysis.add(darshan::read_log_file(entry.path()));
+  }
+  std::printf("re-parsed %llu logs: %llu jobs, %llu files, %s read, %s written\n",
+              static_cast<unsigned long long>(analysis.summary().logs()),
+              static_cast<unsigned long long>(analysis.summary().jobs()),
+              static_cast<unsigned long long>(analysis.summary().files()),
+              util::format_bytes(analysis.access().layer(core::Layer::kPfs).bytes_read +
+                                 analysis.access().layer(core::Layer::kInSystem).bytes_read)
+                  .c_str(),
+              util::format_bytes(analysis.access().layer(core::Layer::kPfs).bytes_written +
+                                 analysis.access().layer(core::Layer::kInSystem).bytes_written)
+                  .c_str());
+  std::printf("inspect one with: ./darshan_dump %s/<file>.darshan --records\n",
+              out_dir.c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "core/access_patterns.hpp"
+
+#include "util/units.hpp"
+
+namespace mlio::core {
+
+namespace {
+constexpr std::uint64_t kHugeThreshold = util::kTB;
+}
+
+AccessPatterns::LayerStats::LayerStats()
+    : read_transfer(util::BinSpec::transfer_bins_coarse()),
+      write_transfer(util::BinSpec::transfer_bins_coarse()),
+      read_requests(util::BinSpec::darshan_request_bins()),
+      write_requests(util::BinSpec::darshan_request_bins()),
+      read_requests_large(util::BinSpec::darshan_request_bins()),
+      write_requests_large(util::BinSpec::darshan_request_bins()) {}
+
+void AccessPatterns::LayerStats::merge(const LayerStats& other) {
+  files += other.files;
+  read_files += other.read_files;
+  write_files += other.write_files;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  huge_read_files += other.huge_read_files;
+  huge_write_files += other.huge_write_files;
+  read_transfer.merge(other.read_transfer);
+  write_transfer.merge(other.write_transfer);
+  read_requests.merge(other.read_requests);
+  write_requests.merge(other.write_requests);
+  read_requests_large.merge(other.read_requests_large);
+  write_requests_large.merge(other.write_requests_large);
+}
+
+AccessPatterns::AccessPatterns() = default;
+
+void AccessPatterns::add(const darshan::JobRecord& job, const FileSummary& file) {
+  LayerStats& st = layers_[static_cast<std::size_t>(file.layer)];
+  st.files += 1;
+  const bool large_job = job.nprocs > 1024;
+
+  if (file.bytes_read > 0) {
+    st.read_files += 1;
+    st.bytes_read += static_cast<double>(file.bytes_read);
+    st.read_transfer.add(file.bytes_read);
+    if (file.bytes_read > kHugeThreshold) st.huge_read_files += 1;
+  }
+  if (file.bytes_written > 0) {
+    st.write_files += 1;
+    st.bytes_written += static_cast<double>(file.bytes_written);
+    st.write_transfer.add(file.bytes_written);
+    if (file.bytes_written > kHugeThreshold) st.huge_write_files += 1;
+  }
+  for (std::size_t b = 0; b < 10; ++b) {
+    if (file.req_read[b] > 0) {
+      st.read_requests.add_to_bin(b, file.req_read[b]);
+      if (large_job) st.read_requests_large.add_to_bin(b, file.req_read[b]);
+    }
+    if (file.req_write[b] > 0) {
+      st.write_requests.add_to_bin(b, file.req_write[b]);
+      if (large_job) st.write_requests_large.add_to_bin(b, file.req_write[b]);
+    }
+  }
+}
+
+void AccessPatterns::merge(const AccessPatterns& other) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) layers_[i].merge(other.layers_[i]);
+}
+
+}  // namespace mlio::core

@@ -1,0 +1,25 @@
+#include "core/analysis.hpp"
+
+namespace mlio::core {
+
+void Analysis::add(const darshan::LogData& log) {
+  const std::vector<FileSummary> files = summarize_log(log, &unattributed_);
+  summary_.add_log(log.job, files);
+  layers_.add_log(log.job, files);
+  interfaces_.add_log(log.job, files);
+  for (const FileSummary& f : files) {
+    access_.add(log.job, f);
+    performance_.add(f);
+  }
+}
+
+void Analysis::merge(const Analysis& other) {
+  summary_.merge(other.summary_);
+  access_.merge(other.access_);
+  layers_.merge(other.layers_);
+  interfaces_.merge(other.interfaces_);
+  performance_.merge(other.performance_);
+  unattributed_ += other.unattributed_;
+}
+
+}  // namespace mlio::core

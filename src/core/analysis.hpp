@@ -1,0 +1,41 @@
+// Facade bundling every §3 analysis over a stream of Darshan logs.
+//
+// Constant memory per log (aside from the distinct-job maps, bounded by the
+// generated job count); mergeable, so parallel pipelines keep one Analysis
+// per chunk and fold them in chunk order for deterministic output.
+#pragma once
+
+#include "core/access_patterns.hpp"
+#include "core/interface_usage.hpp"
+#include "core/layer_usage.hpp"
+#include "core/performance.hpp"
+#include "core/summary.hpp"
+
+namespace mlio::core {
+
+class Analysis {
+ public:
+  /// Consume one log (summarizes it once and feeds every accumulator).
+  void add(const darshan::LogData& log);
+  void merge(const Analysis& other);
+
+  const Summary& summary() const { return summary_; }
+  const AccessPatterns& access() const { return access_; }
+  const LayerUsage& layers() const { return layers_; }
+  const InterfaceUsage& interfaces() const { return interfaces_; }
+  const Performance& performance() const { return performance_; }
+
+  /// Files whose paths matched no mount entry (should be zero here; nonzero
+  /// on real logs means /home, /tmp, etc.).
+  std::uint64_t unattributed_files() const { return unattributed_; }
+
+ private:
+  Summary summary_;
+  AccessPatterns access_;
+  LayerUsage layers_;
+  InterfaceUsage interfaces_;
+  Performance performance_;
+  std::uint64_t unattributed_ = 0;
+};
+
+}  // namespace mlio::core

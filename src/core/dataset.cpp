@@ -1,0 +1,149 @@
+#include "core/dataset.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "darshan/counters.hpp"
+
+namespace mlio::core {
+
+using darshan::FileRecord;
+using darshan::LogData;
+using darshan::ModuleId;
+
+std::string_view layer_name(Layer layer) {
+  return layer == Layer::kInSystem ? "in-system" : "PFS";
+}
+
+namespace {
+
+std::optional<Layer> layer_for_fs(std::string_view fs_type) {
+  if (fs_type == "gpfs" || fs_type == "lustre") return Layer::kPfs;
+  if (fs_type == "xfs" || fs_type == "dwfs" || fs_type == "tmpfs") return Layer::kInSystem;
+  return std::nullopt;
+}
+
+std::optional<Layer> resolve_layer(const LogData& log, std::string_view path) {
+  const darshan::MountEntry* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& m : log.mounts) {
+    if (path.size() >= m.prefix.size() && path.substr(0, m.prefix.size()) == m.prefix &&
+        m.prefix.size() >= best_len) {
+      best = &m;
+      best_len = m.prefix.size();
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return layer_for_fs(best->fs_type);
+}
+
+struct Partial {
+  const FileRecord* posix_shared = nullptr;
+  const FileRecord* stdio_shared = nullptr;
+  bool used_posix = false, used_mpiio = false, used_stdio = false;
+  std::uint64_t posix_read = 0, posix_written = 0;
+  std::uint64_t stdio_read = 0, stdio_written = 0;
+  double posix_rt = 0, posix_wt = 0, stdio_rt = 0, stdio_wt = 0;
+  std::array<std::uint64_t, 10> req_read{};
+  std::array<std::uint64_t, 10> req_write{};
+};
+
+}  // namespace
+
+std::vector<FileSummary> summarize_log(const LogData& log, std::uint64_t* unattributed) {
+  namespace pc = darshan::posix;
+  namespace sc = darshan::stdio;
+
+  std::unordered_map<std::uint64_t, Partial> partials;
+  partials.reserve(log.records.size());
+
+  for (const FileRecord& rec : log.records) {
+    if (rec.module == ModuleId::kLustre || rec.module == ModuleId::kSsdExt) {
+      continue;  // geometry / extension records carry no data-transfer stats
+    }
+    Partial& p = partials[rec.record_id];
+    switch (rec.module) {
+      case ModuleId::kPosix:
+        p.used_posix = true;
+        p.posix_read += static_cast<std::uint64_t>(std::max<std::int64_t>(
+            0, rec.counters[pc::BYTES_READ]));
+        p.posix_written += static_cast<std::uint64_t>(std::max<std::int64_t>(
+            0, rec.counters[pc::BYTES_WRITTEN]));
+        p.posix_rt += rec.fcounters[pc::F_READ_TIME];
+        p.posix_wt += rec.fcounters[pc::F_WRITE_TIME];
+        for (std::size_t b = 0; b < 10; ++b) {
+          p.req_read[b] += static_cast<std::uint64_t>(
+              std::max<std::int64_t>(0, rec.counters[pc::SIZE_READ_0_100 + b]));
+          p.req_write[b] += static_cast<std::uint64_t>(
+              std::max<std::int64_t>(0, rec.counters[pc::SIZE_WRITE_0_100 + b]));
+        }
+        if (rec.rank == darshan::kSharedRank) p.posix_shared = &rec;
+        break;
+      case ModuleId::kMpiIo:
+        p.used_mpiio = true;
+        break;
+      case ModuleId::kStdio:
+        p.used_stdio = true;
+        p.stdio_read += static_cast<std::uint64_t>(std::max<std::int64_t>(
+            0, rec.counters[sc::BYTES_READ]));
+        p.stdio_written += static_cast<std::uint64_t>(std::max<std::int64_t>(
+            0, rec.counters[sc::BYTES_WRITTEN]));
+        p.stdio_rt += rec.fcounters[sc::F_READ_TIME];
+        p.stdio_wt += rec.fcounters[sc::F_WRITE_TIME];
+        if (rec.rank == darshan::kSharedRank) p.stdio_shared = &rec;
+        break;
+      case ModuleId::kLustre:
+      case ModuleId::kSsdExt:
+        break;
+    }
+  }
+
+  std::vector<FileSummary> out;
+  out.reserve(partials.size());
+  for (const auto& [rid, p] : partials) {
+    const std::string_view path = log.path_of(rid);
+    const auto layer = resolve_layer(log, path);
+    if (!layer) {
+      if (unattributed != nullptr) ++*unattributed;
+      continue;
+    }
+
+    FileSummary s;
+    s.record_id = rid;
+    s.layer = *layer;
+    s.path = path;
+    s.used_posix = p.used_posix;
+    s.used_mpiio = p.used_mpiio;
+    s.used_stdio = p.used_stdio;
+
+    // §3.1 rule: POSIX counters when the file used POSIX/MPI-IO; STDIO
+    // counters for STDIO-managed files.
+    const bool posix_managed = p.used_posix || p.used_mpiio;
+    if (posix_managed) {
+      s.data_iface = DataInterface::kPosix;
+      s.bytes_read = p.posix_read;
+      s.bytes_written = p.posix_written;
+      s.read_time = p.posix_rt;
+      s.write_time = p.posix_wt;
+      s.shared = p.posix_shared != nullptr;
+      s.req_read = p.req_read;
+      s.req_write = p.req_write;
+    } else {
+      s.data_iface = DataInterface::kStdio;
+      s.bytes_read = p.stdio_read;
+      s.bytes_written = p.stdio_written;
+      s.read_time = p.stdio_rt;
+      s.write_time = p.stdio_wt;
+      s.shared = p.stdio_shared != nullptr;
+    }
+    out.push_back(s);
+  }
+
+  // Deterministic order regardless of hash-map iteration.
+  std::sort(out.begin(), out.end(),
+            [](const FileSummary& a, const FileSummary& b) { return a.record_id < b.record_id; });
+  return out;
+}
+
+}  // namespace mlio::core

@@ -1,0 +1,64 @@
+// Dataset layer: turns raw Darshan logs into per-file summaries the §3
+// analyses consume.
+//
+// Faithful to the paper's methodology (§3.1):
+//  * a file is attributed to a storage layer by matching its path against the
+//    log's mount table (fs type: gpfs/lustre -> PFS, xfs/dwfs -> in-system);
+//  * when a file was accessed via MPI-IO or POSIX, the POSIX counters are the
+//    data-transfer source of truth (MPI-IO initiates POSIX); files managed by
+//    STDIO use the STDIO counters;
+//  * a file is "single-shared" when its chosen module's record carries
+//    rank == -1 (all processes participated) — only those records enter the
+//    §3.4 performance analysis.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "darshan/record.hpp"
+
+namespace mlio::core {
+
+/// The two-way layer split used throughout the paper's evaluation.
+enum class Layer : std::uint8_t { kInSystem = 0, kPfs = 1 };
+inline constexpr std::size_t kLayerCount = 2;
+
+std::string_view layer_name(Layer layer);
+
+/// Data interface that "manages" the file per §3.1.
+enum class DataInterface : std::uint8_t { kPosix = 0, kStdio = 1 };
+
+/// One file within one log, aggregated across ranks and modules.
+struct FileSummary {
+  std::uint64_t record_id = 0;
+  Layer layer = Layer::kPfs;
+  DataInterface data_iface = DataInterface::kPosix;
+
+  bool used_posix = false;
+  bool used_mpiio = false;
+  bool used_stdio = false;
+
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  /// Cumulative read/write seconds of the chosen module's records.
+  double read_time = 0;
+  double write_time = 0;
+  /// The chosen module has a rank == -1 record (single-shared file).
+  bool shared = false;
+
+  /// POSIX request-size histograms (zero for STDIO-managed files — Darshan
+  /// does not collect them, which is the gap Rec. 4 calls out).
+  std::array<std::uint64_t, 10> req_read{};
+  std::array<std::uint64_t, 10> req_write{};
+
+  std::string_view path;  ///< borrowed from the LogData name map
+};
+
+/// Summarize a log.  Files whose path matches no mount entry are dropped and
+/// counted in `unattributed` (pass nullptr to ignore).
+std::vector<FileSummary> summarize_log(const darshan::LogData& log,
+                                       std::uint64_t* unattributed = nullptr);
+
+}  // namespace mlio::core

@@ -1,0 +1,78 @@
+#include "core/layer_usage.hpp"
+
+namespace mlio::core {
+
+namespace {
+std::string domain_of(const darshan::JobRecord& job) {
+  const auto it = job.metadata.find("domain");
+  return it == job.metadata.end() ? std::string("Unknown") : it->second;
+}
+}  // namespace
+
+double LayerUsage::ClassCounts::ro_or_wo_percent() const {
+  const std::uint64_t t = total();
+  if (t == 0) return 0.0;
+  return 100.0 * static_cast<double>(read_only + write_only) / static_cast<double>(t);
+}
+
+void LayerUsage::add_log(const darshan::JobRecord& job, const std::vector<FileSummary>& files) {
+  std::uint8_t mask = 0;
+  bool touched_insys = false;
+  DomainUsage* dom = nullptr;
+
+  for (const FileSummary& f : files) {
+    mask |= f.layer == Layer::kInSystem ? 0x1 : 0x2;
+
+    ClassCounts& cc = classes_[static_cast<std::size_t>(f.layer)];
+    const bool reads = f.bytes_read > 0;
+    const bool writes = f.bytes_written > 0;
+    if (reads && writes) cc.read_write += 1;
+    else if (reads) cc.read_only += 1;
+    else if (writes) cc.write_only += 1;
+    // Files opened but never transferred are not classified (the paper's
+    // figure axes are transfer-based).
+
+    if (f.layer == Layer::kInSystem) {
+      if (dom == nullptr) dom = &domains_[domain_of(job)];
+      dom->insys_bytes_read += static_cast<double>(f.bytes_read);
+      dom->insys_bytes_written += static_cast<double>(f.bytes_written);
+      touched_insys = true;
+    }
+  }
+  if (mask != 0) job_mask_[job.job_id] |= mask;
+  if (touched_insys) {
+    if (dom != nullptr) dom->insys_logs += 1;
+    insys_job_domain_.try_emplace(job.job_id, domain_of(job));
+  }
+}
+
+void LayerUsage::merge(const LayerUsage& other) {
+  for (const auto& [id, mask] : other.job_mask_) job_mask_[id] |= mask;
+  for (const auto& [id, dom] : other.insys_job_domain_) insys_job_domain_.try_emplace(id, dom);
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    classes_[i].read_only += other.classes_[i].read_only;
+    classes_[i].read_write += other.classes_[i].read_write;
+    classes_[i].write_only += other.classes_[i].write_only;
+  }
+  for (const auto& [name, usage] : other.domains_) {
+    DomainUsage& mine = domains_[name];
+    mine.insys_bytes_read += usage.insys_bytes_read;
+    mine.insys_bytes_written += usage.insys_bytes_written;
+    mine.insys_logs += usage.insys_logs;
+  }
+}
+
+LayerUsage::JobExclusivity LayerUsage::job_exclusivity() const {
+  JobExclusivity ex;
+  for (const auto& [id, mask] : job_mask_) {
+    (void)id;
+    if (mask == 0x1) ex.insys_only += 1;
+    else if (mask == 0x2) ex.pfs_only += 1;
+    else ex.both += 1;
+  }
+  return ex;
+}
+
+std::uint64_t LayerUsage::insys_jobs() const { return insys_job_domain_.size(); }
+
+}  // namespace mlio::core

@@ -1,0 +1,66 @@
+// §3.2.2 — usage of storage system layers.
+//
+//   Table 5 — jobs touching files exclusively on the PFS, exclusively on the
+//             in-system layer, or both (aggregated across all of a job's
+//             Darshan logs);
+//   Fig. 6  — read-only / read-write / write-only classification of files
+//             (POSIX+STDIO population) per layer;
+//   Fig. 7  — in-system usage by science domain (read/write volume and job
+//             counts).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "core/dataset.hpp"
+
+namespace mlio::core {
+
+class LayerUsage {
+ public:
+  /// Call once per log with that log's summaries.
+  void add_log(const darshan::JobRecord& job, const std::vector<FileSummary>& files);
+  void merge(const LayerUsage& other);
+
+  struct JobExclusivity {
+    std::uint64_t pfs_only = 0;
+    std::uint64_t insys_only = 0;
+    std::uint64_t both = 0;
+  };
+  JobExclusivity job_exclusivity() const;
+
+  struct ClassCounts {
+    std::uint64_t read_only = 0;
+    std::uint64_t read_write = 0;
+    std::uint64_t write_only = 0;
+    std::uint64_t total() const { return read_only + read_write + write_only; }
+    /// Fig. 6's headline: share of files that are RO or WO (percent).
+    double ro_or_wo_percent() const;
+  };
+  const ClassCounts& classes(Layer layer) const {
+    return classes_[static_cast<std::size_t>(layer)];
+  }
+
+  struct DomainUsage {
+    double insys_bytes_read = 0;
+    double insys_bytes_written = 0;
+    std::uint64_t insys_logs = 0;  ///< logs from this domain touching the layer
+  };
+  /// Ordered by domain name for stable output.
+  const std::map<std::string, DomainUsage>& domains() const { return domains_; }
+  /// Distinct jobs that touched the in-system layer.
+  std::uint64_t insys_jobs() const;
+
+ private:
+  // Bit 0: touched in-system; bit 1: touched PFS.
+  std::unordered_map<std::uint64_t, std::uint8_t> job_mask_;
+  // Distinct in-system jobs per domain (job_id -> domain seen).
+  std::unordered_map<std::uint64_t, std::string> insys_job_domain_;
+  std::array<ClassCounts, kLayerCount> classes_{};
+  std::map<std::string, DomainUsage> domains_;
+};
+
+}  // namespace mlio::core

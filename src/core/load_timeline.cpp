@@ -1,0 +1,93 @@
+#include "core/load_timeline.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mlio::core {
+
+LoadTimeline::LoadTimeline(std::int64_t horizon_seconds, std::size_t n_buckets)
+    : horizon_(horizon_seconds) {
+  if (horizon_seconds <= 0 || n_buckets == 0) {
+    throw util::ConfigError("LoadTimeline: horizon and bucket count must be positive");
+  }
+  bucket_seconds_ = static_cast<double>(horizon_seconds) / static_cast<double>(n_buckets);
+  buckets_.resize(n_buckets);
+}
+
+void LoadTimeline::add_log(const darshan::LogData& log) {
+  const std::int64_t start = std::clamp<std::int64_t>(log.job.start_time, 0, horizon_);
+  const std::int64_t end = std::clamp<std::int64_t>(log.job.end_time, start + 1, horizon_);
+
+  double read_bytes[kLayerCount] = {0, 0};
+  double write_bytes[kLayerCount] = {0, 0};
+  for (const FileSummary& f : summarize_log(log)) {
+    read_bytes[static_cast<std::size_t>(f.layer)] += static_cast<double>(f.bytes_read);
+    write_bytes[static_cast<std::size_t>(f.layer)] += static_cast<double>(f.bytes_written);
+  }
+
+  const auto first = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(buckets_.size()) - 1,
+                       static_cast<double>(start) / bucket_seconds_));
+  const auto last = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(buckets_.size()) - 1,
+                       static_cast<double>(end - 1) / bucket_seconds_));
+  const double span = static_cast<double>(last - first + 1);
+  for (std::size_t b = first; b <= last; ++b) {
+    Bucket& bucket = buckets_[b];
+    bucket.active_logs += 1;
+    for (std::size_t l = 0; l < kLayerCount; ++l) {
+      bucket.read_bytes[l] += read_bytes[l] / span;
+      bucket.write_bytes[l] += write_bytes[l] / span;
+    }
+  }
+}
+
+void LoadTimeline::merge(const LoadTimeline& other) {
+  if (other.buckets_.size() != buckets_.size() || other.horizon_ != horizon_) {
+    throw util::ConfigError("LoadTimeline::merge: shape mismatch");
+  }
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b].active_logs += other.buckets_[b].active_logs;
+    for (std::size_t l = 0; l < kLayerCount; ++l) {
+      buckets_[b].read_bytes[l] += other.buckets_[b].read_bytes[l];
+      buckets_[b].write_bytes[l] += other.buckets_[b].write_bytes[l];
+    }
+  }
+}
+
+double LoadTimeline::mean_throughput(Layer layer, bool read) const {
+  const auto li = static_cast<std::size_t>(layer);
+  double total = 0;
+  std::size_t busy = 0;
+  for (const Bucket& b : buckets_) {
+    if (b.active_logs == 0) continue;
+    ++busy;
+    total += read ? b.read_bytes[li] : b.write_bytes[li];
+  }
+  if (busy == 0) return 0.0;
+  return total / (static_cast<double>(busy) * bucket_seconds_);
+}
+
+double LoadTimeline::peak_throughput(Layer layer, bool read) const {
+  const auto li = static_cast<std::size_t>(layer);
+  double peak = 0;
+  for (const Bucket& b : buckets_) {
+    peak = std::max(peak, read ? b.read_bytes[li] : b.write_bytes[li]);
+  }
+  return peak / bucket_seconds_;
+}
+
+double LoadTimeline::busy_fraction() const {
+  std::size_t busy = 0;
+  for (const Bucket& b : buckets_) busy += b.active_logs > 0;
+  return static_cast<double>(busy) / static_cast<double>(buckets_.size());
+}
+
+std::uint32_t LoadTimeline::peak_concurrency() const {
+  std::uint32_t peak = 0;
+  for (const Bucket& b : buckets_) peak = std::max(peak, b.active_logs);
+  return peak;
+}
+
+}  // namespace mlio::core

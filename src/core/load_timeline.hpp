@@ -1,0 +1,50 @@
+// System-level "production load" view: per-layer I/O throughput over time,
+// reconstructed from the Darshan archive the way a facility operations team
+// would (each log's bytes spread over its [start, end] window).  This is the
+// deployment-side perspective the paper's conclusions address to "system
+// administrators at HPC facilities".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.hpp"
+
+namespace mlio::core {
+
+class LoadTimeline {
+ public:
+  /// Track `horizon_seconds` of wall time (epoch 0-based, matching the
+  /// generator's year) in `n_buckets` equal buckets.
+  LoadTimeline(std::int64_t horizon_seconds, std::size_t n_buckets);
+
+  void add_log(const darshan::LogData& log);
+  void merge(const LoadTimeline& other);
+
+  struct Bucket {
+    double read_bytes[kLayerCount] = {0, 0};
+    double write_bytes[kLayerCount] = {0, 0};
+    std::uint32_t active_logs = 0;
+  };
+
+  std::size_t buckets() const { return buckets_.size(); }
+  double bucket_seconds() const { return bucket_seconds_; }
+  const Bucket& bucket(std::size_t i) const { return buckets_.at(i); }
+
+  /// Mean throughput of a layer+direction over the busy part of the horizon
+  /// (buckets with any activity), bytes/second.
+  double mean_throughput(Layer layer, bool read) const;
+  /// Peak bucket throughput, bytes/second.
+  double peak_throughput(Layer layer, bool read) const;
+  /// Fraction of buckets with at least one active log.
+  double busy_fraction() const;
+  /// Highest concurrent-log count seen in a bucket.
+  std::uint32_t peak_concurrency() const;
+
+ private:
+  std::int64_t horizon_;
+  double bucket_seconds_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace mlio::core

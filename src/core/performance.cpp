@@ -1,0 +1,61 @@
+#include "core/performance.hpp"
+
+#include "util/error.hpp"
+
+namespace mlio::core {
+
+namespace {
+constexpr std::size_t kIfaces = 2;
+constexpr double kMb = 1e6;
+}  // namespace
+
+Performance::Performance() {
+  const std::size_t n = kLayerCount * kIfaces * bins().size() * 2;
+  cells_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cells_.emplace_back(/*capacity=*/4096, /*seed=*/i + 1);
+  }
+}
+
+std::size_t Performance::slot(Layer layer, std::size_t iface, std::size_t bin,
+                              bool read) const {
+  MLIO_ASSERT(iface < kIfaces && bin < bins().size());
+  return ((static_cast<std::size_t>(layer) * kIfaces + iface) * bins().size() + bin) * 2 +
+         (read ? 0 : 1);
+}
+
+void Performance::add(const FileSummary& file) {
+  if (!file.shared) return;  // §3.4: single-shared files only
+  const std::size_t iface = file.data_iface == DataInterface::kStdio ? 1 : 0;
+  if (file.bytes_read > 0 && file.read_time > 0) {
+    const std::size_t bin = bins().index_of(file.bytes_read);
+    const double mbps = static_cast<double>(file.bytes_read) / file.read_time / kMb;
+    cells_[slot(file.layer, iface, bin, true)].add(mbps);
+    ++observations_;
+  }
+  if (file.bytes_written > 0 && file.write_time > 0) {
+    const std::size_t bin = bins().index_of(file.bytes_written);
+    const double mbps = static_cast<double>(file.bytes_written) / file.write_time / kMb;
+    cells_[slot(file.layer, iface, bin, false)].add(mbps);
+    ++observations_;
+  }
+}
+
+void Performance::merge(const Performance& other) {
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i].merge(other.cells_[i]);
+  observations_ += other.observations_;
+}
+
+util::FiveNumber Performance::cell(Layer layer, std::size_t iface, std::size_t transfer_bin,
+                                   bool read) const {
+  return cells_[slot(layer, iface, transfer_bin, read)].five_number();
+}
+
+double Performance::posix_over_stdio(Layer layer, std::size_t transfer_bin, bool read) const {
+  const auto p = cell(layer, 0, transfer_bin, read);
+  const auto s = cell(layer, 1, transfer_bin, read);
+  if (p.count == 0 || s.count == 0 || s.median <= 0) return 0.0;
+  return p.median / s.median;
+}
+
+}  // namespace mlio::core

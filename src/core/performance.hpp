@@ -1,0 +1,44 @@
+// §3.4 — delivered I/O performance of single-shared files.
+//
+// Only rank == -1 records are trusted (all processes participated, so the
+// min/max-reduced timestamps bound the collective transfer and
+// BYTES / TIME is the aggregate bandwidth the job observed).  Observations
+// are grouped by (layer, managing interface POSIX|STDIO, transfer-size bin)
+// and summarized as boxplot five-number statistics — Figs. 11 (Summit) and
+// 12 (Cori).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/dataset.hpp"
+#include "util/bins.hpp"
+#include "util/stats.hpp"
+
+namespace mlio::core {
+
+class Performance {
+ public:
+  Performance();
+
+  void add(const FileSummary& file);
+  void merge(const Performance& other);
+
+  /// Five-number summary of MB/s for one cell.  `iface`: 0 POSIX, 1 STDIO.
+  util::FiveNumber cell(Layer layer, std::size_t iface, std::size_t transfer_bin,
+                        bool read) const;
+  /// Median POSIX/STDIO bandwidth ratio for a bin (0 when either is empty).
+  double posix_over_stdio(Layer layer, std::size_t transfer_bin, bool read) const;
+
+  static const util::BinSpec& bins() { return util::BinSpec::transfer_bins_perf(); }
+
+  std::uint64_t observations() const { return observations_; }
+
+ private:
+  std::size_t slot(Layer layer, std::size_t iface, std::size_t bin, bool read) const;
+
+  std::vector<util::ReservoirQuantiles> cells_;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace mlio::core

@@ -1,0 +1,41 @@
+#include "core/summary.hpp"
+
+#include <algorithm>
+
+namespace mlio::core {
+
+void Summary::add_log(const darshan::JobRecord& job, const std::vector<FileSummary>& files) {
+  logs_ += 1;
+  files_ += files.size();
+  const double hours =
+      static_cast<double>(std::max<std::int64_t>(0, job.end_time - job.start_time)) / 3600.0;
+  node_hours_ += hours * job.nnodes;
+  per_job_logs_[job.job_id] += 1;
+}
+
+void Summary::merge(const Summary& other) {
+  logs_ += other.logs_;
+  files_ += other.files_;
+  node_hours_ += other.node_hours_;
+  for (const auto& [id, n] : other.per_job_logs_) per_job_logs_[id] += n;
+}
+
+std::uint64_t Summary::min_logs_per_job() const {
+  std::uint64_t m = ~0ull;
+  for (const auto& [id, n] : per_job_logs_) {
+    (void)id;
+    m = std::min(m, n);
+  }
+  return per_job_logs_.empty() ? 0 : m;
+}
+
+std::uint64_t Summary::max_logs_per_job() const {
+  std::uint64_t m = 0;
+  for (const auto& [id, n] : per_job_logs_) {
+    (void)id;
+    m = std::max(m, n);
+  }
+  return m;
+}
+
+}  // namespace mlio::core

@@ -1,0 +1,31 @@
+// Table 2 — census of the Darshan collection: logs, jobs, files, node-hours,
+// plus the logs-per-job range quoted in §3.1.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/dataset.hpp"
+
+namespace mlio::core {
+
+class Summary {
+ public:
+  void add_log(const darshan::JobRecord& job, const std::vector<FileSummary>& files);
+  void merge(const Summary& other);
+
+  std::uint64_t logs() const { return logs_; }
+  std::uint64_t jobs() const { return per_job_logs_.size(); }
+  std::uint64_t files() const { return files_; }
+  double node_hours() const { return node_hours_; }
+  std::uint64_t min_logs_per_job() const;
+  std::uint64_t max_logs_per_job() const;
+
+ private:
+  std::uint64_t logs_ = 0;
+  std::uint64_t files_ = 0;
+  double node_hours_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> per_job_logs_;
+};
+
+}  // namespace mlio::core

@@ -1,0 +1,34 @@
+#include "darshan/dxt.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mlio::darshan {
+
+DxtSummary summarize_dxt(const DxtRecord& rec) {
+  DxtSummary s;
+  if (rec.events.empty()) return s;
+  s.first_start = rec.events.front().start;
+  s.last_end = rec.events.front().end;
+
+  // Sequentiality is judged per rank: rank 3's next offset following its own
+  // previous extent counts as sequential even if rank 4 wrote in between.
+  std::unordered_map<std::int32_t, std::uint64_t> next_offset;
+  for (const DxtEvent& e : rec.events) {
+    if (e.op == DxtOp::kRead) {
+      s.reads += 1;
+      s.bytes_read += e.length;
+    } else {
+      s.writes += 1;
+      s.bytes_written += e.length;
+    }
+    const auto it = next_offset.find(e.rank);
+    if (it != next_offset.end() && it->second == e.offset) s.sequential += 1;
+    next_offset[e.rank] = e.offset + e.length;
+    s.first_start = std::min(s.first_start, e.start);
+    s.last_end = std::max(s.last_end, e.end);
+  }
+  return s;
+}
+
+}  // namespace mlio::darshan

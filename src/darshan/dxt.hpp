@@ -1,0 +1,59 @@
+// Darshan eXtended Tracing (DXT) — the high-resolution trace extension
+// described in §2.2.
+//
+// Faithful to the real deployment: DXT is *disabled by default* on both
+// study systems, and when enabled it traces only POSIX and MPI-IO
+// operations, never STDIO.  Each traced operation carries (rank, offset,
+// length, start, end), which is what darshan-dxt-parser exposes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "darshan/module.hpp"
+
+namespace mlio::darshan {
+
+enum class DxtOp : std::uint8_t { kRead = 0, kWrite = 1 };
+
+struct DxtEvent {
+  DxtOp op = DxtOp::kRead;
+  std::int32_t rank = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  double start = 0;  ///< seconds relative to job start
+  double end = 0;
+
+  bool operator==(const DxtEvent&) const = default;
+};
+
+/// Trace segment for one (file, module); events are in issue order.
+struct DxtRecord {
+  std::uint64_t record_id = 0;
+  ModuleId module = ModuleId::kPosix;
+  std::vector<DxtEvent> events;
+
+  bool operator==(const DxtRecord&) const = default;
+};
+
+/// Summary statistics derived from a trace (what darshan-dxt-parser's
+/// downstream tools compute).
+struct DxtSummary {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  /// Consecutive-offset accesses (sequential ratio numerator).
+  std::uint64_t sequential = 0;
+  double first_start = 0;
+  double last_end = 0;
+
+  double sequential_ratio() const {
+    const std::uint64_t ops = reads + writes;
+    return ops == 0 ? 0.0 : static_cast<double>(sequential) / static_cast<double>(ops);
+  }
+};
+
+DxtSummary summarize_dxt(const DxtRecord& rec);
+
+}  // namespace mlio::darshan

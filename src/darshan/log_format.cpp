@@ -1,0 +1,255 @@
+#include "darshan/log_format.hpp"
+
+#include <array>
+#include <fstream>
+#include <map>
+
+#include "util/byte_io.hpp"
+#include "util/compress.hpp"
+#include "util/error.hpp"
+
+namespace mlio::darshan {
+
+using util::ByteReader;
+using util::ByteWriter;
+using util::FormatError;
+
+namespace {
+
+void write_job(ByteWriter& w, const JobRecord& job) {
+  w.u64(job.job_id);
+  w.u32(job.user_id);
+  w.u32(job.nprocs);
+  w.u32(job.nnodes);
+  w.i64(job.start_time);
+  w.i64(job.end_time);
+  w.str(job.exe);
+  w.u32(static_cast<std::uint32_t>(job.metadata.size()));
+  for (const auto& [k, v] : job.metadata) {
+    w.str(k);
+    w.str(v);
+  }
+}
+
+JobRecord read_job(ByteReader& r) {
+  JobRecord job;
+  job.job_id = r.u64();
+  job.user_id = r.u32();
+  job.nprocs = r.u32();
+  job.nnodes = r.u32();
+  job.start_time = r.i64();
+  job.end_time = r.i64();
+  job.exe = r.str();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string k = r.str();
+    std::string v = r.str();
+    job.metadata.emplace(std::move(k), std::move(v));
+  }
+  return job;
+}
+
+void write_body(ByteWriter& w, const LogData& log) {
+  write_job(w, log.job);
+
+  w.u32(static_cast<std::uint32_t>(log.mounts.size()));
+  for (const auto& m : log.mounts) {
+    w.str(m.prefix);
+    w.str(m.fs_type);
+  }
+
+  w.u32(static_cast<std::uint32_t>(log.names.size()));
+  for (const auto& [id, path] : log.names) {
+    w.u64(id);
+    w.str(path);
+  }
+
+  // Group records by module, preserving relative order within a module.
+  std::map<ModuleId, std::vector<const FileRecord*>> by_module;
+  for (const auto& rec : log.records) by_module[rec.module].push_back(&rec);
+
+  w.u32(static_cast<std::uint32_t>(by_module.size()));
+  for (const auto& [mod, recs] : by_module) {
+    w.u8(static_cast<std::uint8_t>(mod));
+    w.u32(static_cast<std::uint32_t>(counter_count(mod)));
+    w.u32(static_cast<std::uint32_t>(fcounter_count(mod)));
+    w.u32(static_cast<std::uint32_t>(recs.size()));
+    for (const FileRecord* rec : recs) {
+      w.u64(rec->record_id);
+      w.u32(static_cast<std::uint32_t>(rec->rank));
+      for (const std::int64_t c : rec->counters) w.i64(c);
+      for (const double f : rec->fcounters) w.f64(f);
+    }
+  }
+
+  // DXT trace region (usually empty: tracing is off by default, as on the
+  // study systems).
+  w.u32(static_cast<std::uint32_t>(log.dxt.size()));
+  for (const DxtRecord& rec : log.dxt) {
+    w.u64(rec.record_id);
+    w.u8(static_cast<std::uint8_t>(rec.module));
+    w.u32(static_cast<std::uint32_t>(rec.events.size()));
+    for (const DxtEvent& e : rec.events) {
+      w.u8(static_cast<std::uint8_t>(e.op));
+      w.u32(static_cast<std::uint32_t>(e.rank));
+      w.u64(e.offset);
+      w.u64(e.length);
+      w.f64(e.start);
+      w.f64(e.end);
+    }
+  }
+}
+
+LogData read_body(ByteReader& r) {
+  LogData log;
+  log.job = read_job(r);
+
+  const std::uint32_t n_mounts = r.u32();
+  if (n_mounts > r.remaining()) throw FormatError("mount count exceeds body size");
+  log.mounts.reserve(n_mounts);
+  for (std::uint32_t i = 0; i < n_mounts; ++i) {
+    MountEntry m;
+    m.prefix = r.str();
+    m.fs_type = r.str();
+    log.mounts.push_back(std::move(m));
+  }
+
+  const std::uint32_t n_names = r.u32();
+  if (n_names > r.remaining()) throw FormatError("name count exceeds body size");
+  log.names.reserve(n_names);
+  for (std::uint32_t i = 0; i < n_names; ++i) {
+    const std::uint64_t id = r.u64();
+    log.names.emplace(id, r.str());
+  }
+
+  const std::uint32_t n_regions = r.u32();
+  for (std::uint32_t reg = 0; reg < n_regions; ++reg) {
+    const std::uint8_t mod_raw = r.u8();
+    if (mod_raw >= kModuleCount) throw FormatError("unknown module id in log");
+    const auto mod = static_cast<ModuleId>(mod_raw);
+    const std::uint32_t n_counters = r.u32();
+    const std::uint32_t n_fcounters = r.u32();
+    if (n_counters != counter_count(mod) || n_fcounters != fcounter_count(mod)) {
+      throw FormatError("counter layout mismatch for module " + std::string(module_name(mod)));
+    }
+    const std::uint32_t n_records = r.u32();
+    for (std::uint32_t i = 0; i < n_records; ++i) {
+      // Sequence the reads explicitly: function-argument evaluation order is
+      // unspecified, and these must happen in stream order.
+      const std::uint64_t record_id = r.u64();
+      const auto rank = static_cast<std::int32_t>(r.u32());
+      FileRecord rec(record_id, rank, mod);
+      for (auto& c : rec.counters) c = r.i64();
+      for (auto& f : rec.fcounters) f = r.f64();
+      log.records.push_back(std::move(rec));
+    }
+  }
+
+  const std::uint32_t n_dxt = r.u32();
+  if (n_dxt > r.remaining()) throw FormatError("DXT count exceeds body size");
+  log.dxt.reserve(n_dxt);
+  for (std::uint32_t i = 0; i < n_dxt; ++i) {
+    DxtRecord rec;
+    rec.record_id = r.u64();
+    const std::uint8_t mod_raw = r.u8();
+    if (mod_raw >= kModuleCount) throw FormatError("unknown module id in DXT region");
+    rec.module = static_cast<ModuleId>(mod_raw);
+    const std::uint32_t n_events = r.u32();
+    if (n_events > r.remaining()) throw FormatError("DXT event count exceeds body size");
+    rec.events.reserve(n_events);
+    for (std::uint32_t e = 0; e < n_events; ++e) {
+      DxtEvent ev;
+      ev.op = static_cast<DxtOp>(r.u8());
+      ev.rank = static_cast<std::int32_t>(r.u32());
+      ev.offset = r.u64();
+      ev.length = r.u64();
+      ev.start = r.f64();
+      ev.end = r.f64();
+      rec.events.push_back(ev);
+    }
+    log.dxt.push_back(std::move(rec));
+  }
+  return log;
+}
+
+}  // namespace
+
+std::vector<std::byte> write_log_bytes(const LogData& log, const WriteOptions& opts) {
+  ByteWriter body;
+  write_body(body, log);
+  const auto body_bytes = body.take();
+
+  ByteWriter out;
+  out.u32(kLogMagic);
+  out.u16(kLogVersion);
+  out.u16(opts.compress ? kFlagCompressed : 0);
+  out.u32(util::crc32(body_bytes));
+  out.u64(body_bytes.size());
+  if (opts.compress) {
+    const auto packed = util::zlib_compress(body_bytes, opts.zlib_level);
+    out.u64(packed.size());
+    out.bytes(packed);
+  } else {
+    out.u64(body_bytes.size());
+    out.bytes(body_bytes);
+  }
+  return out.take();
+}
+
+void write_log_file(const LogData& log, const std::filesystem::path& path,
+                    const WriteOptions& opts) {
+  const auto bytes = write_log_bytes(log, opts);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw util::Error("cannot open for writing: " + path.string());
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!f) throw util::Error("write failed: " + path.string());
+}
+
+LogData read_log_bytes(std::span<const std::byte> data) {
+  ByteReader header(data);
+  if (header.u32() != kLogMagic) throw FormatError("bad magic");
+  const std::uint16_t version = header.u16();
+  if (version != kLogVersion) {
+    throw FormatError("unsupported log version " + std::to_string(version));
+  }
+  const std::uint16_t flags = header.u16();
+  const std::uint32_t crc = header.u32();
+  const std::uint64_t body_size = header.u64();
+  const std::uint64_t stored_size = header.u64();
+  if (stored_size > header.remaining()) throw FormatError("truncated log body");
+  // Guard against corrupted sizes before allocating: zlib cannot expand
+  // beyond ~1032:1, so a body_size wildly larger than the stored payload is
+  // corruption, not data (found by the format fuzz tests).
+  if (body_size > stored_size * 1100 + 4096) {
+    throw FormatError("implausible decompressed size");
+  }
+  const auto stored = header.bytes(static_cast<std::size_t>(stored_size));
+
+  std::vector<std::byte> body;
+  if (flags & kFlagCompressed) {
+    body = util::zlib_decompress(stored, static_cast<std::size_t>(body_size));
+  } else {
+    if (body_size != stored_size) throw FormatError("size mismatch in uncompressed log");
+    body.assign(stored.begin(), stored.end());
+  }
+  if (util::crc32(body) != crc) throw FormatError("body CRC mismatch");
+
+  ByteReader r(body);
+  LogData log = read_body(r);
+  if (!r.at_end()) throw FormatError("trailing bytes in log body");
+  return log;
+}
+
+LogData read_log_file(const std::filesystem::path& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) throw util::Error("cannot open for reading: " + path.string());
+  const std::streamsize size = f.tellg();
+  f.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  f.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!f) throw util::Error("read failed: " + path.string());
+  return read_log_bytes(bytes);
+}
+
+}  // namespace mlio::darshan

@@ -1,0 +1,50 @@
+// On-disk Darshan-style log format.
+//
+// Layout (all integers little-endian):
+//
+//   u32  magic            "DSHN" (0x4e485344)
+//   u16  version          currently 1
+//   u16  flags            bit 0: body is zlib-compressed
+//   u32  crc32            of the uncompressed body
+//   u64  body_size        uncompressed body size in bytes
+//   u64  stored_size      size of the (possibly compressed) body that follows
+//   []   body
+//
+// Body (self-describing):
+//   job record, mount table, name map, then one region per module that has
+//   records: { u8 module, u32 record_count, records... }.
+//
+// Like real Darshan logs, a file is written once at job end and read many
+// times by analysis tooling, so the format optimizes for decode speed and
+// compactness, not random access.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "darshan/record.hpp"
+
+namespace mlio::darshan {
+
+inline constexpr std::uint32_t kLogMagic = 0x4e485344;  // "DSHN"
+inline constexpr std::uint16_t kLogVersion = 1;
+inline constexpr std::uint16_t kFlagCompressed = 0x1;
+
+struct WriteOptions {
+  bool compress = true;
+  int zlib_level = 6;
+};
+
+/// Serialize a log to bytes / a file.
+std::vector<std::byte> write_log_bytes(const LogData& log, const WriteOptions& opts = {});
+void write_log_file(const LogData& log, const std::filesystem::path& path,
+                    const WriteOptions& opts = {});
+
+/// Parse a log from bytes / a file.  Throws FormatError on malformed input
+/// (bad magic, version, CRC, truncated regions, counter-count mismatches).
+LogData read_log_bytes(std::span<const std::byte> data);
+LogData read_log_file(const std::filesystem::path& path);
+
+}  // namespace mlio::darshan

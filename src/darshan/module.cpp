@@ -1,0 +1,183 @@
+#include "darshan/module.hpp"
+
+#include <array>
+
+#include "darshan/counters.hpp"
+#include "util/error.hpp"
+
+namespace mlio::darshan {
+
+namespace {
+
+constexpr std::array<std::string_view, kModuleCount> kModuleNames = {"POSIX", "MPIIO", "STDIO",
+                                                                     "LUSTRE", "SSDEXT"};
+
+constexpr std::array<std::string_view, posix::COUNTER_COUNT> kPosixCounterNames = {
+    "POSIX_OPENS",
+    "POSIX_READS",
+    "POSIX_WRITES",
+    "POSIX_SEEKS",
+    "POSIX_STATS",
+    "POSIX_FSYNCS",
+    "POSIX_BYTES_READ",
+    "POSIX_BYTES_WRITTEN",
+    "POSIX_CONSEC_READS",
+    "POSIX_CONSEC_WRITES",
+    "POSIX_SEQ_READS",
+    "POSIX_SEQ_WRITES",
+    "POSIX_RW_SWITCHES",
+    "POSIX_MAX_BYTE_READ",
+    "POSIX_MAX_BYTE_WRITTEN",
+    "POSIX_SIZE_READ_0_100",
+    "POSIX_SIZE_READ_100_1K",
+    "POSIX_SIZE_READ_1K_10K",
+    "POSIX_SIZE_READ_10K_100K",
+    "POSIX_SIZE_READ_100K_1M",
+    "POSIX_SIZE_READ_1M_4M",
+    "POSIX_SIZE_READ_4M_10M",
+    "POSIX_SIZE_READ_10M_100M",
+    "POSIX_SIZE_READ_100M_1G",
+    "POSIX_SIZE_READ_1G_PLUS",
+    "POSIX_SIZE_WRITE_0_100",
+    "POSIX_SIZE_WRITE_100_1K",
+    "POSIX_SIZE_WRITE_1K_10K",
+    "POSIX_SIZE_WRITE_10K_100K",
+    "POSIX_SIZE_WRITE_100K_1M",
+    "POSIX_SIZE_WRITE_1M_4M",
+    "POSIX_SIZE_WRITE_4M_10M",
+    "POSIX_SIZE_WRITE_10M_100M",
+    "POSIX_SIZE_WRITE_100M_1G",
+    "POSIX_SIZE_WRITE_1G_PLUS",
+};
+
+constexpr std::array<std::string_view, posix::FCOUNTER_COUNT> kPosixFCounterNames = {
+    "POSIX_F_OPEN_START_TIMESTAMP", "POSIX_F_READ_START_TIMESTAMP",
+    "POSIX_F_WRITE_START_TIMESTAMP", "POSIX_F_READ_END_TIMESTAMP",
+    "POSIX_F_WRITE_END_TIMESTAMP",  "POSIX_F_CLOSE_END_TIMESTAMP",
+    "POSIX_F_READ_TIME",            "POSIX_F_WRITE_TIME",
+    "POSIX_F_META_TIME",
+};
+
+constexpr std::array<std::string_view, mpiio::COUNTER_COUNT> kMpiioCounterNames = {
+    "MPIIO_INDEP_OPENS",
+    "MPIIO_COLL_OPENS",
+    "MPIIO_INDEP_READS",
+    "MPIIO_INDEP_WRITES",
+    "MPIIO_COLL_READS",
+    "MPIIO_COLL_WRITES",
+    "MPIIO_BYTES_READ",
+    "MPIIO_BYTES_WRITTEN",
+    "MPIIO_RW_SWITCHES",
+    "MPIIO_SIZE_READ_AGG_0_100",
+    "MPIIO_SIZE_READ_AGG_100_1K",
+    "MPIIO_SIZE_READ_AGG_1K_10K",
+    "MPIIO_SIZE_READ_AGG_10K_100K",
+    "MPIIO_SIZE_READ_AGG_100K_1M",
+    "MPIIO_SIZE_READ_AGG_1M_4M",
+    "MPIIO_SIZE_READ_AGG_4M_10M",
+    "MPIIO_SIZE_READ_AGG_10M_100M",
+    "MPIIO_SIZE_READ_AGG_100M_1G",
+    "MPIIO_SIZE_READ_AGG_1G_PLUS",
+    "MPIIO_SIZE_WRITE_AGG_0_100",
+    "MPIIO_SIZE_WRITE_AGG_100_1K",
+    "MPIIO_SIZE_WRITE_AGG_1K_10K",
+    "MPIIO_SIZE_WRITE_AGG_10K_100K",
+    "MPIIO_SIZE_WRITE_AGG_100K_1M",
+    "MPIIO_SIZE_WRITE_AGG_1M_4M",
+    "MPIIO_SIZE_WRITE_AGG_4M_10M",
+    "MPIIO_SIZE_WRITE_AGG_10M_100M",
+    "MPIIO_SIZE_WRITE_AGG_100M_1G",
+    "MPIIO_SIZE_WRITE_AGG_1G_PLUS",
+};
+
+constexpr std::array<std::string_view, mpiio::FCOUNTER_COUNT> kMpiioFCounterNames = {
+    "MPIIO_F_OPEN_START_TIMESTAMP", "MPIIO_F_READ_START_TIMESTAMP",
+    "MPIIO_F_WRITE_START_TIMESTAMP", "MPIIO_F_READ_END_TIMESTAMP",
+    "MPIIO_F_WRITE_END_TIMESTAMP",  "MPIIO_F_CLOSE_END_TIMESTAMP",
+    "MPIIO_F_READ_TIME",            "MPIIO_F_WRITE_TIME",
+    "MPIIO_F_META_TIME",
+};
+
+constexpr std::array<std::string_view, stdio::COUNTER_COUNT> kStdioCounterNames = {
+    "STDIO_OPENS",         "STDIO_READS",         "STDIO_WRITES",
+    "STDIO_SEEKS",         "STDIO_FLUSHES",       "STDIO_BYTES_READ",
+    "STDIO_BYTES_WRITTEN", "STDIO_MAX_BYTE_READ", "STDIO_MAX_BYTE_WRITTEN",
+};
+
+constexpr std::array<std::string_view, stdio::FCOUNTER_COUNT> kStdioFCounterNames = {
+    "STDIO_F_OPEN_START_TIMESTAMP", "STDIO_F_READ_START_TIMESTAMP",
+    "STDIO_F_WRITE_START_TIMESTAMP", "STDIO_F_READ_END_TIMESTAMP",
+    "STDIO_F_WRITE_END_TIMESTAMP",  "STDIO_F_CLOSE_END_TIMESTAMP",
+    "STDIO_F_READ_TIME",            "STDIO_F_WRITE_TIME",
+    "STDIO_F_META_TIME",
+};
+
+constexpr std::array<std::string_view, ssdext::COUNTER_COUNT> kSsdExtCounterNames = {
+    "SSDEXT_REWRITE_BYTES",      "SSDEXT_SEQ_WRITE_BYTES", "SSDEXT_RANDOM_WRITE_BYTES",
+    "SSDEXT_STATIC_BYTES",       "SSDEXT_DYNAMIC_BYTES",   "SSDEXT_WAF_X1000",
+};
+
+constexpr std::array<std::string_view, lustre::COUNTER_COUNT> kLustreCounterNames = {
+    "LUSTRE_STRIPE_SIZE", "LUSTRE_STRIPE_WIDTH", "LUSTRE_STRIPE_OFFSET", "LUSTRE_MDTS",
+    "LUSTRE_OSTS",
+};
+
+}  // namespace
+
+std::string_view module_name(ModuleId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  MLIO_ASSERT(idx < kModuleCount);
+  return kModuleNames[idx];
+}
+
+std::size_t counter_count(ModuleId id) {
+  switch (id) {
+    case ModuleId::kPosix: return posix::COUNTER_COUNT;
+    case ModuleId::kMpiIo: return mpiio::COUNTER_COUNT;
+    case ModuleId::kStdio: return stdio::COUNTER_COUNT;
+    case ModuleId::kLustre: return lustre::COUNTER_COUNT;
+    case ModuleId::kSsdExt: return ssdext::COUNTER_COUNT;
+  }
+  MLIO_ASSERT(false);
+  return 0;
+}
+
+std::size_t fcounter_count(ModuleId id) {
+  switch (id) {
+    case ModuleId::kPosix: return posix::FCOUNTER_COUNT;
+    case ModuleId::kMpiIo: return mpiio::FCOUNTER_COUNT;
+    case ModuleId::kStdio: return stdio::FCOUNTER_COUNT;
+    case ModuleId::kLustre: return lustre::FCOUNTER_COUNT;
+    case ModuleId::kSsdExt: return ssdext::FCOUNTER_COUNT;
+  }
+  MLIO_ASSERT(false);
+  return 0;
+}
+
+std::string_view counter_name(ModuleId id, std::size_t index) {
+  MLIO_ASSERT(index < counter_count(id));
+  switch (id) {
+    case ModuleId::kPosix: return kPosixCounterNames[index];
+    case ModuleId::kMpiIo: return kMpiioCounterNames[index];
+    case ModuleId::kStdio: return kStdioCounterNames[index];
+    case ModuleId::kLustre: return kLustreCounterNames[index];
+    case ModuleId::kSsdExt: return kSsdExtCounterNames[index];
+  }
+  MLIO_ASSERT(false);
+  return {};
+}
+
+std::string_view fcounter_name(ModuleId id, std::size_t index) {
+  MLIO_ASSERT(index < fcounter_count(id));
+  switch (id) {
+    case ModuleId::kPosix: return kPosixFCounterNames[index];
+    case ModuleId::kMpiIo: return kMpiioFCounterNames[index];
+    case ModuleId::kStdio: return kStdioFCounterNames[index];
+    case ModuleId::kLustre:
+    case ModuleId::kSsdExt: break;  // no fcounters
+  }
+  MLIO_ASSERT(false);
+  return {};
+}
+
+}  // namespace mlio::darshan

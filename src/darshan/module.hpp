@@ -1,0 +1,37 @@
+// Instrumentation module identifiers.
+//
+// Mirrors the Darshan module families this study consumes: POSIX, MPI-IO and
+// STDIO I/O modules plus the Lustre geometry module (counter-only, no I/O
+// statistics).  The numeric values are part of the on-disk log format.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mlio::darshan {
+
+enum class ModuleId : std::uint8_t {
+  kPosix = 0,
+  kMpiIo = 1,
+  kStdio = 2,
+  kLustre = 3,
+  /// Recommendation 4's proposed SSD-oriented counters (rewrites,
+  /// sequential/random writes, static/dynamic data) — an *extension* module
+  /// this library adds beyond real Darshan, off by default.
+  kSsdExt = 4,
+};
+
+inline constexpr std::size_t kModuleCount = 5;
+
+std::string_view module_name(ModuleId id);
+
+/// Number of integer counters for a module's file records.
+std::size_t counter_count(ModuleId id);
+/// Number of floating-point counters for a module's file records.
+std::size_t fcounter_count(ModuleId id);
+
+/// Counter names, for darshan_dump-style output (index < counter_count).
+std::string_view counter_name(ModuleId id, std::size_t index);
+std::string_view fcounter_name(ModuleId id, std::size_t index);
+
+}  // namespace mlio::darshan

@@ -1,0 +1,328 @@
+#include "darshan/runtime.hpp"
+
+#include <algorithm>
+
+#include "util/bins.hpp"
+#include "util/error.hpp"
+
+namespace mlio::darshan {
+
+namespace {
+
+// Shared fcounter layout for POSIX/MPI-IO/STDIO: [0..2] start timestamps
+// (min-reduced, -1 = unset), [3..5] end timestamps (max-reduced), [6..8]
+// accumulated times (max-reduced across ranks: slowest-rank semantics).
+constexpr std::size_t kFirstEndIdx = 3;
+constexpr std::size_t kFirstTimeIdx = 6;
+
+void init_fcounters(FileRecord& rec) {
+  for (std::size_t i = 0; i < rec.fcounters.size() && i < kFirstTimeIdx; ++i) {
+    rec.fcounters[i] = -1.0;
+  }
+}
+
+void stamp_min(double& slot, double t) {
+  if (slot < 0.0 || t < slot) slot = t;
+}
+
+void stamp_max(double& slot, double t) { slot = std::max(slot, t); }
+
+/// True when counter `idx` of `module` reduces by max (not sum).
+bool is_max_counter(ModuleId module, std::size_t idx) {
+  switch (module) {
+    case ModuleId::kPosix:
+      return idx == posix::MAX_BYTE_READ || idx == posix::MAX_BYTE_WRITTEN;
+    case ModuleId::kStdio:
+      return idx == stdio::MAX_BYTE_READ || idx == stdio::MAX_BYTE_WRITTEN;
+    case ModuleId::kMpiIo:
+    case ModuleId::kLustre:
+      return false;
+    case ModuleId::kSsdExt:
+      return idx == ssdext::WAF_X1000;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t Runtime::KeyHash::operator()(const Key& k) const noexcept {
+  std::uint64_t h = k.record_id;
+  h ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.rank)) << 8) ^ k.module;
+  h *= 0x9e3779b97f4a7c15ull;
+  return static_cast<std::size_t>(h ^ (h >> 32));
+}
+
+Runtime::Runtime(JobRecord job, std::vector<MountEntry> mounts, const RuntimeOptions& opts)
+    : job_(std::move(job)), mounts_(std::move(mounts)), opts_(opts) {
+  if (job_.nprocs == 0) throw util::ConfigError("Runtime: nprocs must be >= 1");
+}
+
+FileRecord& Runtime::fetch(ModuleId module, std::uint64_t record_id, std::int32_t rank) {
+  const Key key{record_id, rank, static_cast<std::uint8_t>(module)};
+  const auto [it, inserted] = index_.try_emplace(key, records_.size());
+  if (inserted) {
+    records_.emplace_back(record_id, rank, module);
+    init_fcounters(records_.back());
+  }
+  return records_[it->second];
+}
+
+FileHandle Runtime::open_file(ModuleId module, std::int32_t rank, std::string_view path,
+                              double t) {
+  const std::uint64_t rid = hash_record_id(path);
+  names_.try_emplace(rid, std::string(path));
+  FileRecord& rec = fetch(module, rid, rank);
+  switch (module) {
+    case ModuleId::kPosix: rec.counters[posix::OPENS] += 1; break;
+    case ModuleId::kMpiIo: rec.counters[mpiio::INDEP_OPENS] += 1; break;
+    case ModuleId::kStdio: rec.counters[stdio::OPENS] += 1; break;
+    case ModuleId::kLustre:
+    case ModuleId::kSsdExt: break;  // synthetic records carry no open counts
+  }
+  if (module != ModuleId::kLustre) {
+    stamp_min(rec.fcounters[posix::F_OPEN_START_TIMESTAMP], t);
+  }
+  return FileHandle{rid, module};
+}
+
+void Runtime::record_reads(const FileHandle& h, std::int32_t rank, std::uint64_t op_size,
+                           std::uint64_t n_ops, double start, double elapsed, bool sequential) {
+  if (n_ops == 0) return;
+  FileRecord& rec = fetch(h.module, h.record_id, rank);
+  const auto ops = static_cast<std::int64_t>(n_ops);
+  const auto bytes = static_cast<std::int64_t>(op_size * n_ops);
+  const std::size_t bin = util::BinSpec::darshan_request_bins().index_of(op_size);
+
+  switch (h.module) {
+    case ModuleId::kPosix:
+      rec.counters[posix::READS] += ops;
+      rec.counters[posix::BYTES_READ] += bytes;
+      rec.counters[posix::SIZE_READ_0_100 + bin] += ops;
+      if (sequential) {
+        rec.counters[posix::SEQ_READS] += ops;
+        rec.counters[posix::CONSEC_READS] += ops > 0 ? ops - 1 : 0;
+      }
+      rec.counters[posix::MAX_BYTE_READ] =
+          std::max(rec.counters[posix::MAX_BYTE_READ], rec.counters[posix::BYTES_READ] - 1);
+      break;
+    case ModuleId::kMpiIo:
+      rec.counters[mpiio::INDEP_READS] += ops;
+      rec.counters[mpiio::BYTES_READ] += bytes;
+      rec.counters[mpiio::SIZE_READ_AGG_0_100 + bin] += ops;
+      break;
+    case ModuleId::kStdio:
+      rec.counters[stdio::READS] += ops;
+      rec.counters[stdio::BYTES_READ] += bytes;
+      rec.counters[stdio::MAX_BYTE_READ] =
+          std::max(rec.counters[stdio::MAX_BYTE_READ], rec.counters[stdio::BYTES_READ] - 1);
+      break;
+    case ModuleId::kLustre:
+    case ModuleId::kSsdExt:
+      throw util::ConfigError("geometry/extension records carry no I/O operations");
+  }
+  stamp_min(rec.fcounters[posix::F_READ_START_TIMESTAMP], start);
+  stamp_max(rec.fcounters[posix::F_READ_END_TIMESTAMP], start + elapsed);
+  rec.fcounters[posix::F_READ_TIME] += elapsed;
+  trace_batch(h, rank, DxtOp::kRead, op_size, n_ops, start, elapsed);
+}
+
+void Runtime::record_writes(const FileHandle& h, std::int32_t rank, std::uint64_t op_size,
+                            std::uint64_t n_ops, double start, double elapsed, bool sequential) {
+  if (n_ops == 0) return;
+  FileRecord& rec = fetch(h.module, h.record_id, rank);
+  const auto ops = static_cast<std::int64_t>(n_ops);
+  const auto bytes = static_cast<std::int64_t>(op_size * n_ops);
+  const std::size_t bin = util::BinSpec::darshan_request_bins().index_of(op_size);
+
+  switch (h.module) {
+    case ModuleId::kPosix:
+      rec.counters[posix::WRITES] += ops;
+      rec.counters[posix::BYTES_WRITTEN] += bytes;
+      rec.counters[posix::SIZE_WRITE_0_100 + bin] += ops;
+      if (sequential) {
+        rec.counters[posix::SEQ_WRITES] += ops;
+        rec.counters[posix::CONSEC_WRITES] += ops > 0 ? ops - 1 : 0;
+      }
+      rec.counters[posix::MAX_BYTE_WRITTEN] = std::max(
+          rec.counters[posix::MAX_BYTE_WRITTEN], rec.counters[posix::BYTES_WRITTEN] - 1);
+      break;
+    case ModuleId::kMpiIo:
+      rec.counters[mpiio::INDEP_WRITES] += ops;
+      rec.counters[mpiio::BYTES_WRITTEN] += bytes;
+      rec.counters[mpiio::SIZE_WRITE_AGG_0_100 + bin] += ops;
+      break;
+    case ModuleId::kStdio:
+      rec.counters[stdio::WRITES] += ops;
+      rec.counters[stdio::BYTES_WRITTEN] += bytes;
+      rec.counters[stdio::MAX_BYTE_WRITTEN] = std::max(
+          rec.counters[stdio::MAX_BYTE_WRITTEN], rec.counters[stdio::BYTES_WRITTEN] - 1);
+      break;
+    case ModuleId::kLustre:
+    case ModuleId::kSsdExt:
+      throw util::ConfigError("geometry/extension records carry no I/O operations");
+  }
+  stamp_min(rec.fcounters[posix::F_WRITE_START_TIMESTAMP], start);
+  stamp_max(rec.fcounters[posix::F_WRITE_END_TIMESTAMP], start + elapsed);
+  rec.fcounters[posix::F_WRITE_TIME] += elapsed;
+  trace_batch(h, rank, DxtOp::kWrite, op_size, n_ops, start, elapsed);
+}
+
+void Runtime::trace_batch(const FileHandle& h, std::int32_t rank, DxtOp op,
+                          std::uint64_t op_size, std::uint64_t n_ops, double start,
+                          double elapsed) {
+  // DXT semantics: POSIX and MPI-IO only, bounded events per batch.
+  if (!opts_.enable_dxt || h.module == ModuleId::kStdio) return;
+  const std::uint64_t dkey = h.record_id ^ (static_cast<std::uint64_t>(h.module) << 61);
+  DxtRecord& rec = dxt_[dkey];
+  rec.record_id = h.record_id;
+  rec.module = h.module;
+  const std::uint64_t okey =
+      dkey ^ (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) * 0x9e3779b9ull);
+  std::uint64_t& cursor = dxt_offsets_[okey];
+
+  const std::uint64_t traced = std::min<std::uint64_t>(n_ops, opts_.dxt_events_per_batch);
+  const double per_op = traced > 0 ? elapsed / static_cast<double>(traced) : 0.0;
+  for (std::uint64_t i = 0; i < traced; ++i) {
+    DxtEvent e;
+    e.op = op;
+    e.rank = rank;
+    e.offset = cursor;
+    e.length = op_size;
+    e.start = start + static_cast<double>(i) * per_op;
+    e.end = e.start + per_op;
+    rec.events.push_back(e);
+    cursor += op_size;
+  }
+  // Untraced ops still advance the cursor so later batches stay sequential.
+  cursor += (n_ops - traced) * op_size;
+}
+
+void Runtime::record_meta(const FileHandle& h, std::int32_t rank, std::uint64_t n_ops,
+                          double elapsed) {
+  FileRecord& rec = fetch(h.module, h.record_id, rank);
+  const auto ops = static_cast<std::int64_t>(n_ops);
+  switch (h.module) {
+    case ModuleId::kPosix: rec.counters[posix::STATS] += ops; break;
+    case ModuleId::kStdio: rec.counters[stdio::FLUSHES] += ops; break;
+    case ModuleId::kMpiIo: break;
+    case ModuleId::kLustre:
+    case ModuleId::kSsdExt:
+      throw util::ConfigError("geometry/extension records carry no I/O operations");
+  }
+  rec.fcounters[posix::F_META_TIME] += elapsed;
+}
+
+void Runtime::record_lustre(std::string_view path, std::int64_t stripe_size,
+                            std::int64_t stripe_width, std::int64_t stripe_offset,
+                            std::int64_t mdts, std::int64_t osts) {
+  const std::uint64_t rid = hash_record_id(path);
+  names_.try_emplace(rid, std::string(path));
+  FileRecord& rec = fetch(ModuleId::kLustre, rid, kSharedRank);
+  rec.counters[lustre::STRIPE_SIZE] = stripe_size;
+  rec.counters[lustre::STRIPE_WIDTH] = stripe_width;
+  rec.counters[lustre::STRIPE_OFFSET] = stripe_offset;
+  rec.counters[lustre::MDTS] = mdts;
+  rec.counters[lustre::OSTS] = osts;
+}
+
+void Runtime::record_ssd(std::string_view path, std::uint64_t rewrite_bytes,
+                         std::uint64_t seq_write_bytes, std::uint64_t random_write_bytes,
+                         std::uint64_t static_bytes, std::uint64_t dynamic_bytes, double waf) {
+  const std::uint64_t rid = hash_record_id(path);
+  names_.try_emplace(rid, std::string(path));
+  FileRecord& rec = fetch(ModuleId::kSsdExt, rid, kSharedRank);
+  rec.counters[ssdext::REWRITE_BYTES] += static_cast<std::int64_t>(rewrite_bytes);
+  rec.counters[ssdext::SEQ_WRITE_BYTES] += static_cast<std::int64_t>(seq_write_bytes);
+  rec.counters[ssdext::RANDOM_WRITE_BYTES] += static_cast<std::int64_t>(random_write_bytes);
+  rec.counters[ssdext::STATIC_BYTES] += static_cast<std::int64_t>(static_bytes);
+  rec.counters[ssdext::DYNAMIC_BYTES] += static_cast<std::int64_t>(dynamic_bytes);
+  rec.counters[ssdext::WAF_X1000] =
+      std::max(rec.counters[ssdext::WAF_X1000], static_cast<std::int64_t>(waf * 1000.0));
+}
+
+void Runtime::reduce_into(FileRecord& shared, const FileRecord& rank_rec) {
+  MLIO_ASSERT(shared.module == rank_rec.module);
+  for (std::size_t i = 0; i < shared.counters.size(); ++i) {
+    if (is_max_counter(shared.module, i)) {
+      shared.counters[i] = std::max(shared.counters[i], rank_rec.counters[i]);
+    } else {
+      shared.counters[i] += rank_rec.counters[i];
+    }
+  }
+  for (std::size_t i = 0; i < shared.fcounters.size(); ++i) {
+    if (i < kFirstEndIdx) {
+      if (rank_rec.fcounters[i] >= 0.0) stamp_min(shared.fcounters[i], rank_rec.fcounters[i]);
+    } else if (i < kFirstTimeIdx) {
+      stamp_max(shared.fcounters[i], rank_rec.fcounters[i]);
+    } else {
+      shared.fcounters[i] = std::max(shared.fcounters[i], rank_rec.fcounters[i]);
+    }
+  }
+}
+
+LogData Runtime::finalize(std::int64_t start_epoch, std::int64_t end_epoch) {
+  LogData log;
+  log.job = job_;
+  log.job.start_time = start_epoch;
+  log.job.end_time = end_epoch;
+  log.mounts = std::move(mounts_);
+  log.names = std::move(names_);
+  log.dxt.reserve(dxt_.size());
+  for (auto& [key, rec] : dxt_) {
+    (void)key;
+    log.dxt.push_back(std::move(rec));
+  }
+  std::sort(log.dxt.begin(), log.dxt.end(), [](const DxtRecord& a, const DxtRecord& b) {
+    if (a.module != b.module) return a.module < b.module;
+    return a.record_id < b.record_id;
+  });
+  dxt_.clear();
+  dxt_offsets_.clear();
+
+  // Group per (module, record id); collapse into a shared record when every
+  // rank of the job touched the file.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+  groups.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const auto& rec = records_[i];
+    const std::uint64_t gkey =
+        rec.record_id ^ (static_cast<std::uint64_t>(rec.module) << 61);
+    groups[gkey].push_back(i);
+  }
+
+  log.records.reserve(groups.size());
+  for (auto& [gkey, idxs] : groups) {
+    (void)gkey;
+    const auto& first = records_[idxs.front()];
+    const bool already_shared = idxs.size() == 1 && first.rank == kSharedRank;
+    const bool all_ranks = job_.nprocs > 1 && idxs.size() == job_.nprocs;
+    if (already_shared || first.module == ModuleId::kLustre ||
+        first.module == ModuleId::kSsdExt) {
+      log.records.push_back(std::move(records_[idxs.front()]));
+      continue;
+    }
+    if (all_ranks) {
+      FileRecord shared(first.record_id, kSharedRank, first.module);
+      init_fcounters(shared);
+      for (const std::size_t i : idxs) reduce_into(shared, records_[i]);
+      log.records.push_back(std::move(shared));
+    } else {
+      // Partial access: keep per-rank records (the paper's §3.4 explicitly
+      // excludes these from performance analysis).
+      for (const std::size_t i : idxs) log.records.push_back(std::move(records_[i]));
+    }
+  }
+
+  // Deterministic output order regardless of hash-map iteration.
+  std::sort(log.records.begin(), log.records.end(), [](const FileRecord& a, const FileRecord& b) {
+    if (a.module != b.module) return a.module < b.module;
+    if (a.record_id != b.record_id) return a.record_id < b.record_id;
+    return a.rank < b.rank;
+  });
+
+  index_.clear();
+  records_.clear();
+  return log;
+}
+
+}  // namespace mlio::darshan

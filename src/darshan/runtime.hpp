@@ -1,0 +1,109 @@
+// Instrumentation runtime: the piece of Darshan that lives inside a job.
+//
+// The simulator reports I/O events here (opens, batched reads/writes, stat
+// calls); the runtime accumulates per-(module, file, rank) records exactly
+// the way Darshan's wrappers update counters, and finalize() performs the
+// shared-record reduction: when every rank of the job touched a file, the
+// per-rank records collapse into one record with rank == -1 (additive
+// counters summed, start timestamps min-reduced, end timestamps max-reduced,
+// and the F_*_TIME counters max-reduced — "slowest rank" semantics, so that
+// BYTES/TIME on a shared record is the aggregate bandwidth the job saw).
+//
+// All timestamps are seconds relative to job start (as in Darshan F_
+// counters).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "darshan/counters.hpp"
+#include "darshan/record.hpp"
+
+namespace mlio::darshan {
+
+/// Opaque handle returned by open_file; avoids re-hashing the path per event.
+struct FileHandle {
+  std::uint64_t record_id = 0;
+  ModuleId module = ModuleId::kPosix;
+};
+
+struct RuntimeOptions {
+  /// Capture DXT traces for POSIX and MPI-IO (never STDIO, as in real
+  /// Darshan).  Off by default — DXT was disabled on both study systems.
+  bool enable_dxt = false;
+  /// Cap on traced events per (file, module) batch, mirroring DXT's bounded
+  /// trace buffers.
+  std::uint32_t dxt_events_per_batch = 16;
+};
+
+class Runtime {
+ public:
+  /// `job.start_time/end_time` may be filled later via finalize().
+  Runtime(JobRecord job, std::vector<MountEntry> mounts, const RuntimeOptions& opts = {});
+
+  /// Register a file open by `rank` at time `t` (relative seconds).
+  /// Re-opening is fine: OPENS increments, the earliest open timestamp wins.
+  FileHandle open_file(ModuleId module, std::int32_t rank, std::string_view path, double t);
+
+  /// Record `n_ops` read operations of `op_size` bytes each by `rank`,
+  /// spanning [start, start+elapsed] seconds.  `sequential` marks the batch
+  /// as sequential accesses (updates SEQ/CONSEC counters for POSIX).
+  void record_reads(const FileHandle& h, std::int32_t rank, std::uint64_t op_size,
+                    std::uint64_t n_ops, double start, double elapsed, bool sequential = true);
+  /// Same for writes.
+  void record_writes(const FileHandle& h, std::int32_t rank, std::uint64_t op_size,
+                     std::uint64_t n_ops, double start, double elapsed, bool sequential = true);
+  /// Metadata time (stat/seek/sync) attributed to `rank`.
+  void record_meta(const FileHandle& h, std::int32_t rank, std::uint64_t n_ops, double elapsed);
+
+  /// Attach a Lustre geometry record for `path` (stripe settings the file was
+  /// created with); rank is irrelevant for geometry and stored as -1.
+  void record_lustre(std::string_view path, std::int64_t stripe_size, std::int64_t stripe_width,
+                     std::int64_t stripe_offset, std::int64_t mdts, std::int64_t osts);
+
+  /// Attach a Recommendation-4 SSD extension record for `path` (files on
+  /// flash-backed layers).  waf is the modeled write-amplification factor.
+  void record_ssd(std::string_view path, std::uint64_t rewrite_bytes,
+                  std::uint64_t seq_write_bytes, std::uint64_t random_write_bytes,
+                  std::uint64_t static_bytes, std::uint64_t dynamic_bytes, double waf);
+
+  /// Number of live (pre-reduction) records — for tests.
+  std::size_t live_records() const { return records_.size(); }
+
+  /// Close out the log: set job start/end epoch, reduce shared records, and
+  /// return the finished LogData.  The runtime is empty afterwards.
+  LogData finalize(std::int64_t start_epoch, std::int64_t end_epoch);
+
+ private:
+  struct Key {
+    std::uint64_t record_id;
+    std::int32_t rank;
+    std::uint8_t module;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept;
+  };
+
+  FileRecord& fetch(ModuleId module, std::uint64_t record_id, std::int32_t rank);
+  static void reduce_into(FileRecord& shared, const FileRecord& rank_rec);
+
+  void trace_batch(const FileHandle& h, std::int32_t rank, DxtOp op, std::uint64_t op_size,
+                   std::uint64_t n_ops, double start, double elapsed);
+
+  JobRecord job_;
+  std::vector<MountEntry> mounts_;
+  RuntimeOptions opts_;
+  // DXT state: per (module, record) trace plus a per (module, record, rank)
+  // offset cursor.
+  std::unordered_map<std::uint64_t, DxtRecord> dxt_;
+  std::unordered_map<std::uint64_t, std::uint64_t> dxt_offsets_;
+  std::unordered_map<std::uint64_t, std::string> names_;
+  std::unordered_map<Key, std::size_t, KeyHash> index_;
+  std::vector<FileRecord> records_;
+};
+
+}  // namespace mlio::darshan

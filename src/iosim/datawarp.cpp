@@ -1,0 +1,50 @@
+#include "iosim/datawarp.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mlio::sim {
+
+BurstBufferLayer::BurstBufferLayer(std::string name, std::string mount_prefix,
+                                   const DataWarpConfig& cfg)
+    : StorageLayer(std::move(name), std::move(mount_prefix), "dwfs", LayerKind::kBurstBuffer,
+                   cfg.capacity_bytes),
+      cfg_(cfg) {
+  if (cfg_.bb_nodes == 0) throw util::ConfigError("BurstBufferLayer: bb_nodes must be positive");
+  if (cfg_.granularity == 0) {
+    throw util::ConfigError("BurstBufferLayer: granularity must be positive");
+  }
+}
+
+LayerPerf BurstBufferLayer::perf() const {
+  LayerPerf p;
+  p.peak_read_bw = cfg_.peak_read_bw;
+  p.peak_write_bw = cfg_.peak_write_bw;
+  p.per_stream_read_bw = cfg_.per_stream_bw;
+  p.per_stream_write_bw = cfg_.per_stream_bw;
+  p.per_target_bw = cfg_.peak_read_bw / cfg_.bb_nodes;
+  p.op_latency = cfg_.op_latency;
+  return p;
+}
+
+std::uint32_t BurstBufferLayer::fragments_for(std::uint64_t capacity_request) const {
+  if (capacity_request == 0) return 1;
+  const std::uint64_t frags = (capacity_request + cfg_.granularity - 1) / cfg_.granularity;
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(frags, cfg_.bb_nodes));
+}
+
+Placement BurstBufferLayer::place(std::uint64_t file_size, std::uint32_t hint_stripe_count,
+                                  util::Rng& rng) const {
+  Placement pl;
+  pl.stripe_size = cfg_.granularity;
+  const std::uint32_t alloc_frags = hint_stripe_count > 0 ? hint_stripe_count : 1;
+  const std::uint64_t file_frags =
+      std::max<std::uint64_t>(1, (file_size + cfg_.granularity - 1) / cfg_.granularity);
+  pl.targets = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(std::min<std::uint64_t>(alloc_frags, file_frags), cfg_.bb_nodes));
+  pl.start_target = static_cast<std::uint32_t>(rng.uniform_u64(0, cfg_.bb_nodes - 1));
+  return pl;
+}
+
+}  // namespace mlio::sim

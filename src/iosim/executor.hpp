@@ -1,0 +1,57 @@
+// Job executor: runs a JobSpec against a Machine, timing every access with
+// the PerfModel and reporting the I/O into a darshan::Runtime, yielding the
+// LogData that the job's Darshan instrumentation would have produced.
+#pragma once
+
+#include <cstdint>
+
+#include "darshan/record.hpp"
+#include "iosim/ioplan.hpp"
+#include "iosim/machine.hpp"
+
+namespace mlio::sim {
+
+struct ExecutorConfig {
+  /// Shared files of jobs with at most this many ranks are recorded per rank
+  /// (exercising the runtime's shared-record reduction); larger jobs record
+  /// the pre-aggregated rank -1 record directly, as an optimization with
+  /// identical output.
+  std::uint32_t max_explicit_ranks = 64;
+  /// Non-shared multi-rank files spread their traffic over at most this many
+  /// explicit rank records.
+  std::uint32_t max_partial_ranks = 4;
+  /// Capture DXT traces (POSIX/MPI-IO only; §2.2 — off on the study systems).
+  bool enable_dxt = false;
+  /// Emit Recommendation-4 SSDEXT records for files on flash-backed layers.
+  bool enable_ssd_ext = false;
+};
+
+/// What staging the job's DataWarp directives would move, and how long.
+struct StagingReport {
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  double seconds_in = 0;
+  double seconds_out = 0;
+};
+
+class JobExecutor {
+ public:
+  explicit JobExecutor(const Machine& machine, const ExecutorConfig& cfg = {});
+
+  /// Execute the plan; returns the job's Darshan log.
+  darshan::LogData execute(const JobSpec& spec) const;
+
+  /// Estimate the PFS<->BB staging cost of the job's directives (runs outside
+  /// the job's Darshan window, as DataWarp stages before start / after exit).
+  StagingReport estimate_staging(const JobSpec& spec) const;
+
+  const Machine& machine() const { return machine_; }
+
+ private:
+  struct Clock;
+
+  const Machine& machine_;
+  ExecutorConfig cfg_;
+};
+
+}  // namespace mlio::sim

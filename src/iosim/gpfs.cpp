@@ -1,0 +1,41 @@
+#include "iosim/gpfs.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mlio::sim {
+
+GpfsLayer::GpfsLayer(std::string name, std::string mount_prefix, const GpfsConfig& cfg)
+    : StorageLayer(std::move(name), std::move(mount_prefix), "gpfs", LayerKind::kParallelFs,
+                   cfg.capacity_bytes),
+      cfg_(cfg) {
+  if (cfg_.nsd_servers == 0 || cfg_.block_size == 0) {
+    throw util::ConfigError("GpfsLayer: nsd_servers and block_size must be positive");
+  }
+}
+
+LayerPerf GpfsLayer::perf() const {
+  LayerPerf p;
+  p.peak_read_bw = cfg_.peak_read_bw;
+  p.peak_write_bw = cfg_.peak_write_bw;
+  p.per_stream_read_bw = cfg_.per_stream_bw;
+  p.per_stream_write_bw = cfg_.per_stream_bw;
+  p.per_target_bw = cfg_.peak_read_bw / cfg_.nsd_servers;
+  p.op_latency = cfg_.op_latency;
+  return p;
+}
+
+Placement GpfsLayer::place(std::uint64_t file_size, std::uint32_t /*hint_stripe_count*/,
+                           util::Rng& rng) const {
+  Placement pl;
+  pl.stripe_size = cfg_.block_size;
+  const std::uint64_t blocks = std::max<std::uint64_t>(1, (file_size + cfg_.block_size - 1) /
+                                                              cfg_.block_size);
+  pl.targets = static_cast<std::uint32_t>(std::min<std::uint64_t>(blocks, cfg_.nsd_servers));
+  pl.start_target =
+      static_cast<std::uint32_t>(rng.uniform_u64(0, cfg_.nsd_servers - 1));
+  return pl;
+}
+
+}  // namespace mlio::sim

@@ -1,0 +1,38 @@
+// IBM Spectrum Scale (GPFS) model — Summit's Alpine layer (§2.1.1).
+//
+// GPFS partitions a file into fixed-size blocks (16 MiB on Alpine) and
+// distributes the block sequence round-robin across the NSD servers starting
+// from a randomly chosen server, potentially spanning the whole pool.  Users
+// cannot tune the striping (unlike Lustre) — `hint_stripe_count` is ignored.
+#pragma once
+
+#include "iosim/layer.hpp"
+
+namespace mlio::sim {
+
+struct GpfsConfig {
+  std::uint64_t capacity_bytes;
+  double peak_read_bw;
+  double peak_write_bw;
+  std::uint32_t nsd_servers;
+  std::uint64_t block_size;
+  double per_stream_bw;   ///< single client stream ceiling
+  double op_latency;      ///< per-request latency (network + NSD service)
+};
+
+class GpfsLayer final : public StorageLayer {
+ public:
+  GpfsLayer(std::string name, std::string mount_prefix, const GpfsConfig& cfg);
+
+  LayerPerf perf() const override;
+  Placement place(std::uint64_t file_size, std::uint32_t hint_stripe_count,
+                  util::Rng& rng) const override;
+  std::uint32_t target_count() const override { return cfg_.nsd_servers; }
+
+  std::uint64_t block_size() const { return cfg_.block_size; }
+
+ private:
+  GpfsConfig cfg_;
+};
+
+}  // namespace mlio::sim

@@ -1,0 +1,60 @@
+// The I/O plan: the contract between the workload generator and the
+// simulator.  A JobSpec describes one application instance (one Darshan log):
+// which files it touches, on which layer (via path), through which interface,
+// how much it reads/writes and at what request size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iosim/datawarp.hpp"
+#include "iosim/types.hpp"
+
+namespace mlio::sim {
+
+/// One file accessed by the job.
+struct FileAccessSpec {
+  std::string path;  ///< mount prefix selects the layer
+  Interface iface = Interface::kPosix;
+
+  /// All nprocs ranks participate (Darshan collapses to a rank -1 record).
+  bool shared = false;
+  /// Participating ranks when not shared (clamped to nprocs).
+  std::uint32_t ranks = 1;
+
+  std::uint64_t read_bytes = 0;   ///< aggregate bytes read from the file
+  std::uint64_t write_bytes = 0;  ///< aggregate bytes written
+  std::uint64_t read_op_size = 0;   ///< per-call request size (0: pick 1 MiB)
+  std::uint64_t write_op_size = 0;
+
+  /// Optional request-size mix: (Darshan bin, share of the bytes moved at
+  /// that bin's request size).  When non-empty it overrides *_op_size: the
+  /// executor issues one batch per entry, sampling the exact op size within
+  /// the bin.  This is how production files behave (header reads + bulk
+  /// transfers) and what lets the Fig. 4 call-level bin shares hold at any
+  /// generation scale.
+  std::vector<std::pair<std::uint8_t, float>> read_mix;
+  std::vector<std::pair<std::uint8_t, float>> write_mix;
+
+  bool sequential = true;
+  bool collective = false;        ///< MPI-IO collective buffering
+  std::uint32_t stripe_hint = 0;  ///< Lustre stripe count override (0: default)
+  std::uint32_t rewrites = 0;     ///< full overwrites of the written data
+};
+
+/// One application instance = one Darshan log.
+struct JobSpec {
+  std::uint64_t job_id = 0;
+  std::uint32_t user_id = 0;
+  std::uint32_t nprocs = 1;
+  std::uint32_t nnodes = 1;
+  std::int64_t start_epoch = 0;
+  std::string exe;
+  std::string domain;       ///< science domain (joined from scheduler logs)
+  std::uint64_t seed = 0;   ///< drives all randomness for this job
+  DataWarpDirectives dw;    ///< burst-buffer staging directives (Cori only)
+  std::vector<FileAccessSpec> files;
+};
+
+}  // namespace mlio::sim

@@ -1,0 +1,20 @@
+#include "iosim/layer.hpp"
+
+#include "util/error.hpp"
+
+namespace mlio::sim {
+
+StorageLayer::StorageLayer(std::string name, std::string mount_prefix, std::string fs_type,
+                           LayerKind kind, std::uint64_t capacity_bytes)
+    : name_(std::move(name)),
+      mount_prefix_(std::move(mount_prefix)),
+      fs_type_(std::move(fs_type)),
+      kind_(kind),
+      capacity_(capacity_bytes) {
+  if (name_.empty() || mount_prefix_.empty() || fs_type_.empty()) {
+    throw util::ConfigError("StorageLayer: name, mount prefix and fs type are required");
+  }
+  if (capacity_ == 0) throw util::ConfigError("StorageLayer: capacity must be positive");
+}
+
+}  // namespace mlio::sim

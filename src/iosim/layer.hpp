@@ -1,0 +1,73 @@
+// Abstract storage layer.
+//
+// A layer is a mounted file system with a performance envelope.  Concrete
+// layers (GPFS, Lustre, node-local NVMe, DataWarp) add their placement /
+// striping models; the PerfModel consumes the envelope plus the per-file
+// parallel-target count to turn an access into elapsed time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "iosim/types.hpp"
+#include "util/rng.hpp"
+
+namespace mlio::sim {
+
+/// Performance envelope of a layer (all bandwidths in bytes/second).
+struct LayerPerf {
+  double peak_read_bw = 0;        ///< aggregate system-wide read ceiling
+  double peak_write_bw = 0;       ///< aggregate system-wide write ceiling
+  double per_stream_read_bw = 0;  ///< one client stream, large sequential reads
+  double per_stream_write_bw = 0;
+  double per_target_bw = 0;       ///< one server/OST/NSD/device ceiling
+  double op_latency = 0;          ///< seconds of per-request service latency
+  // Node-local write-back cache: writes up to `write_cache_bytes` are
+  // absorbed at `write_cache_bw` (page cache in front of the NVMe).  Zero
+  // disables the effect.
+  double write_cache_bw = 0;
+  std::uint64_t write_cache_bytes = 0;
+};
+
+/// Result of placing a file on a layer: how many storage targets serve it.
+struct Placement {
+  std::uint32_t targets = 1;         ///< servers/OSTs/devices striped across
+  std::uint64_t stripe_size = 0;     ///< bytes per stripe block (0: n/a)
+  std::uint32_t start_target = 0;    ///< first server index
+};
+
+class StorageLayer {
+ public:
+  StorageLayer(std::string name, std::string mount_prefix, std::string fs_type, LayerKind kind,
+               std::uint64_t capacity_bytes);
+  virtual ~StorageLayer() = default;
+
+  StorageLayer(const StorageLayer&) = delete;
+  StorageLayer& operator=(const StorageLayer&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::string& mount_prefix() const { return mount_prefix_; }
+  const std::string& fs_type() const { return fs_type_; }
+  LayerKind kind() const { return kind_; }
+  std::uint64_t capacity_bytes() const { return capacity_; }
+
+  virtual LayerPerf perf() const = 0;
+
+  /// Place a file of `file_size` bytes; `hint_stripe_count` lets callers
+  /// (e.g. MPI-IO jobs tuning Lustre striping) widen the default layout.
+  virtual Placement place(std::uint64_t file_size, std::uint32_t hint_stripe_count,
+                          util::Rng& rng) const = 0;
+
+  /// Number of storage targets (servers/devices) backing the layer.
+  virtual std::uint32_t target_count() const = 0;
+
+ private:
+  std::string name_;
+  std::string mount_prefix_;
+  std::string fs_type_;
+  LayerKind kind_;
+  std::uint64_t capacity_;
+};
+
+}  // namespace mlio::sim

@@ -1,0 +1,49 @@
+#include "iosim/lustre.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mlio::sim {
+
+LustreLayer::LustreLayer(std::string name, std::string mount_prefix, const LustreConfig& cfg)
+    : StorageLayer(std::move(name), std::move(mount_prefix), "lustre", LayerKind::kParallelFs,
+                   cfg.capacity_bytes),
+      cfg_(cfg) {
+  if (cfg_.osts == 0 || cfg_.mdts == 0) {
+    throw util::ConfigError("LustreLayer: osts and mdts must be positive");
+  }
+  if (cfg_.default_stripe_count == 0 || cfg_.default_stripe_count > cfg_.osts) {
+    throw util::ConfigError("LustreLayer: invalid default stripe count");
+  }
+  if (cfg_.default_stripe_size == 0) {
+    throw util::ConfigError("LustreLayer: stripe size must be positive");
+  }
+}
+
+LayerPerf LustreLayer::perf() const {
+  LayerPerf p;
+  p.peak_read_bw = cfg_.peak_read_bw;
+  p.peak_write_bw = cfg_.peak_write_bw;
+  p.per_stream_read_bw = cfg_.per_stream_bw;
+  p.per_stream_write_bw = cfg_.per_stream_bw;
+  p.per_target_bw = cfg_.peak_read_bw / cfg_.osts;
+  p.op_latency = cfg_.op_latency;
+  return p;
+}
+
+Placement LustreLayer::place(std::uint64_t file_size, std::uint32_t hint_stripe_count,
+                             util::Rng& rng) const {
+  Placement pl;
+  pl.stripe_size = cfg_.default_stripe_size;
+  std::uint32_t count = hint_stripe_count > 0 ? hint_stripe_count : cfg_.default_stripe_count;
+  count = std::min(count, cfg_.osts);
+  // A file smaller than one stripe still occupies exactly one OST.
+  const std::uint64_t stripes =
+      std::max<std::uint64_t>(1, (file_size + pl.stripe_size - 1) / pl.stripe_size);
+  pl.targets = static_cast<std::uint32_t>(std::min<std::uint64_t>(count, stripes));
+  pl.start_target = static_cast<std::uint32_t>(rng.uniform_u64(0, cfg_.osts - 1));
+  return pl;
+}
+
+}  // namespace mlio::sim

@@ -1,0 +1,42 @@
+// Lustre model — Cori's scratch layer (§2.1.2).
+//
+// A file is partitioned into stripe_size blocks distributed round-robin
+// across `stripe_count` OSTs starting at `starting OST`.  All three are user
+// configurable; Cori's defaults are stripe_count = 1 and stripe_size = 1 MiB,
+// which is why an untuned Cori file is served by a single OST.
+#pragma once
+
+#include "iosim/layer.hpp"
+
+namespace mlio::sim {
+
+struct LustreConfig {
+  std::uint64_t capacity_bytes;
+  double peak_read_bw;
+  double peak_write_bw;
+  std::uint32_t osts;             ///< object storage targets (one per OSS)
+  std::uint32_t mdts;             ///< metadata servers
+  std::uint64_t default_stripe_size;
+  std::uint32_t default_stripe_count;
+  double per_stream_bw;
+  double op_latency;
+};
+
+class LustreLayer final : public StorageLayer {
+ public:
+  LustreLayer(std::string name, std::string mount_prefix, const LustreConfig& cfg);
+
+  LayerPerf perf() const override;
+  /// `hint_stripe_count` > 0 overrides the default (users running `lfs
+  /// setstripe`); it is clamped to the OST count.
+  Placement place(std::uint64_t file_size, std::uint32_t hint_stripe_count,
+                  util::Rng& rng) const override;
+  std::uint32_t target_count() const override { return cfg_.osts; }
+
+  const LustreConfig& config() const { return cfg_; }
+
+ private:
+  LustreConfig cfg_;
+};
+
+}  // namespace mlio::sim

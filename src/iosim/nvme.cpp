@@ -1,0 +1,61 @@
+#include "iosim/nvme.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace mlio::sim {
+
+NodeLocalLayer::NodeLocalLayer(std::string name, std::string mount_prefix,
+                               const NodeLocalConfig& cfg)
+    : StorageLayer(std::move(name), std::move(mount_prefix), "xfs", LayerKind::kNodeLocal,
+                   cfg.capacity_bytes),
+      cfg_(cfg) {
+  if (cfg_.nodes == 0) throw util::ConfigError("NodeLocalLayer: nodes must be positive");
+  if (cfg_.flash_page_size == 0) {
+    throw util::ConfigError("NodeLocalLayer: flash page size must be positive");
+  }
+}
+
+LayerPerf NodeLocalLayer::perf() const {
+  LayerPerf p;
+  p.peak_read_bw = cfg_.per_device_read_bw * cfg_.nodes;
+  p.peak_write_bw = cfg_.per_device_write_bw * cfg_.nodes;
+  // A single stream can saturate its local device; there is no network hop.
+  p.per_stream_read_bw = cfg_.per_device_read_bw;
+  p.per_stream_write_bw = cfg_.per_device_write_bw;
+  p.per_target_bw = cfg_.per_device_read_bw;
+  p.op_latency = cfg_.op_latency;
+  p.write_cache_bw = cfg_.write_cache_bw;
+  p.write_cache_bytes = cfg_.write_cache_bytes;
+  return p;
+}
+
+Placement NodeLocalLayer::place(std::uint64_t /*file_size*/, std::uint32_t /*hint*/,
+                                util::Rng& /*rng*/) const {
+  // One device serves the file; parallelism comes from a job using many
+  // nodes, which the executor models as one stream per participating node.
+  Placement pl;
+  pl.targets = 1;
+  pl.stripe_size = 0;
+  pl.start_target = 0;
+  return pl;
+}
+
+double NodeLocalLayer::write_amplification(std::uint64_t op_size, bool sequential,
+                                           std::uint32_t rewrites) const {
+  // Sub-page writes dirty a full flash page: amplification up to
+  // page/op_size, damped for sequential streams (pages fill before flush).
+  double waf = 1.0;
+  if (op_size < cfg_.flash_page_size && op_size > 0) {
+    const double raw = static_cast<double>(cfg_.flash_page_size) / static_cast<double>(op_size);
+    waf = sequential ? 1.0 + 0.05 * (raw - 1.0) : raw;
+  }
+  // Each rewrite of already-programmed data forces garbage collection of the
+  // superseded pages; model a 20% GC tax per rewrite pass.
+  waf *= 1.0 + 0.2 * static_cast<double>(rewrites);
+  return std::max(1.0, waf);
+}
+
+}  // namespace mlio::sim

@@ -1,0 +1,50 @@
+// Compute-node-local NVMe model — Summit's SCNL layer (§2.1.1).
+//
+// Each compute node owns a private NVMe device behind an XFS mount, so there
+// is no cross-job contention; a job's bandwidth scales with its node count up
+// to the per-device ceiling per node.  The model includes:
+//   * an XFS page-cache write-back front: writes up to `write_cache_bytes`
+//     per file complete at memory speed (this is what makes small/medium
+//     buffered STDIO writes *faster* than O_DIRECT-ish POSIX writes in
+//     Fig. 11b — the paper's one POSIX-loses data point);
+//   * a flash write-amplification model (WAF grows for small random writes
+//     and rewrites), feeding the SSD-endurance discussion of Rec. 4.
+#pragma once
+
+#include "iosim/layer.hpp"
+
+namespace mlio::sim {
+
+struct NodeLocalConfig {
+  std::uint64_t capacity_bytes;     ///< aggregate across all nodes
+  std::uint32_t nodes;
+  double per_device_read_bw;
+  double per_device_write_bw;
+  double op_latency;                ///< NVMe + XFS request latency
+  double write_cache_bw;            ///< page-cache absorb bandwidth
+  std::uint64_t write_cache_bytes;  ///< absorb threshold per file
+  std::uint64_t flash_page_size;    ///< for WAF modelling
+};
+
+class NodeLocalLayer final : public StorageLayer {
+ public:
+  NodeLocalLayer(std::string name, std::string mount_prefix, const NodeLocalConfig& cfg);
+
+  LayerPerf perf() const override;
+  Placement place(std::uint64_t file_size, std::uint32_t hint_stripe_count,
+                  util::Rng& rng) const override;
+  std::uint32_t target_count() const override { return cfg_.nodes; }
+
+  /// Write-amplification factor for a write pattern: sequential large writes
+  /// approach 1.0; sub-page random writes and rewrites push it up (bounded
+  /// by page_size/op_size).  `rewrites` counts full overwrites of the data.
+  double write_amplification(std::uint64_t op_size, bool sequential,
+                             std::uint32_t rewrites) const;
+
+  const NodeLocalConfig& config() const { return cfg_; }
+
+ private:
+  NodeLocalConfig cfg_;
+};
+
+}  // namespace mlio::sim

@@ -1,0 +1,25 @@
+#include "iosim/types.hpp"
+
+namespace mlio::sim {
+
+std::string_view to_string(LayerKind k) {
+  switch (k) {
+    case LayerKind::kNodeLocal: return "node-local";
+    case LayerKind::kBurstBuffer: return "burst-buffer";
+    case LayerKind::kParallelFs: return "pfs";
+  }
+  return "?";
+}
+
+std::string_view to_string(Interface i) {
+  switch (i) {
+    case Interface::kPosix: return "POSIX";
+    case Interface::kMpiIo: return "MPIIO";
+    case Interface::kStdio: return "STDIO";
+  }
+  return "?";
+}
+
+std::string_view to_string(Direction d) { return d == Direction::kRead ? "read" : "write"; }
+
+}  // namespace mlio::sim

@@ -1,0 +1,34 @@
+// Shared vocabulary for the I/O subsystem simulator.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mlio::sim {
+
+/// Which of the two storage layers (§2.1) a file lives on, plus the
+/// node-local vs system-local distinction between SCNL and CBB.
+enum class LayerKind : std::uint8_t {
+  kNodeLocal = 0,     ///< Summit SCNL: compute-node-local NVMe
+  kBurstBuffer = 1,   ///< Cori CBB: system-local DataWarp flash
+  kParallelFs = 2,    ///< Alpine (GPFS) / Cori scratch (Lustre)
+};
+
+/// HPC I/O middleware interface used to access a file (§3.3).
+enum class Interface : std::uint8_t {
+  kPosix = 0,
+  kMpiIo = 1,
+  kStdio = 2,
+};
+
+enum class Direction : std::uint8_t { kRead = 0, kWrite = 1 };
+
+std::string_view to_string(LayerKind k);
+std::string_view to_string(Interface i);
+std::string_view to_string(Direction d);
+
+/// In-system layer vs PFS — the paper's two-way split (SCNL and CBB are both
+/// "in-system" for Tables 3–6).
+constexpr bool is_in_system(LayerKind k) { return k != LayerKind::kParallelFs; }
+
+}  // namespace mlio::sim

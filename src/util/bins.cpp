@@ -1,0 +1,68 @@
+#include "util/bins.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mlio::util {
+
+BinSpec::BinSpec(std::vector<std::uint64_t> edges, std::vector<std::string> labels)
+    : edges_(std::move(edges)), labels_(std::move(labels)) {
+  if (labels_.size() != edges_.size() + 1) {
+    throw ConfigError("BinSpec: labels must have edges+1 entries");
+  }
+  if (!std::is_sorted(edges_.begin(), edges_.end()) ||
+      std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end()) {
+    throw ConfigError("BinSpec: edges must be strictly increasing");
+  }
+  if (edges_.empty()) {
+    throw ConfigError("BinSpec: at least one edge required");
+  }
+  unbounded_cap_ = edges_.back() * 16;
+}
+
+std::size_t BinSpec::index_of(std::uint64_t bytes) const {
+  // First edge >= bytes; the unbounded bin catches everything above.
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), bytes);
+  return static_cast<std::size_t>(it - edges_.begin());
+}
+
+std::uint64_t BinSpec::lower_bound(std::size_t bin) const {
+  MLIO_ASSERT(bin < size());
+  return bin == 0 ? 0 : edges_[bin - 1] + 1;
+}
+
+std::uint64_t BinSpec::upper_bound(std::size_t bin) const {
+  MLIO_ASSERT(bin < size());
+  return bin < edges_.size() ? edges_[bin] : unbounded_cap_;
+}
+
+void BinSpec::set_unbounded_cap(std::uint64_t cap) {
+  if (cap <= edges_.back()) {
+    throw ConfigError("BinSpec: unbounded cap must exceed the last edge");
+  }
+  unbounded_cap_ = cap;
+}
+
+const BinSpec& BinSpec::darshan_request_bins() {
+  static const BinSpec spec(
+      {100, kKB, 10 * kKB, 100 * kKB, kMB, 4 * kMB, 10 * kMB, 100 * kMB, kGB},
+      {"0_100", "100_1K", "1K_10K", "10K_100K", "100K_1M", "1M_4M", "4M_10M", "10M_100M",
+       "100M_1G", "1G_PLUS"});
+  return spec;
+}
+
+const BinSpec& BinSpec::transfer_bins_coarse() {
+  static const BinSpec spec({kGB, 10 * kGB, 100 * kGB, kTB},
+                            {"0-1GB", "1-10GB", "10-100GB", "100GB-1TB", "1TB+"});
+  return spec;
+}
+
+const BinSpec& BinSpec::transfer_bins_perf() {
+  static const BinSpec spec({100 * kMB, kGB, 10 * kGB, 100 * kGB, kTB},
+                            {"0-100MB", "100MB-1GB", "1-10GB", "10-100GB", "100GB-1TB", "1TB+"});
+  return spec;
+}
+
+}  // namespace mlio::util

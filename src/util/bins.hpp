@@ -1,0 +1,61 @@
+// Size-bin definitions shared by the generator and the analysis engine.
+//
+// The paper uses three binnings:
+//  * the 10 Darshan request-size histogram bins (POSIX_SIZE_READ_0_100 …
+//    POSIX_SIZE_READ_1G_PLUS) — Figs. 4/5;
+//  * a coarse per-file transfer-size binning (…, 1 GB, 10 GB, 100 GB, 1 TB,
+//    1 TB+) — Fig. 3 and Tables 3/4;
+//  * the performance-plot binning (100 MB, 1 GB, 10 GB, 100 GB, 1 TB, 1 TB+)
+//    — Figs. 11/12.
+// A BinSpec is an ordered list of inclusive upper edges (decimal units); the
+// final bin is unbounded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mlio::util {
+
+/// An ordered size binning: bin i covers (edge[i-1], edge[i]], the last bin
+/// covers (edge.back(), inf).  Edges are strictly increasing.
+class BinSpec {
+ public:
+  /// `edges` are inclusive upper bounds of all bounded bins.  `labels` must
+  /// have edges.size()+1 entries (the extra one names the unbounded bin).
+  BinSpec(std::vector<std::uint64_t> edges, std::vector<std::string> labels);
+
+  /// Number of bins (bounded bins + the final unbounded bin).
+  std::size_t size() const { return labels_.size(); }
+
+  /// Index of the bin containing `bytes` (always valid).
+  std::size_t index_of(std::uint64_t bytes) const;
+
+  const std::string& label(std::size_t bin) const { return labels_.at(bin); }
+  std::span<const std::string> labels() const { return labels_; }
+
+  /// Inclusive lower bound of bin `i` (0 for the first bin).
+  std::uint64_t lower_bound(std::size_t bin) const;
+  /// Inclusive upper bound of bin `i`; for the unbounded bin returns
+  /// `unbounded_cap()` (a finite stand-in used by samplers).
+  std::uint64_t upper_bound(std::size_t bin) const;
+
+  /// Finite cap used when sampling within the unbounded bin.
+  std::uint64_t unbounded_cap() const { return unbounded_cap_; }
+  void set_unbounded_cap(std::uint64_t cap);
+
+  /// The 10 Darshan request-size bins: 0–100 B, 100 B–1 KB, …, >1 GB.
+  static const BinSpec& darshan_request_bins();
+  /// Per-file transfer bins used in Fig. 3: 0–1 GB, 1–10 GB, …, 1 TB, >1 TB.
+  static const BinSpec& transfer_bins_coarse();
+  /// Per-file transfer bins used in Figs. 9/11/12: 0–100 MB, …, >1 TB.
+  static const BinSpec& transfer_bins_perf();
+
+ private:
+  std::vector<std::uint64_t> edges_;
+  std::vector<std::string> labels_;
+  std::uint64_t unbounded_cap_;
+};
+
+}  // namespace mlio::util

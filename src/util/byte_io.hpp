@@ -1,0 +1,65 @@
+// Bounds-checked little-endian byte serialization used by the Darshan log
+// format.  All multi-byte integers on disk are little-endian regardless of
+// host order (the hosts we target are LE; the explicit shifts make the format
+// portable anyway).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mlio::util {
+
+/// Append-only byte buffer with typed little-endian writes.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(std::byte{v}); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  /// Length-prefixed (u32) string.
+  void str(std::string_view s);
+  void bytes(std::span<const std::byte> data);
+
+  std::span<const std::byte> view() const { return buf_; }
+  std::vector<std::byte> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Sequential reader over a byte span; throws FormatError on underrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::string str();
+  /// Read exactly n raw bytes.
+  std::span<const std::byte> bytes(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw FormatError("unexpected end of data");
+  }
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mlio::util

@@ -1,0 +1,41 @@
+#include "util/compress.hpp"
+
+#include <zlib.h>
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mlio::util {
+
+std::vector<std::byte> zlib_compress(std::span<const std::byte> input, int level) {
+  if (level < 1 || level > 9) throw ConfigError("zlib level must be in [1, 9]");
+  uLongf bound = compressBound(static_cast<uLong>(input.size()));
+  std::vector<std::byte> out(bound);
+  const int rc = compress2(reinterpret_cast<Bytef*>(out.data()), &bound,
+                           reinterpret_cast<const Bytef*>(input.data()),
+                           static_cast<uLong>(input.size()), level);
+  if (rc != Z_OK) throw FormatError("zlib compression failed");
+  out.resize(bound);
+  return out;
+}
+
+std::vector<std::byte> zlib_decompress(std::span<const std::byte> input,
+                                       std::size_t expected_size) {
+  std::vector<std::byte> out(expected_size);
+  uLongf dest_len = static_cast<uLongf>(expected_size);
+  const int rc = uncompress(reinterpret_cast<Bytef*>(out.data()), &dest_len,
+                            reinterpret_cast<const Bytef*>(input.data()),
+                            static_cast<uLong>(input.size()));
+  if (rc != Z_OK) throw FormatError("zlib decompression failed");
+  if (dest_len != expected_size) throw FormatError("decompressed size mismatch");
+  return out;
+}
+
+std::uint32_t crc32(std::span<const std::byte> input) {
+  const uLong c = ::crc32(0L, reinterpret_cast<const Bytef*>(input.data()),
+                          static_cast<uInt>(input.size()));
+  return static_cast<std::uint32_t>(c);
+}
+
+}  // namespace mlio::util

@@ -1,0 +1,22 @@
+// zlib (DEFLATE) helpers used by the Darshan log format.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mlio::util {
+
+/// Deflate `input` at the given zlib level (1..9; 6 is the format default).
+std::vector<std::byte> zlib_compress(std::span<const std::byte> input, int level = 6);
+
+/// Inflate `input`; `expected_size` is the exact decompressed size recorded
+/// in the log header.  Throws FormatError on corrupt data or size mismatch.
+std::vector<std::byte> zlib_decompress(std::span<const std::byte> input,
+                                       std::size_t expected_size);
+
+/// CRC-32 (zlib polynomial) of `input`.
+std::uint32_t crc32(std::span<const std::byte> input);
+
+}  // namespace mlio::util

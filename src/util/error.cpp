@@ -1,0 +1,14 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mlio::util {
+
+void assert_fail(const char* expr, std::source_location loc) {
+  std::fprintf(stderr, "mlio assertion failed: %s at %s:%u (%s)\n", expr, loc.file_name(),
+               loc.line(), loc.function_name());
+  std::abort();
+}
+
+}  // namespace mlio::util

@@ -1,0 +1,46 @@
+// Error-handling primitives shared by every mlio module.
+//
+// Construction and I/O failures throw mlio::util::Error (the library is not
+// exception-free: per the C++ Core Guidelines, exceptions are reserved for
+// genuinely exceptional conditions — malformed logs, impossible configs —
+// while hot-path arithmetic never throws).  Internal invariants use
+// MLIO_ASSERT, which is active in all build types so that property tests can
+// rely on it.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace mlio::util {
+
+/// Base exception for all mlio errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a serialized Darshan log is structurally invalid.
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error("format error: " + what) {}
+};
+
+/// Thrown on invalid user-supplied configuration (machine/profile/plan).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+[[noreturn]] void assert_fail(const char* expr, std::source_location loc);
+
+}  // namespace mlio::util
+
+/// Always-on assertion for internal invariants.  Unlike <cassert> this stays
+/// active in release builds; the predicates guarded by it are O(1).
+#define MLIO_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::mlio::util::assert_fail(#expr, std::source_location::current());   \
+    }                                                                      \
+  } while (false)

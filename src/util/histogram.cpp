@@ -1,0 +1,47 @@
+#include "util/histogram.hpp"
+
+#include "util/error.hpp"
+
+namespace mlio::util {
+
+Histogram::Histogram(const BinSpec& spec) : spec_(&spec), counts_(spec.size(), 0) {}
+
+void Histogram::add(std::uint64_t bytes, std::uint64_t weight) {
+  add_to_bin(spec_->index_of(bytes), weight);
+}
+
+void Histogram::add_to_bin(std::size_t bin, std::uint64_t weight) {
+  MLIO_ASSERT(bin < counts_.size());
+  counts_[bin] += weight;
+  total_ += weight;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.counts_.size() != counts_.size()) {
+    throw ConfigError("Histogram::merge: bin count mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+std::vector<double> Histogram::cdf_percent() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    out[i] = 100.0 * static_cast<double>(running) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+std::vector<double> Histogram::share_percent() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = 100.0 * static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+}  // namespace mlio::util

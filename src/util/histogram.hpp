@@ -1,0 +1,43 @@
+// Fixed-bin histogram over a BinSpec, with CDF extraction and merging.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bins.hpp"
+
+namespace mlio::util {
+
+/// Counting histogram over a BinSpec.  Mergeable (for parallel accumulation)
+/// and convertible to a CDF in percent.  Counts are 64-bit; `add` may carry a
+/// weight so the same type serves both "number of calls" and "bytes moved".
+class Histogram {
+ public:
+  explicit Histogram(const BinSpec& spec);
+
+  /// Record `weight` observations of size `bytes`.
+  void add(std::uint64_t bytes, std::uint64_t weight = 1);
+  /// Record `weight` observations directly into bin `bin`.
+  void add_to_bin(std::size_t bin, std::uint64_t weight = 1);
+
+  void merge(const Histogram& other);
+
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t total() const { return total_; }
+  std::size_t size() const { return counts_.size(); }
+  const BinSpec& spec() const { return *spec_; }
+
+  /// Cumulative distribution in percent: cdf()[i] = 100 * P(size <= bin i).
+  /// All entries are 0 when the histogram is empty.
+  std::vector<double> cdf_percent() const;
+  /// Per-bin share in percent.
+  std::vector<double> share_percent() const;
+
+ private:
+  const BinSpec* spec_;  // non-owning; BinSpec presets are static
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mlio::util

@@ -1,0 +1,36 @@
+// ASCII table / CSV rendering for bench output and example tools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mlio::util {
+
+/// Simple column-aligned table.  Cells are strings; numeric columns should be
+/// pre-formatted (format_fixed / format_bytes / format_count).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal separator before the next row.
+  void add_separator();
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with box-drawing padding suitable for terminals.
+  std::string to_string() const;
+  /// Render as RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace mlio::util

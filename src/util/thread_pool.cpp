@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mlio::util {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MLIO_ASSERT(task != nullptr);
+  {
+    std::lock_guard lock(mu_);
+    queue_.push(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::uint64_t begin, std::uint64_t end, std::uint64_t chunks,
+    const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>& body) {
+  if (begin >= end) return;
+  if (chunks == 0) chunks = thread_count();
+  const std::uint64_t n = end - begin;
+  chunks = std::min(chunks, n);
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::uint64_t remaining = chunks;
+
+  const std::uint64_t per = n / chunks;
+  const std::uint64_t extra = n % chunks;
+  std::uint64_t cursor = begin;
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t len = per + (c < extra ? 1 : 0);
+    const std::uint64_t lo = cursor;
+    const std::uint64_t hi = cursor + len;
+    cursor = hi;
+    submit([&, c, lo, hi] {
+      body(c, lo, hi);
+      std::lock_guard lock(done_mu);
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  std::unique_lock lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace mlio::util

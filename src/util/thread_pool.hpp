@@ -1,0 +1,56 @@
+// Minimal work-stealing-free thread pool with a deterministic parallel_for.
+//
+// The generation→simulation→analysis pipeline is embarrassingly parallel per
+// job.  Determinism is preserved by (a) seeding each job's Rng from its index
+// (never from thread identity) and (b) merging per-thread accumulators in
+// index order.  parallel_for_chunks exposes the chunk index so callers can
+// keep one accumulator per chunk and merge them in order afterwards.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mlio::util {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency() (minimum 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task; tasks must not throw (they run under noexcept workers —
+  /// wrap anything fallible and surface errors through your own channel).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Split [begin, end) into `chunks` ranges and run
+  /// body(chunk_index, chunk_begin, chunk_end) across the pool.  Blocks until
+  /// all chunks complete.  chunks == 0 selects thread_count().
+  void parallel_for_chunks(std::uint64_t begin, std::uint64_t end, std::uint64_t chunks,
+                           const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mlio::util

@@ -1,0 +1,60 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace mlio::util {
+
+namespace {
+
+std::string format_scaled(double value, double base, const char* const* suffixes,
+                          std::size_t n_suffixes) {
+  double scaled = value;
+  std::size_t idx = 0;
+  while (std::abs(scaled) >= base && idx + 1 < n_suffixes) {
+    scaled /= base;
+    ++idx;
+  }
+  char buf[64];
+  if (idx == 0 && std::abs(scaled - std::round(scaled)) < 1e-9) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", scaled, suffixes[idx]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", scaled, suffixes[idx]);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(double bytes) {
+  static constexpr std::array<const char*, 7> kSuffixes = {"B",  "KB", "MB", "GB",
+                                                           "TB", "PB", "EB"};
+  return format_scaled(bytes, 1000.0, kSuffixes.data(), kSuffixes.size());
+}
+
+std::string format_count(double count) {
+  char buf[64];
+  if (count >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fB", count / 1e9);
+  } else if (count >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fM", count / 1e6);
+  } else if (count >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fK", count / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", count);
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_second) {
+  return format_bytes(bytes_per_second) + "/s";
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace mlio::util

@@ -1,0 +1,44 @@
+// Byte-size units and human-readable formatting.
+//
+// The paper reports decimal units (1 KB = 1000 B) for its request-size bins
+// and PB volumes, while file-system block sizes (GPFS 16 MiB, Lustre 1 MiB
+// stripes) are binary.  Both families are provided; decimal is the default
+// for anything user-facing so that tables line up with the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mlio::util {
+
+// Decimal (SI) units — used by the paper's bins and volume tables.
+inline constexpr std::uint64_t kKB = 1000ull;
+inline constexpr std::uint64_t kMB = 1000ull * kKB;
+inline constexpr std::uint64_t kGB = 1000ull * kMB;
+inline constexpr std::uint64_t kTB = 1000ull * kGB;
+inline constexpr std::uint64_t kPB = 1000ull * kTB;
+
+// Binary (IEC) units — used by file-system geometry.
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ull * kGiB;
+
+/// "4.43 PB", "12.5 GB", "100 B" — decimal, 2 significant decimals.
+std::string format_bytes(double bytes);
+
+/// Bytes expressed in petabytes (the paper's volume unit).
+constexpr double to_pb(double bytes) { return bytes / static_cast<double>(kPB); }
+/// Bytes expressed in terabytes.
+constexpr double to_tb(double bytes) { return bytes / static_cast<double>(kTB); }
+
+/// "1,294.85M", "281.6K", "42" — the paper's count style.
+std::string format_count(double count);
+
+/// "123.4 MB/s", "1.2 GB/s".
+std::string format_bandwidth(double bytes_per_second);
+
+/// Fixed-point with `digits` decimals, e.g. format_fixed(3.14159, 2) == "3.14".
+std::string format_fixed(double value, int digits);
+
+}  // namespace mlio::util

@@ -1,0 +1,260 @@
+#include "workload/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bins.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mlio::wl {
+
+using util::kGB;
+using util::kKB;
+using util::kMB;
+using util::kTB;
+
+double log_uniform_mean(double lo, double hi) {
+  MLIO_ASSERT(lo > 0 && hi >= lo);
+  if (hi == lo) return lo;
+  return (hi - lo) / std::log(hi / lo);
+}
+
+double log_uniform_inv_mean(double lo, double hi) {
+  MLIO_ASSERT(lo > 0 && hi >= lo);
+  if (hi == lo) return 1.0 / lo;
+  // Rng::log_uniform_u64 draws floor(exp(U)) over [lo, hi+1): a *discrete*
+  // distribution whose small values carry much more mass than the continuous
+  // density suggests.  For narrow bins, sum it exactly:
+  //   P(X = k) = (ln(k+1) - ln(k)) / ln((hi+1)/lo).
+  if (hi - lo <= 4096.0) {
+    const double norm = std::log((hi + 1.0) / lo);
+    double e = 0;
+    for (double k = lo; k <= hi; k += 1.0) {
+      e += (std::log(k + 1.0) - std::log(k)) / norm / k;
+    }
+    return e;
+  }
+  return (1.0 / lo - 1.0 / hi) / std::log(hi / lo);
+}
+
+std::uint64_t TransferDist::sample(util::Rng& rng) const {
+  const double u = rng.uniform();
+  double acc = 0;
+  std::size_t bin = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    acc += p[i];
+    if (u < acc) {
+      bin = i;
+      break;
+    }
+    bin = i;
+  }
+  // Skip zero-probability terminal bins (e.g. the bulk 1TB+ bin).
+  while (bin > 0 && p[bin] == 0.0) --bin;
+  return rng.log_uniform_u64(std::max<std::uint64_t>(1, lo[bin]), hi[bin]);
+}
+
+TransferDist solve_transfer_dist(const TransferTargets& t, double mean_target_bytes) {
+  if (t.below_1gb <= 0 || t.below_1gb > 1.0 || t.tiny_split < 0 || t.tiny_split > 1.0) {
+    throw util::ConfigError("solve_transfer_dist: invalid anchors");
+  }
+  TransferDist d;
+  d.lo = {2 * kKB, 100 * kMB, 1 * kGB, 10 * kGB, 100 * kGB, 1 * kTB};
+  d.hi = {100 * kMB, 1 * kGB, 10 * kGB, 100 * kGB, 1 * kTB, 1 * kTB};
+
+  const double below = t.below_1gb;
+  d.p[0] = below * t.tiny_split;
+  d.p[1] = below * (1.0 - t.tiny_split);
+  d.p[5] = 0.0;  // huge stratum is generated separately at full scale
+  const double mid = std::max(0.0, 1.0 - below);
+
+  std::array<double, 6> means{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    means[i] = log_uniform_mean(static_cast<double>(std::max<std::uint64_t>(1, d.lo[i])),
+                                static_cast<double>(d.hi[i]));
+  }
+
+  // Middle-bin weights are geometric in r but floored at ~1.3% of the middle
+  // mass each, so saturated solutions still populate every bin the paper's
+  // boxplots show files in (e.g. 100GB-1TB POSIX reads).
+  constexpr double kFloor = 0.015;
+  auto mid_weights = [&](double log_r) {
+    const double r = std::exp(log_r);
+    const double ws = 1.0 + r + r * r;
+    return std::array<double, 3>{(1.0 - kFloor) * 1.0 / ws + kFloor / 3.0,
+                                 (1.0 - kFloor) * r / ws + kFloor / 3.0,
+                                 (1.0 - kFloor) * r * r / ws + kFloor / 3.0};
+  };
+  auto mean_for = [&](double log_r) {
+    const auto w = mid_weights(log_r);
+    double m = d.p[0] * means[0] + d.p[1] * means[1];
+    m += mid * (w[0] * means[2] + w[1] * means[3] + w[2] * means[4]);
+    return m;
+  };
+
+  // Saturate at the lightest middle mix when the (possibly zero) volume
+  // target is unreachable from below — a zero/negative residual must not
+  // leave the solver at the balanced default.
+  double log_r = -12.0;
+  if (mid > 0 && mean_target_bytes > 0) {
+    double lo_r = -12.0, hi_r = 12.0;
+    if (mean_target_bytes <= mean_for(lo_r)) {
+      log_r = lo_r;
+    } else if (mean_target_bytes >= mean_for(hi_r)) {
+      log_r = hi_r;
+    } else {
+      for (int it = 0; it < 80; ++it) {
+        const double mid_r = 0.5 * (lo_r + hi_r);
+        if (mean_for(mid_r) < mean_target_bytes) lo_r = mid_r;
+        else hi_r = mid_r;
+      }
+      log_r = 0.5 * (lo_r + hi_r);
+    }
+  }
+
+  const auto w = mid_weights(log_r);
+  d.p[2] = mid * w[0];
+  d.p[3] = mid * w[1];
+  d.p[4] = mid * w[2];
+  d.expected_mean = mean_for(log_r);
+  return d;
+}
+
+std::uint64_t RequestDist::sample_op(util::Rng& rng, std::uint64_t transfer_cap) const {
+  const auto& bins = util::BinSpec::darshan_request_bins();
+  const double u = rng.uniform();
+  double acc = 0;
+  std::size_t bin = 0;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    acc += q[i];
+    if (u < acc) {
+      bin = i;
+      break;
+    }
+    bin = i;
+  }
+  const std::uint64_t lo = std::max<std::uint64_t>(1, bins.lower_bound(bin));
+  const std::uint64_t hi = bins.upper_bound(bin);
+  std::uint64_t op = rng.log_uniform_u64(lo, hi);
+  if (transfer_cap > 0) op = std::min(op, transfer_cap);
+  return std::max<std::uint64_t>(1, op);
+}
+
+RequestDist make_request_dist(const RequestBins& call_level, double big_boost) {
+  const auto& bins = util::BinSpec::darshan_request_bins();
+  RequestDist d;
+  double sum = 0;
+  for (std::size_t b = 0; b < 10; ++b) {
+    const double lo = static_cast<double>(std::max<std::uint64_t>(1, bins.lower_bound(b)));
+    const double hi = static_cast<double>(bins.upper_bound(b));
+    double p = call_level.p[b];
+    if (bins.lower_bound(b) >= kMB) p *= big_boost;  // Fig. 5 boost for >=1 MB
+    // A bin-b file issues T * E[1/op] calls, so dividing by E[1/op] makes the
+    // call-level mixture recover p (tested in test_calibration).
+    d.q[b] = p / log_uniform_inv_mean(lo, hi);
+    sum += d.q[b];
+  }
+  if (sum <= 0) throw util::ConfigError("make_request_dist: empty distribution");
+  for (auto& q : d.q) q /= sum;
+  d.byte_share = d.q;  // identical weights, different interpretation
+  double psum = 0;
+  for (std::size_t b = 0; b < 10; ++b) {
+    double p = call_level.p[b];
+    if (bins.lower_bound(b) >= kMB) p *= big_boost;
+    d.call_share[b] = p;
+    psum += p;
+  }
+  for (auto& p : d.call_share) p /= psum;
+  return d;
+}
+
+std::vector<std::pair<std::uint8_t, float>> RequestDist::mix(std::uint64_t transfer,
+                                                             double min_share) const {
+  const auto& bins = util::BinSpec::darshan_request_bins();
+  std::vector<std::pair<std::uint8_t, float>> out;
+  auto feasible = [&](std::size_t b) {
+    return std::max<std::uint64_t>(1, bins.lower_bound(b)) <= transfer;
+  };
+  // A bin matters if it moves bytes OR generates calls: small-request bins
+  // carry negligible byte shares yet dominate the call counts Fig. 4 plots.
+  auto keep = [&](std::size_t b) {
+    return feasible(b) && (byte_share[b] >= min_share || call_share[b] >= 0.01);
+  };
+  double kept = 0;
+  for (std::size_t b = 0; b < byte_share.size(); ++b) {
+    if (keep(b)) kept += byte_share[b];
+  }
+  if (kept <= 0) return out;
+  for (std::size_t b = 0; b < byte_share.size(); ++b) {
+    if (keep(b)) {
+      out.emplace_back(static_cast<std::uint8_t>(b),
+                       static_cast<float>(byte_share[b] / kept));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+CalibratedLayer calibrate_layer(const SystemProfile& sys, const LayerProfile& layer) {
+  CalibratedLayer c;
+  const double isum = layer.ifaces.posix_only + layer.ifaces.mpiio + layer.ifaces.stdio;
+  if (isum <= 0) throw util::ConfigError("calibrate_layer: empty interface mix");
+  c.iface_p = {layer.ifaces.posix_only / isum, layer.ifaces.mpiio / isum,
+               layer.ifaces.stdio / isum};
+  c.classes_posix = layer.classes_posix;
+  c.classes_stdio = layer.classes_stdio;
+  c.files_fullscale = sys.real_files * layer.file_share;
+
+  // Full-scale file counts per interface group and direction drive the
+  // volume-per-file means.
+  const double posix_files = c.files_fullscale * (c.iface_p[0] + c.iface_p[1]);
+  const double stdio_files = c.files_fullscale * c.iface_p[2];
+
+  auto mean_target = [](const TransferTargets& t, double group_files, double dir_share) {
+    const double files_dir = std::max(1.0, group_files * dir_share);
+    double vol = t.volume_pb * static_cast<double>(util::kPB);
+    // Subtract the volume the full-scale huge stratum will contribute.
+    if (t.huge_files > 0 && t.huge_cap > static_cast<std::uint64_t>(kTB)) {
+      vol -= t.huge_files *
+             log_uniform_mean(static_cast<double>(kTB), static_cast<double>(t.huge_cap));
+    }
+    return std::max(0.0, vol) / files_dir;
+  };
+
+  const auto& cp = layer.classes_posix;
+  const auto& cs = layer.classes_stdio;
+  c.posix_read =
+      solve_transfer_dist(layer.posix_read, mean_target(layer.posix_read, posix_files, cp.ro + cp.rw));
+  c.posix_write = solve_transfer_dist(layer.posix_write,
+                                      mean_target(layer.posix_write, posix_files, cp.wo + cp.rw));
+  c.stdio_read =
+      solve_transfer_dist(layer.stdio_read, mean_target(layer.stdio_read, stdio_files, cs.ro + cs.rw));
+  c.stdio_write = solve_transfer_dist(layer.stdio_write,
+                                      mean_target(layer.stdio_write, stdio_files, cs.wo + cs.rw));
+
+  c.req_read = make_request_dist(layer.req_read, 1.0);
+  c.req_write = make_request_dist(layer.req_write, 1.0);
+  c.req_read_large = make_request_dist(layer.req_read, sys.large_job_insys_req_boost);
+  c.req_write_large = make_request_dist(layer.req_write, sys.large_job_insys_req_boost);
+
+  c.shared_frac_posix = layer.shared_frac_posix;
+  c.shared_frac_mpiio = layer.shared_frac_mpiio;
+  c.shared_frac_stdio = layer.shared_frac_stdio;
+  return c;
+}
+
+}  // namespace
+
+CalibratedSystem::CalibratedSystem(const SystemProfile& prof) : profile(&prof) {
+  insys = calibrate_layer(prof, prof.insys);
+  pfs = calibrate_layer(prof, prof.pfs);
+  const double jobs = prof.jobs_pfs_only + prof.jobs_insys_only + prof.jobs_both;
+  if (jobs <= 0) throw util::ConfigError("CalibratedSystem: no job-exclusivity counts");
+  p_job_pfs_only = prof.jobs_pfs_only / jobs;
+  p_job_insys_only = prof.jobs_insys_only / jobs;
+  p_job_both = prof.jobs_both / jobs;
+}
+
+}  // namespace mlio::wl

@@ -1,0 +1,111 @@
+// Calibration: turns the published aggregates of a SystemProfile into
+// concrete samplers.
+//
+// Two solvers (unit-tested in tests/workload):
+//
+//  * solve_transfer_dist — bin-targeted transfer sizes.  The Fig. 3/9 CDF
+//    anchors pin the mass below 1 GB and Table 4 pins the (separately
+//    generated) >1 TB stratum, but the paper says nothing about how the
+//    1 GB..1 TB middle is split.  We give the three middle bins geometric
+//    weights r^k and bisect on r so the analytic E[transfer] matches the
+//    Table 3 volume-per-file target — volumes become right *in expectation*
+//    without disturbing the published anchors.
+//
+//  * make_request_dist — Fig. 4 reports request-size shares per *call*, but
+//    the generator picks one dominant request size per *file*.  A file with
+//    transfer T and op size s issues ~T/s calls, so per-file bin weights
+//    must be q_b ∝ p_b * E[op_b] for the call-level mixture to come out as
+//    p_b (independence of T and s is assumed and property-tested).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "workload/profile.hpp"
+
+namespace mlio::wl {
+
+/// Per-file transfer-size sampler over the six perf bins
+/// (0-100MB, 100MB-1GB, 1-10GB, 10-100GB, 100GB-1TB, 1TB+).
+/// The 1TB+ bin has probability zero in bulk sampling; huge files come from
+/// the dedicated full-scale stratum.
+struct TransferDist {
+  std::array<double, 6> p{};
+  std::array<std::uint64_t, 6> lo{};
+  std::array<std::uint64_t, 6> hi{};
+  double expected_mean = 0;  ///< analytic E[bytes per file]
+
+  std::uint64_t sample(util::Rng& rng) const;
+};
+
+/// Analytic mean of a log-uniform draw from [lo, hi].
+double log_uniform_mean(double lo, double hi);
+
+/// Analytic E[1/X] for a log-uniform draw from [lo, hi].  A file with
+/// transfer T and op size X issues T*E[1/X] calls in expectation, so the
+/// call-level correction weighs bins by 1/E[1/X], not by E[X].
+double log_uniform_inv_mean(double lo, double hi);
+
+/// Build a TransferDist honouring `t.below_1gb` / `t.tiny_split` whose mean
+/// is as close to `mean_target_bytes` as the middle bins allow.
+TransferDist solve_transfer_dist(const TransferTargets& t, double mean_target_bytes);
+
+/// Per-file request-size sampler over the 10 Darshan bins.
+struct RequestDist {
+  /// Per-file dominant-bin weights (q_b ~ p_b / E[1/op_b]).
+  std::array<double, 10> q{};
+  /// Normalized call-level targets (the paper's Fig. 4 shares).
+  std::array<double, 10> call_share{};
+  /// Byte shares: fraction of a file's bytes moved at bin-b request sizes
+  /// (f_b ~ p_b / E[1/op_b], same weights, interpreted per file).  Every
+  /// file splitting its transfer this way makes the aggregate *call*-level
+  /// bin shares equal p_b deterministically.
+  std::array<double, 10> byte_share{};
+
+  /// Sample an op size (log-uniform within the chosen bin), clamped to
+  /// [1, transfer_cap].
+  std::uint64_t sample_op(util::Rng& rng, std::uint64_t transfer_cap) const;
+
+  /// The (bin, byte-share) mix for a FileAccessSpec moving `transfer` bytes:
+  /// bins whose request sizes exceed the transfer are excluded (a 10 MB file
+  /// cannot issue 1 GB requests), tiny shares are dropped, and the rest is
+  /// renormalized.
+  std::vector<std::pair<std::uint8_t, float>> mix(std::uint64_t transfer,
+                                                  double min_share = 0.002) const;
+};
+
+/// Convert call-level bin shares into per-file dominant-bin weights.
+/// `big_boost` multiplies the >=1 MB bins before conversion (Fig. 5's large
+/// jobs issue larger requests to the in-system layer).
+RequestDist make_request_dist(const RequestBins& call_level, double big_boost = 1.0);
+
+/// Everything precomputed for one storage layer of one system.
+struct CalibratedLayer {
+  // Normalized interface mix: posix-only / mpiio / stdio.
+  std::array<double, 3> iface_p{};
+  ClassShares classes_posix;
+  ClassShares classes_stdio;
+  TransferDist posix_read, posix_write;
+  TransferDist stdio_read, stdio_write;
+  RequestDist req_read, req_write;
+  RequestDist req_read_large, req_write_large;  ///< Fig. 5 variants
+  double shared_frac_posix = 0, shared_frac_mpiio = 0, shared_frac_stdio = 0;
+  /// Full-scale file count on this layer (for stratum sizing / reporting).
+  double files_fullscale = 0;
+};
+
+/// A fully calibrated system, ready for the generator.
+struct CalibratedSystem {
+  const SystemProfile* profile = nullptr;
+  CalibratedLayer insys;
+  CalibratedLayer pfs;
+  // Job layer-profile probabilities (Table 5, normalized).
+  double p_job_pfs_only = 0, p_job_insys_only = 0, p_job_both = 0;
+  // Domain sampling.
+  std::array<double, 3> unused{};  // reserved
+
+  explicit CalibratedSystem(const SystemProfile& profile);
+};
+
+}  // namespace mlio::wl

@@ -1,0 +1,362 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mlio::wl {
+
+using sim::FileAccessSpec;
+using sim::Interface;
+using sim::JobSpec;
+using util::kGiB;
+using util::kKB;
+using util::kTB;
+using util::Rng;
+
+namespace {
+
+constexpr std::int64_t kSecondsPerYear = 365ll * 24 * 3600;
+
+enum class IfaceGroup : std::uint8_t { kPosixOnly = 0, kMpiio = 1, kStdio = 2 };
+
+/// Sample the interface group with the domain's STDIO affinity applied.
+IfaceGroup sample_iface(const CalibratedLayer& layer, double stdio_affinity, Rng& rng) {
+  const double ps = layer.iface_p[2] * stdio_affinity;
+  const double total = layer.iface_p[0] + layer.iface_p[1] + ps;
+  const double u = rng.uniform() * total;
+  if (u < layer.iface_p[0]) return IfaceGroup::kPosixOnly;
+  if (u < layer.iface_p[0] + layer.iface_p[1]) return IfaceGroup::kMpiio;
+  return IfaceGroup::kStdio;
+}
+
+enum class RwClass : std::uint8_t { kReadOnly, kReadWrite, kWriteOnly };
+
+RwClass sample_class(const ClassShares& shares, Rng& rng) {
+  const double total = shares.ro + shares.rw + shares.wo;
+  const double u = rng.uniform() * total;
+  if (u < shares.ro) return RwClass::kReadOnly;
+  if (u < shares.ro + shares.rw) return RwClass::kReadWrite;
+  return RwClass::kWriteOnly;
+}
+
+const char* posix_extension(Rng& rng) {
+  static constexpr const char* kExt[] = {".bin", ".chk", ".h5", ".nc", ".out"};
+  return kExt[rng.uniform_u64(0, 4)];
+}
+
+const char* stdio_extension(Rng& rng) {
+  // §3.3.2: ~70% of Cori's STDIO files carry .rst/.dat/.vol extensions
+  // (human-readable logs and visualization data).
+  const double u = rng.uniform();
+  if (u < 0.30) return ".rst";
+  if (u < 0.55) return ".dat";
+  if (u < 0.70) return ".vol";
+  if (u < 0.85) return ".txt";
+  return ".log";
+}
+
+std::uint32_t sample_count(Rng& rng, double mu, double sigma, double scale,
+                           std::uint32_t cap) {
+  const double v = rng.lognormal(mu + std::log(std::max(1e-9, scale)), sigma);
+  const double clamped = std::clamp(v, 1.0, static_cast<double>(cap));
+  return static_cast<std::uint32_t>(std::lround(clamped));
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(const SystemProfile& profile, const GeneratorConfig& cfg)
+    : calib_(profile), cfg_(cfg) {
+  if (cfg_.n_jobs == 0) throw util::ConfigError("GeneratorConfig: n_jobs must be positive");
+  if (cfg_.logs_per_job_scale <= 0 || cfg_.files_per_log_scale <= 0) {
+    throw util::ConfigError("GeneratorConfig: scales must be positive");
+  }
+}
+
+double WorkloadGenerator::job_scale() const {
+  return profile().real_jobs / static_cast<double>(cfg_.n_jobs);
+}
+
+double WorkloadGenerator::log_scale() const { return job_scale() / cfg_.logs_per_job_scale; }
+
+double WorkloadGenerator::count_scale() const {
+  return log_scale() / cfg_.files_per_log_scale;
+}
+
+void WorkloadGenerator::generate_bulk(const JobSink& sink) const {
+  generate_bulk_range(0, cfg_.n_jobs, sink);
+}
+
+void WorkloadGenerator::generate_bulk_range(std::uint64_t begin, std::uint64_t end,
+                                            const JobSink& sink) const {
+  MLIO_ASSERT(end <= cfg_.n_jobs);
+  for (std::uint64_t j = begin; j < end; ++j) generate_job(j, sink);
+}
+
+void WorkloadGenerator::generate_job(std::uint64_t job_index, const JobSink& sink) const {
+  const SystemProfile& prof = profile();
+  Rng rng = Rng::stream(cfg_.seed, job_index);
+
+  // ---- job-level draws ----
+  std::vector<double> dweights;
+  dweights.reserve(prof.domains.size());
+  for (const auto& d : prof.domains) dweights.push_back(d.job_weight);
+  static thread_local const SystemProfile* cached_prof = nullptr;
+  static thread_local std::unique_ptr<util::AliasTable> domain_alias;
+  if (cached_prof != &prof) {
+    domain_alias = std::make_unique<util::AliasTable>(dweights);
+    cached_prof = &prof;
+  }
+  const DomainSpec& domain = prof.domains[domain_alias->sample(rng)];
+  // Some projects carry no science-domain tag (Fig. 7b's "Unknown" row).
+  const bool tagged = rng.chance(prof.domain_tag_coverage);
+  // STDIO usage concentrates in a subset of jobs; rescaling by the job
+  // fraction preserves the Table 6 file counts.
+  const bool stdio_job = rng.chance(prof.stdio_job_frac);
+  const double stdio_mult =
+      stdio_job ? domain.stdio_affinity / std::max(0.05, prof.stdio_job_frac) : 0.0;
+
+  // Job layer profile (Table 5).
+  enum class JobLayers { kPfsOnly, kInsysOnly, kBoth } layers_profile;
+  {
+    const double u = rng.uniform();
+    if (u < calib_.p_job_pfs_only) layers_profile = JobLayers::kPfsOnly;
+    else if (u < calib_.p_job_pfs_only + calib_.p_job_insys_only)
+      layers_profile = JobLayers::kInsysOnly;
+    else layers_profile = JobLayers::kBoth;
+  }
+
+  const std::uint32_t user_id = static_cast<std::uint32_t>(rng.uniform_u64(1000, 9999));
+  const std::uint32_t n_logs =
+      sample_count(rng, prof.logs_per_job_mu, prof.logs_per_job_sigma, cfg_.logs_per_job_scale,
+                   prof.logs_per_job_cap);
+
+  double files_mult = cfg_.files_per_log_scale;
+  if (layers_profile == JobLayers::kBoth) files_mult *= prof.both_files_mult;
+  if (layers_profile == JobLayers::kInsysOnly) files_mult *= prof.insys_files_mult;
+
+  const std::int64_t job_start =
+      static_cast<std::int64_t>((static_cast<double>(job_index) /
+                                 static_cast<double>(cfg_.n_jobs)) *
+                                static_cast<double>(kSecondsPerYear));
+
+  for (std::uint32_t l = 0; l < n_logs; ++l) {
+    Rng lrng = Rng::stream(cfg_.seed ^ 0x10f5ull, (job_index << 12) | l);
+
+    JobSpec spec;
+    spec.job_id = job_index + 1;
+    spec.user_id = user_id;
+    spec.exe = "app_" + std::string(domain.name.substr(0, 3)) + std::to_string(user_id % 17);
+    if (tagged) spec.domain = domain.name;
+    spec.seed = lrng.next();
+    spec.start_epoch = job_start + l * 60;
+
+    if (lrng.chance(prof.serial_frac)) {
+      spec.nprocs = 1;
+    } else {
+      const double e = lrng.uniform_real(1.0, prof.nprocs_log2_max);
+      spec.nprocs = static_cast<std::uint32_t>(std::lround(std::exp2(e)));
+    }
+    spec.nnodes = std::max<std::uint32_t>(
+        1, (spec.nprocs + prof.procs_per_node - 1) / prof.procs_per_node);
+    const bool large_job = spec.nprocs > 1024;
+
+    const std::uint32_t n_files = sample_count(lrng, prof.files_per_log_mu,
+                                               prof.files_per_log_sigma, files_mult,
+                                               prof.files_per_log_cap);
+    spec.files.reserve(n_files);
+
+    std::uint64_t insys_read_bytes = 0;
+    std::uint64_t insys_write_bytes = 0;
+
+    for (std::uint32_t f = 0; f < n_files; ++f) {
+      const bool on_insys =
+          layers_profile == JobLayers::kInsysOnly ||
+          (layers_profile == JobLayers::kBoth && lrng.chance(prof.both_insys_prob));
+      const CalibratedLayer& cl = on_insys ? calib_.insys : calib_.pfs;
+      const LayerProfile& lp = on_insys ? prof.insys : prof.pfs;
+      (void)lp;
+
+      const IfaceGroup group = sample_iface(cl, stdio_mult, lrng);
+      const bool is_stdio = group == IfaceGroup::kStdio;
+
+      RwClass rw = sample_class(is_stdio ? cl.classes_stdio : cl.classes_posix, lrng);
+      if (on_insys && domain.insys_bias == DomainInsysBias::kReadOnly) rw = RwClass::kReadOnly;
+      if (on_insys && domain.insys_bias == DomainInsysBias::kWriteOnly) rw = RwClass::kWriteOnly;
+
+      FileAccessSpec file;
+      file.iface = is_stdio ? Interface::kStdio
+                            : (group == IfaceGroup::kMpiio ? Interface::kMpiIo
+                                                           : Interface::kPosix);
+
+      // Transfer sizes (bulk stratum: capped below 1 TB).
+      const double vol_mult = on_insys ? domain.insys_volume_mult : 1.0;
+      auto draw = [&](const TransferDist& dist) {
+        double v = static_cast<double>(dist.sample(lrng)) * vol_mult;
+        return static_cast<std::uint64_t>(
+            std::min(v, static_cast<double>(kTB) - 1.0));
+      };
+      if (rw != RwClass::kWriteOnly) {
+        file.read_bytes = draw(is_stdio ? cl.stdio_read : cl.posix_read);
+      }
+      if (rw != RwClass::kReadOnly) {
+        file.write_bytes = draw(is_stdio ? cl.stdio_write : cl.posix_write);
+      }
+
+      // Request sizes.
+      if (is_stdio) {
+        file.read_op_size = lrng.log_uniform_u64(64, 8 * 1024);
+        file.write_op_size = lrng.log_uniform_u64(64, 8 * 1024);
+      } else {
+        const bool boosted = large_job && on_insys;
+        const RequestDist& rd = boosted ? cl.req_read_large : cl.req_read;
+        const RequestDist& wd = boosted ? cl.req_write_large : cl.req_write;
+        file.read_op_size = rd.sample_op(lrng, std::max<std::uint64_t>(1, file.read_bytes));
+        file.write_op_size = wd.sample_op(lrng, std::max<std::uint64_t>(1, file.write_bytes));
+        // The byte-share mix makes the aggregate call-level bin shares
+        // (Fig. 4) exact in expectation regardless of scale.
+        if (file.read_bytes > 0) file.read_mix = rd.mix(file.read_bytes);
+        if (file.write_bytes > 0) file.write_mix = wd.mix(file.write_bytes);
+      }
+
+      // Sharing, collectives, striping, rewrites.
+      const double shared_p = is_stdio ? cl.shared_frac_stdio
+                              : group == IfaceGroup::kMpiio ? cl.shared_frac_mpiio
+                                                            : cl.shared_frac_posix;
+      file.shared = spec.nprocs > 1 && lrng.chance(shared_p);
+      // A sliver of shared STDIO files are multi-GB (the non-empty upper
+      // STDIO boxes of Figs. 11/12); negligible for every CDF.
+      if (is_stdio && file.shared && lrng.chance(0.01)) {
+        auto scale = [&](std::uint64_t b) {
+          return b == 0 ? b : lrng.log_uniform_u64(2 * util::kGB, 200 * util::kGB);
+        };
+        file.read_bytes = scale(file.read_bytes);
+        file.write_bytes = scale(file.write_bytes);
+      }
+      if (!file.shared) {
+        file.ranks = static_cast<std::uint32_t>(
+            lrng.uniform_u64(1, std::min<std::uint32_t>(spec.nprocs, 16)));
+      }
+      if (group == IfaceGroup::kMpiio) {
+        file.collective = lrng.chance(0.7);
+        const std::uint64_t size = std::max(file.read_bytes, file.write_bytes);
+        if (size > 4 * kGiB) {
+          file.stripe_hint =
+              static_cast<std::uint32_t>(std::clamp<std::uint64_t>(size / (4 * kGiB), 1, 48));
+        }
+      }
+      if (is_stdio && on_insys && rw != RwClass::kReadOnly && lrng.chance(0.3)) {
+        file.rewrites = static_cast<std::uint32_t>(lrng.uniform_u64(1, 3));
+      }
+      file.sequential = !lrng.chance(0.15);
+
+      // Path: the mount prefix routes the executor to the right layer.
+      const std::string& mount = on_insys ? (prof.system == "Summit"
+                                                 ? std::string("/mnt/bb")
+                                                 : std::string("/var/opt/cray/dws"))
+                                          : (prof.system == "Summit"
+                                                 ? std::string("/gpfs/alpine")
+                                                 : std::string("/global/cscratch1"));
+      file.path = mount + "/proj" + std::to_string(user_id % 100) + "/job" +
+                  std::to_string(spec.job_id) + "/l" + std::to_string(l) + "_f" +
+                  std::to_string(f) +
+                  (is_stdio ? stdio_extension(lrng) : posix_extension(lrng));
+
+      if (on_insys) {
+        insys_read_bytes += file.read_bytes;
+        insys_write_bytes += file.write_bytes;
+      }
+      spec.files.push_back(std::move(file));
+    }
+
+    // DataWarp staging directives (Cori): jobs that planned CBB usage stage
+    // their inputs in and results out.
+    if (prof.system == "Cori" && (insys_read_bytes | insys_write_bytes) != 0 &&
+        lrng.chance(0.5)) {
+      spec.dw.capacity_request = std::max<std::uint64_t>(
+          insys_read_bytes + insys_write_bytes, 20 * kGiB);
+      if (insys_read_bytes > 0) {
+        spec.dw.stage_in.push_back({"/var/opt/cray/dws/in", "/global/cscratch1/in",
+                                    insys_read_bytes});
+      }
+      if (insys_write_bytes > 0) {
+        spec.dw.stage_out.push_back({"/var/opt/cray/dws/out", "/global/cscratch1/out",
+                                     insys_write_bytes});
+      }
+    }
+
+    sink(spec);
+  }
+}
+
+void WorkloadGenerator::generate_huge(const JobSink& sink) const {
+  const SystemProfile& prof = profile();
+  // Every >1 TB file of Table 4, attached to synthetic "hero" jobs, up to 64
+  // files per job.  Sizes are log-uniform in [1 TB, cap].
+  struct HugeGroup {
+    const TransferTargets* t;
+    bool on_insys;
+    bool is_stdio;
+    bool is_read;
+  };
+  const std::vector<HugeGroup> groups = {
+      {&prof.pfs.posix_read, false, false, true},
+      {&prof.pfs.posix_write, false, false, false},
+      {&prof.pfs.stdio_write, false, true, false},
+      {&prof.insys.posix_read, true, false, true},
+      {&prof.insys.posix_write, true, false, false},
+  };
+
+  std::uint64_t job_counter = 0x40000000ull;  // disjoint from bulk job ids
+  for (const auto& g : groups) {
+    const auto total = static_cast<std::uint64_t>(std::llround(g.t->huge_files));
+    if (total == 0 || g.t->huge_cap <= kTB) continue;
+    std::uint64_t emitted = 0;
+    while (emitted < total) {
+      const std::uint64_t batch = std::min<std::uint64_t>(64, total - emitted);
+      Rng jrng = Rng::stream(cfg_.seed ^ 0xbead5ull, job_counter);
+
+      sim::JobSpec spec;
+      spec.job_id = ++job_counter;
+      spec.user_id = 777;
+      spec.nprocs = 2048;
+      spec.nnodes = std::max<std::uint32_t>(1, 2048 / prof.procs_per_node);
+      spec.exe = "hero_io";
+      spec.domain = "Physics";
+      spec.seed = jrng.next();
+      spec.start_epoch = static_cast<std::int64_t>(jrng.uniform_u64(0, kSecondsPerYear));
+
+      for (std::uint64_t i = 0; i < batch; ++i) {
+        FileAccessSpec file;
+        file.iface = g.is_stdio ? Interface::kStdio : Interface::kMpiIo;
+        file.shared = true;  // single-shared: visible to the §3.4 analysis
+        file.collective = !g.is_stdio;
+        const std::uint64_t bytes = jrng.log_uniform_u64(kTB + 1, g.t->huge_cap);
+        if (g.is_read) file.read_bytes = bytes;
+        else file.write_bytes = bytes;
+        file.read_op_size = g.is_stdio ? 8 * 1024 : 16 * util::kMiB;
+        file.write_op_size = file.read_op_size;
+        file.sequential = true;
+        if (!g.is_stdio) file.stripe_hint = 48;
+
+        const std::string mount = g.on_insys ? (prof.system == "Summit"
+                                                    ? std::string("/mnt/bb")
+                                                    : std::string("/var/opt/cray/dws"))
+                                             : (prof.system == "Summit"
+                                                    ? std::string("/gpfs/alpine")
+                                                    : std::string("/global/cscratch1"));
+        file.path = mount + "/hero/job" + std::to_string(spec.job_id) + "/huge" +
+                    std::to_string(emitted + i) + (g.is_stdio ? ".dat" : ".h5");
+        spec.files.push_back(std::move(file));
+      }
+      emitted += batch;
+      sink(spec);
+    }
+  }
+}
+
+}  // namespace mlio::wl

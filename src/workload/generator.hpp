@@ -1,0 +1,66 @@
+// Synthetic production-workload generator.
+//
+// Produces a stream of sim::JobSpec (one per Darshan log) whose population
+// statistics honour the calibrated SystemProfile.  Generation is
+// deterministic per (seed, job index) and independent across jobs, so it can
+// run from parallel chunks and any subrange reproduces bit-identically.
+//
+// Two strata (DESIGN.md §4):
+//   * bulk  — `n_jobs` jobs sampled at the configured scale; its transfer
+//     distribution has zero mass above 1 TB;
+//   * huge  — the full-scale >1 TB file census of Table 4 (~19 K files
+//     system-wide), generated exactly, because at bench scales iid sampling
+//     would never produce these files yet they carry most of the volume.
+// Benches accumulate the strata separately and up-scale only the bulk.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "iosim/ioplan.hpp"
+#include "workload/calibration.hpp"
+#include "workload/profile.hpp"
+
+namespace mlio::wl {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+  std::uint64_t n_jobs = 1000;
+  /// Scales the mean number of logs per job (1.0 = Table 2 realism).
+  double logs_per_job_scale = 1.0;
+  /// Scales the mean number of files per log.
+  double files_per_log_scale = 1.0;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const SystemProfile& profile, const GeneratorConfig& cfg);
+
+  using JobSink = std::function<void(const sim::JobSpec&)>;
+
+  /// Generate every bulk job ([0, n_jobs)), one callback per log.
+  void generate_bulk(const JobSink& sink) const;
+  /// Generate jobs in [begin, end) — for parallel chunking.
+  void generate_bulk_range(std::uint64_t begin, std::uint64_t end, const JobSink& sink) const;
+  /// Generate the full-scale huge-file stratum.
+  void generate_huge(const JobSink& sink) const;
+
+  const CalibratedSystem& calibrated() const { return calib_; }
+  const SystemProfile& profile() const { return *calib_.profile; }
+  const GeneratorConfig& config() const { return cfg_; }
+
+  /// Multiply a measured *job*-level count by this for a full-scale estimate.
+  double job_scale() const;
+  /// Multiply a measured *log*-level count by this.
+  double log_scale() const;
+  /// Multiply a measured *file/byte*-level bulk count by this.
+  double count_scale() const;
+
+ private:
+  void generate_job(std::uint64_t job_index, const JobSink& sink) const;
+
+  CalibratedSystem calib_;
+  GeneratorConfig cfg_;
+};
+
+}  // namespace mlio::wl

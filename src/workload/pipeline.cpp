@@ -1,0 +1,61 @@
+#include "workload/pipeline.hpp"
+
+#include <vector>
+
+#include "darshan/log_format.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mlio::wl {
+
+core::Analysis PipelineResult::combined() const {
+  core::Analysis all;
+  all.merge(bulk);
+  all.merge(huge);
+  return all;
+}
+
+const sim::Machine& machine_for(const SystemProfile& profile) {
+  static const sim::Machine summit = sim::Machine::summit();
+  static const sim::Machine cori = sim::Machine::cori();
+  if (profile.system == "Summit") return summit;
+  if (profile.system == "Cori") return cori;
+  throw util::ConfigError("machine_for: unknown system " + profile.system);
+}
+
+PipelineResult run_pipeline(const WorkloadGenerator& gen, const PipelineOptions& opts) {
+  const sim::Machine& machine = machine_for(gen.profile());
+  const sim::JobExecutor executor(machine);
+
+  auto consume = [&](core::Analysis& into, const sim::JobSpec& spec) {
+    darshan::LogData log = executor.execute(spec);
+    if (opts.roundtrip_logs) {
+      const auto bytes = darshan::write_log_bytes(log);
+      log = darshan::read_log_bytes(bytes);
+    }
+    into.add(log);
+  };
+
+  PipelineResult result;
+
+  util::ThreadPool pool(opts.threads);
+  const std::uint64_t n_jobs = gen.config().n_jobs;
+  // Chunk on job boundaries so all logs of a job land in one accumulator
+  // (the distinct-job censuses rely on it).
+  const std::uint64_t n_chunks = std::min<std::uint64_t>(n_jobs, pool.thread_count() * 4);
+  std::vector<core::Analysis> shards(n_chunks);
+  pool.parallel_for_chunks(0, n_jobs, n_chunks,
+                           [&](std::uint64_t chunk, std::uint64_t lo, std::uint64_t hi) {
+                             gen.generate_bulk_range(lo, hi, [&](const sim::JobSpec& spec) {
+                               consume(shards[chunk], spec);
+                             });
+                           });
+  for (const auto& shard : shards) result.bulk.merge(shard);
+
+  if (opts.include_huge) {
+    gen.generate_huge([&](const sim::JobSpec& spec) { consume(result.huge, spec); });
+  }
+  return result;
+}
+
+}  // namespace mlio::wl

@@ -1,0 +1,36 @@
+// End-to-end pipeline: generate -> simulate -> instrument -> analyze.
+//
+// Parallel over job chunks with deterministic results: every job is generated
+// from its own index-derived Rng stream and per-chunk Analysis accumulators
+// are merged in chunk order.  The bulk and huge strata are kept in separate
+// accumulators so benches can up-scale only the bulk (DESIGN.md §4).
+#pragma once
+
+#include "core/analysis.hpp"
+#include "iosim/executor.hpp"
+#include "workload/generator.hpp"
+
+namespace mlio::wl {
+
+struct PipelineOptions {
+  unsigned threads = 0;       ///< 0 = hardware concurrency
+  bool include_huge = true;   ///< generate the full-scale >1 TB stratum
+  /// Serialize every log through the on-disk format and parse it back before
+  /// analysis — slower, but exercises writer+reader on the whole population.
+  bool roundtrip_logs = false;
+};
+
+struct PipelineResult {
+  core::Analysis bulk;
+  core::Analysis huge;
+
+  /// Combined view (bulk + huge merged) for scale-free statistics.
+  core::Analysis combined() const;
+};
+
+/// Pick the machine matching a profile ("Summit" / "Cori").
+const sim::Machine& machine_for(const SystemProfile& profile);
+
+PipelineResult run_pipeline(const WorkloadGenerator& gen, const PipelineOptions& opts = {});
+
+}  // namespace mlio::wl

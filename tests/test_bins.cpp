@@ -1,0 +1,90 @@
+#include "util/bins.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mlio::util {
+namespace {
+
+TEST(Bins, DarshanRequestBinsMatchTheTenPaperRanges) {
+  const BinSpec& b = BinSpec::darshan_request_bins();
+  ASSERT_EQ(b.size(), 10u);
+  EXPECT_EQ(b.label(0), "0_100");
+  EXPECT_EQ(b.label(9), "1G_PLUS");
+  // Paper §2.2 boundaries.
+  EXPECT_EQ(b.upper_bound(0), 100u);
+  EXPECT_EQ(b.upper_bound(1), kKB);
+  EXPECT_EQ(b.upper_bound(4), kMB);
+  EXPECT_EQ(b.upper_bound(5), 4 * kMB);
+  EXPECT_EQ(b.upper_bound(8), kGB);
+}
+
+TEST(Bins, IndexOfBoundariesAreInclusiveUpper) {
+  const BinSpec& b = BinSpec::darshan_request_bins();
+  EXPECT_EQ(b.index_of(0), 0u);
+  EXPECT_EQ(b.index_of(100), 0u);
+  EXPECT_EQ(b.index_of(101), 1u);
+  EXPECT_EQ(b.index_of(kKB), 1u);
+  EXPECT_EQ(b.index_of(kKB + 1), 2u);
+  EXPECT_EQ(b.index_of(kGB), 8u);
+  EXPECT_EQ(b.index_of(kGB + 1), 9u);
+  EXPECT_EQ(b.index_of(~0ull), 9u);
+}
+
+TEST(Bins, LowerBoundsChainWithUpperBounds) {
+  const BinSpec& b = BinSpec::darshan_request_bins();
+  EXPECT_EQ(b.lower_bound(0), 0u);
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    EXPECT_EQ(b.lower_bound(i), b.upper_bound(i - 1) + 1) << "bin " << i;
+  }
+}
+
+TEST(Bins, TransferPresets) {
+  EXPECT_EQ(BinSpec::transfer_bins_coarse().size(), 5u);
+  EXPECT_EQ(BinSpec::transfer_bins_perf().size(), 6u);
+  EXPECT_EQ(BinSpec::transfer_bins_perf().label(1), "100MB-1GB");
+  EXPECT_EQ(BinSpec::transfer_bins_perf().index_of(500 * kMB), 1u);
+  EXPECT_EQ(BinSpec::transfer_bins_perf().index_of(2 * kTB), 5u);
+}
+
+TEST(Bins, UnboundedCap) {
+  BinSpec spec({10, 100}, {"a", "b", "c"});
+  EXPECT_GT(spec.unbounded_cap(), 100u);
+  spec.set_unbounded_cap(5000);
+  EXPECT_EQ(spec.unbounded_cap(), 5000u);
+  EXPECT_EQ(spec.upper_bound(2), 5000u);
+  EXPECT_THROW(spec.set_unbounded_cap(50), ConfigError);
+}
+
+TEST(Bins, ValidationRejectsBadSpecs) {
+  EXPECT_THROW(BinSpec({}, {"x"}), ConfigError);
+  EXPECT_THROW(BinSpec({10, 10}, {"a", "b", "c"}), ConfigError);
+  EXPECT_THROW(BinSpec({10, 5}, {"a", "b", "c"}), ConfigError);
+  EXPECT_THROW(BinSpec({10}, {"a"}), ConfigError);
+}
+
+// Property sweep: index_of(x) is the unique bin whose [lower, upper] holds x.
+class BinsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BinsProperty, IndexIsConsistentWithBounds) {
+  const BinSpec& b = BinSpec::darshan_request_bins();
+  const std::uint64_t x = GetParam();
+  const std::size_t i = b.index_of(x);
+  EXPECT_GE(x, b.lower_bound(i));
+  if (i + 1 < b.size()) {
+    EXPECT_LE(x, b.upper_bound(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BinsProperty,
+                         ::testing::Values(0ull, 1ull, 99ull, 100ull, 101ull, 999ull, 1000ull,
+                                           1001ull, 9999ull, 10000ull, 123456ull, 999999ull,
+                                           1000000ull, 3999999ull, 4000000ull, 9999999ull,
+                                           10000000ull, 99999999ull, 100000000ull,
+                                           999999999ull, 1000000000ull, 1000000001ull,
+                                           123456789012ull));
+
+}  // namespace
+}  // namespace mlio::util

@@ -1,0 +1,81 @@
+#include "util/byte_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mlio::util {
+namespace {
+
+TEST(ByteIo, RoundtripAllTypes) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-42);
+  w.f64(3.14159);
+  w.str("hello");
+  w.str("");
+
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteIo, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  const auto v = w.view();
+  EXPECT_EQ(std::to_integer<int>(v[0]), 0x04);
+  EXPECT_EQ(std::to_integer<int>(v[3]), 0x01);
+}
+
+TEST(ByteIo, UnderrunThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.view());
+  EXPECT_EQ(r.u16(), 7u);
+  EXPECT_THROW(r.u8(), FormatError);
+}
+
+TEST(ByteIo, TruncatedStringThrows) {
+  ByteWriter w;
+  w.u32(100);  // claims a 100-byte string with no payload
+  ByteReader r(w.view());
+  EXPECT_THROW(r.str(), FormatError);
+}
+
+TEST(ByteIo, RawBytes) {
+  ByteWriter w;
+  const std::array<std::byte, 3> data = {std::byte{1}, std::byte{2}, std::byte{3}};
+  w.bytes(data);
+  ByteReader r(w.view());
+  const auto back = r.bytes(3);
+  EXPECT_EQ(std::to_integer<int>(back[1]), 2);
+  EXPECT_THROW(r.bytes(1), FormatError);
+}
+
+TEST(ByteIo, FuzzRoundtripIntegers) {
+  Rng rng(55);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t v64 = rng.next();
+    const auto v32 = static_cast<std::uint32_t>(rng.next());
+    ByteWriter w;
+    w.u64(v64);
+    w.u32(v32);
+    ByteReader r(w.view());
+    EXPECT_EQ(r.u64(), v64);
+    EXPECT_EQ(r.u32(), v32);
+  }
+}
+
+}  // namespace
+}  // namespace mlio::util

@@ -1,0 +1,178 @@
+#include "workload/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/bins.hpp"
+
+#include "util/units.hpp"
+
+namespace mlio::wl {
+namespace {
+
+using util::kGB;
+using util::kMB;
+using util::kTB;
+
+TEST(Calibration, LogUniformMean) {
+  EXPECT_DOUBLE_EQ(log_uniform_mean(5, 5), 5.0);
+  // E over [1, e] = (e-1)/1.
+  EXPECT_NEAR(log_uniform_mean(1.0, std::exp(1.0)), std::exp(1.0) - 1.0, 1e-12);
+  // Mean sits between the bounds, above the geometric mean.
+  const double m = log_uniform_mean(1e6, 1e9);
+  EXPECT_GT(m, 1e6);
+  EXPECT_LT(m, 1e9);
+  EXPECT_GT(m, std::sqrt(1e6 * 1e9));
+}
+
+TEST(Calibration, TransferDistHonoursAnchors) {
+  TransferTargets t;
+  t.below_1gb = 0.97;
+  t.tiny_split = 0.9;
+  const TransferDist d = solve_transfer_dist(t, 50.0 * kMB);
+  double sum = std::accumulate(d.p.begin(), d.p.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NEAR(d.p[0] + d.p[1], 0.97, 1e-9);
+  EXPECT_NEAR(d.p[0], 0.97 * 0.9, 1e-9);
+  EXPECT_DOUBLE_EQ(d.p[5], 0.0);  // bulk never samples > 1 TB
+}
+
+TEST(Calibration, TransferDistHitsFeasibleMeanTargets) {
+  TransferTargets t;
+  t.below_1gb = 0.95;
+  t.tiny_split = 0.9;
+  for (const double target : {600.0 * kMB, 1.5 * kGB, 5.0 * kGB}) {
+    const TransferDist d = solve_transfer_dist(t, target);
+    EXPECT_NEAR(d.expected_mean, target, target * 0.01) << target;
+  }
+}
+
+TEST(Calibration, TransferDistClampsInfeasibleTargets) {
+  TransferTargets t;
+  t.below_1gb = 0.99;
+  t.tiny_split = 0.95;
+  // Absurdly large target: solver saturates at the heaviest middle mix.
+  const TransferDist big = solve_transfer_dist(t, 1000.0 * kTB);
+  EXPECT_LT(big.expected_mean, 1000.0 * kTB);
+  EXPECT_GT(big.p[4], big.p[2]);  // mass pushed to 100GB-1TB
+  // Tiny target: solver saturates at the lightest mix.
+  const TransferDist small = solve_transfer_dist(t, 1.0);
+  EXPECT_GT(small.p[2], small.p[4]);
+}
+
+TEST(Calibration, TransferDistSamplesRespectBins) {
+  TransferTargets t;
+  t.below_1gb = 0.9;
+  t.tiny_split = 0.8;
+  const TransferDist d = solve_transfer_dist(t, 2.0 * kGB);
+  util::Rng rng(5);
+  std::uint64_t below = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = d.sample(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LT(v, kTB);  // no bulk sample above 1 TB
+    if (v <= kGB) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.9, 0.01);
+}
+
+TEST(Calibration, SampledMeanMatchesAnalyticMean) {
+  TransferTargets t;
+  t.below_1gb = 0.95;
+  t.tiny_split = 0.85;
+  const TransferDist d = solve_transfer_dist(t, 1.0 * kGB);
+  util::Rng rng(9);
+  double sum = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(rng));
+  // Heavy-tailed: allow 10% tolerance at this sample size.
+  EXPECT_NEAR(sum / n, d.expected_mean, d.expected_mean * 0.10);
+}
+
+TEST(Calibration, RequestDistNormalizesAndSamples) {
+  RequestBins bins;
+  bins.p = {0.45, 0.02, 0.45, 0.02, 0.02, 0.015, 0.01, 0.01, 0.003, 0.002};
+  const RequestDist d = make_request_dist(bins);
+  EXPECT_NEAR(std::accumulate(d.q.begin(), d.q.end(), 0.0), 1.0, 1e-9);
+  util::Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t op = d.sample_op(rng, 100 * kMB);
+    ASSERT_GE(op, 1u);
+    ASSERT_LE(op, 100 * kMB);
+  }
+}
+
+TEST(Calibration, RequestDistCallLevelSharesRecoverTargets) {
+  // The q_b ~ p_b * E[op_b] correction: when every file issues transfer/op calls,
+  // the call-level mixture should come back as p.
+  // Adjacent bins keep the per-file call weights within ~one decade so the
+  // Monte-Carlo estimate converges (widely separated bins would need
+  // billions of samples because tiny-op files dominate the call count).
+  RequestBins bins;
+  bins.p = {0.0, 0.0, 0.4, 0.3, 0.3, 0.0, 0.0, 0.0, 0.0, 0.0};
+  const RequestDist d = make_request_dist(bins);
+  util::Rng rng(13);
+  std::array<double, 10> calls{};
+  const double transfer = 100.0 * kMB;  // fixed transfer per file
+  for (int i = 0; i < 400000; ++i) {
+    const std::uint64_t op = d.sample_op(rng, static_cast<std::uint64_t>(transfer));
+    const std::size_t b = util::BinSpec::darshan_request_bins().index_of(op);
+    calls[b] += transfer / static_cast<double>(op);
+  }
+  const double total = std::accumulate(calls.begin(), calls.end(), 0.0);
+  EXPECT_NEAR(calls[2] / total, 0.4, 0.05);
+  EXPECT_NEAR(calls[3] / total, 0.3, 0.05);
+  EXPECT_NEAR(calls[4] / total, 0.3, 0.05);
+}
+
+TEST(Calibration, BigBoostShiftsMassToLargeBins) {
+  RequestBins bins;
+  bins.p = {0.2, 0.1, 0.2, 0.1, 0.1, 0.1, 0.1, 0.05, 0.03, 0.02};
+  const RequestDist base = make_request_dist(bins, 1.0);
+  const RequestDist boosted = make_request_dist(bins, 8.0);
+  double base_large = 0, boosted_large = 0;
+  for (std::size_t b = 5; b < 10; ++b) {
+    base_large += base.q[b];
+    boosted_large += boosted.q[b];
+  }
+  EXPECT_GT(boosted_large, base_large);
+}
+
+TEST(Calibration, CalibratedSystemsConstruct) {
+  const CalibratedSystem summit(SystemProfile::summit_2020());
+  const CalibratedSystem cori(SystemProfile::cori_2019());
+  for (const CalibratedSystem* s : {&summit, &cori}) {
+    EXPECT_NEAR(s->p_job_pfs_only + s->p_job_insys_only + s->p_job_both, 1.0, 1e-9);
+    for (const CalibratedLayer* l : {&s->insys, &s->pfs}) {
+      EXPECT_NEAR(l->iface_p[0] + l->iface_p[1] + l->iface_p[2], 1.0, 1e-9);
+      EXPECT_GT(l->files_fullscale, 0.0);
+      EXPECT_GT(l->posix_read.expected_mean, 0.0);
+    }
+  }
+  // Summit's Table 5: no in-system-exclusive jobs.
+  EXPECT_DOUBLE_EQ(summit.p_job_insys_only, 0.0);
+  EXPECT_GT(cori.p_job_insys_only, 0.10);
+}
+
+// Property sweep: the solver honours anchors across the whole target range.
+class TransferSolver : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransferSolver, AnchorAlwaysExact) {
+  TransferTargets t;
+  t.below_1gb = 0.93;
+  t.tiny_split = 0.9;
+  const TransferDist d = solve_transfer_dist(t, GetParam());
+  EXPECT_NEAR(d.p[0] + d.p[1], 0.93, 1e-9);
+  EXPECT_NEAR(std::accumulate(d.p.begin(), d.p.end(), 0.0), 1.0, 1e-9);
+  // Mean is monotone-consistent: within the achievable envelope.
+  EXPECT_GT(d.expected_mean, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, TransferSolver,
+                         ::testing::Values(1e3, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e14));
+
+}  // namespace
+}  // namespace mlio::wl

@@ -1,0 +1,181 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mlio::wl {
+namespace {
+
+using sim::Interface;
+using sim::JobSpec;
+using util::kTB;
+
+GeneratorConfig small_cfg(std::uint64_t n_jobs = 300) {
+  GeneratorConfig cfg;
+  cfg.seed = 7;
+  cfg.n_jobs = n_jobs;
+  cfg.logs_per_job_scale = 0.2;
+  cfg.files_per_log_scale = 0.2;
+  return cfg;
+}
+
+std::vector<JobSpec> collect_bulk(const WorkloadGenerator& gen) {
+  std::vector<JobSpec> out;
+  gen.generate_bulk([&](const JobSpec& s) { out.push_back(s); });
+  return out;
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const WorkloadGenerator a(SystemProfile::summit_2020(), small_cfg(50));
+  const WorkloadGenerator b(SystemProfile::summit_2020(), small_cfg(50));
+  const auto la = collect_bulk(a);
+  const auto lb = collect_bulk(b);
+  ASSERT_EQ(la.size(), lb.size());
+  for (std::size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i].seed, lb[i].seed);
+    EXPECT_EQ(la[i].files.size(), lb[i].files.size());
+    for (std::size_t f = 0; f < la[i].files.size(); ++f) {
+      EXPECT_EQ(la[i].files[f].path, lb[i].files[f].path);
+      EXPECT_EQ(la[i].files[f].read_bytes, lb[i].files[f].read_bytes);
+    }
+  }
+}
+
+TEST(Generator, RangeSplitMatchesFullGeneration) {
+  const WorkloadGenerator gen(SystemProfile::cori_2019(), small_cfg(60));
+  const auto full = collect_bulk(gen);
+  std::vector<JobSpec> split;
+  gen.generate_bulk_range(0, 30, [&](const JobSpec& s) { split.push_back(s); });
+  gen.generate_bulk_range(30, 60, [&](const JobSpec& s) { split.push_back(s); });
+  ASSERT_EQ(full.size(), split.size());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i].seed, split[i].seed);
+    EXPECT_EQ(full[i].job_id, split[i].job_id);
+  }
+}
+
+TEST(Generator, ScalesAreConsistent) {
+  const WorkloadGenerator gen(SystemProfile::summit_2020(), small_cfg(100));
+  EXPECT_NEAR(gen.job_scale(), 281.6e3 / 100, 1.0);
+  EXPECT_NEAR(gen.log_scale(), gen.job_scale() / 0.2, 1e-6);
+  EXPECT_NEAR(gen.count_scale(), gen.log_scale() / 0.2, 1e-6);
+}
+
+TEST(Generator, PathsRouteToValidMounts) {
+  const WorkloadGenerator gen(SystemProfile::summit_2020(), small_cfg(40));
+  gen.generate_bulk([&](const JobSpec& s) {
+    for (const auto& f : s.files) {
+      const bool insys = f.path.starts_with("/mnt/bb/");
+      const bool pfs = f.path.starts_with("/gpfs/alpine/");
+      EXPECT_TRUE(insys || pfs) << f.path;
+      EXPECT_GT(f.read_bytes + f.write_bytes, 0u);
+      if (f.read_bytes > 0) {
+        EXPECT_GE(f.read_op_size, 1u);
+      }
+      EXPECT_LT(f.read_bytes, kTB);   // bulk stratum stays below 1 TB
+      EXPECT_LT(f.write_bytes, kTB);
+    }
+  });
+}
+
+TEST(Generator, BulkPopulationApproximatesLayerAndInterfaceShares) {
+  GeneratorConfig cfg = small_cfg(2500);
+  const WorkloadGenerator gen(SystemProfile::cori_2019(), cfg);
+  std::uint64_t insys = 0, total = 0, stdio = 0, mpiio = 0;
+  gen.generate_bulk([&](const JobSpec& s) {
+    for (const auto& f : s.files) {
+      ++total;
+      if (f.path.starts_with("/var/opt/cray/dws/")) ++insys;
+      if (f.iface == Interface::kStdio) ++stdio;
+      if (f.iface == Interface::kMpiIo) ++mpiio;
+    }
+  });
+  ASSERT_GT(total, 10000u);
+  // Table 3: CBB holds 3.35% of Cori's files.
+  EXPECT_NEAR(static_cast<double>(insys) / static_cast<double>(total), 0.0335, 0.02);
+  // Table 6 (distinct-file composition): ~21-22% STDIO, ~51% MPI-IO overall.
+  EXPECT_NEAR(static_cast<double>(stdio) / static_cast<double>(total), 0.22, 0.06);
+  EXPECT_NEAR(static_cast<double>(mpiio) / static_cast<double>(total), 0.51, 0.08);
+}
+
+TEST(Generator, SummitJobsNeverUseScnlExclusively) {
+  const WorkloadGenerator gen(SystemProfile::summit_2020(), small_cfg(400));
+  std::map<std::uint64_t, std::pair<bool, bool>> jobs;  // id -> (insys, pfs)
+  gen.generate_bulk([&](const JobSpec& s) {
+    auto& [insys, pfs] = jobs[s.job_id];
+    for (const auto& f : s.files) {
+      if (f.path.starts_with("/mnt/bb/")) insys = true;
+      else pfs = true;
+    }
+  });
+  for (const auto& [id, flags] : jobs) {
+    EXPECT_FALSE(flags.first && !flags.second) << "job " << id << " is SCNL-exclusive";
+  }
+}
+
+TEST(Generator, HugeStratumMatchesTable4Counts) {
+  const WorkloadGenerator gen(SystemProfile::cori_2019(), small_cfg(10));
+  std::uint64_t cbb_read = 0, cbb_write = 0, pfs_read = 0, pfs_write = 0;
+  gen.generate_huge([&](const JobSpec& s) {
+    for (const auto& f : s.files) {
+      const bool insys = f.path.starts_with("/var/opt/cray/dws/");
+      if (f.read_bytes > kTB) (insys ? cbb_read : pfs_read) += 1;
+      if (f.write_bytes > kTB) (insys ? cbb_write : pfs_write) += 1;
+    }
+  });
+  // Table 4 Cori row, exactly.
+  EXPECT_EQ(cbb_read, 513u);
+  EXPECT_EQ(cbb_write, 950u);
+  EXPECT_EQ(pfs_read, 74u);
+  EXPECT_EQ(pfs_write, 10045u);
+}
+
+TEST(Generator, SummitHugeStratumIsPfsOnlyWithFiveStdioWrites) {
+  const WorkloadGenerator gen(SystemProfile::summit_2020(), small_cfg(10));
+  std::uint64_t pfs_read = 0, pfs_write = 0, stdio_write = 0, insys = 0;
+  gen.generate_huge([&](const JobSpec& s) {
+    for (const auto& f : s.files) {
+      if (f.path.starts_with("/mnt/bb/")) ++insys;
+      if (f.read_bytes > kTB) ++pfs_read;
+      if (f.write_bytes > kTB) {
+        ++pfs_write;
+        if (f.iface == Interface::kStdio) ++stdio_write;
+      }
+    }
+  });
+  EXPECT_EQ(insys, 0u);           // Table 4: Summit >1TB files only on PFS
+  EXPECT_EQ(pfs_read, 7232u);
+  EXPECT_EQ(pfs_write, 78u);      // 73 POSIX + 5 STDIO
+  EXPECT_EQ(stdio_write, 5u);     // the Fig. 11b footnote
+}
+
+TEST(Generator, DomainsComeFromTheProfile) {
+  const WorkloadGenerator gen(SystemProfile::summit_2020(), small_cfg(200));
+  std::set<std::string> domains;
+  gen.generate_bulk([&](const JobSpec& s) { domains.insert(s.domain); });
+  EXPECT_GE(domains.size(), 5u);
+  for (const auto& d : domains) {
+    bool known = false;
+    for (const auto& spec : SystemProfile::summit_2020().domains) known |= spec.name == d;
+    EXPECT_TRUE(known) << d;
+  }
+}
+
+TEST(Generator, RejectsInvalidConfig) {
+  GeneratorConfig cfg;
+  cfg.n_jobs = 0;
+  EXPECT_THROW((void)WorkloadGenerator(SystemProfile::summit_2020(), cfg),
+               util::ConfigError);
+  cfg.n_jobs = 1;
+  cfg.files_per_log_scale = 0;
+  EXPECT_THROW((void)WorkloadGenerator(SystemProfile::summit_2020(), cfg),
+               util::ConfigError);
+}
+
+}  // namespace
+}  // namespace mlio::wl

@@ -1,0 +1,75 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace mlio::util {
+namespace {
+
+TEST(Histogram, AddAndCount) {
+  Histogram h(BinSpec::darshan_request_bins());
+  h.add(50);
+  h.add(50, 4);
+  h.add(2 * kMB);
+  EXPECT_EQ(h.count(0), 5u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, CdfIsMonotonicAndEndsAt100) {
+  Histogram h(BinSpec::transfer_bins_coarse());
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) h.add(rng.uniform_u64(0, 2 * kTB));
+  const auto cdf = h.cdf_percent();
+  for (std::size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_DOUBLE_EQ(cdf.back(), 100.0);
+}
+
+TEST(Histogram, EmptyCdfIsAllZero) {
+  Histogram h(BinSpec::transfer_bins_coarse());
+  for (const double v : h.cdf_percent()) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (const double v : h.share_percent()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Histogram, SharesSumTo100) {
+  Histogram h(BinSpec::darshan_request_bins());
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) h.add(rng.log_uniform_u64(1, 10 * kGB));
+  double sum = 0;
+  for (const double s : h.share_percent()) sum += s;
+  EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST(Histogram, MergeEqualsSequentialAdds) {
+  Histogram a(BinSpec::darshan_request_bins());
+  Histogram b(BinSpec::darshan_request_bins());
+  Histogram both(BinSpec::darshan_request_bins());
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.log_uniform_u64(1, kGB);
+    (i % 2 == 0 ? a : b).add(v);
+    both.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), both.total());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.count(i), both.count(i));
+}
+
+TEST(Histogram, MergeRejectsMismatchedSpecs) {
+  Histogram a(BinSpec::darshan_request_bins());
+  Histogram b(BinSpec::transfer_bins_coarse());
+  EXPECT_THROW(a.merge(b), ConfigError);
+}
+
+TEST(Histogram, AddToBinDirect) {
+  Histogram h(BinSpec::darshan_request_bins());
+  h.add_to_bin(3, 17);
+  EXPECT_EQ(h.count(3), 17u);
+  EXPECT_EQ(h.total(), 17u);
+}
+
+}  // namespace
+}  // namespace mlio::util

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "iosim/datawarp.hpp"
+#include "iosim/gpfs.hpp"
+#include "iosim/lustre.hpp"
+#include "iosim/nvme.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mlio::sim {
+namespace {
+
+using util::kGiB;
+using util::kKiB;
+using util::kMiB;
+using util::kPB;
+
+GpfsConfig gpfs_cfg() {
+  return {250 * kPB, 2.5e12, 2.5e12, 154, 16 * kMiB, 2.2e9, 200e-6};
+}
+
+LustreConfig lustre_cfg() {
+  return {30 * kPB, 7e11, 7e11, 248, 5, 1 * kMiB, 1, 1.4e9, 250e-6};
+}
+
+NodeLocalConfig nvme_cfg() {
+  return {7 * kPB, 4608, 5.8e9, 2.1e9, 30e-6, 3.2e9, 64 * kGiB, 16 * kKiB};
+}
+
+DataWarpConfig dw_cfg() { return {2 * kPB, 1.7e12, 1.7e12, 288, 20 * kGiB, 4e9, 100e-6}; }
+
+TEST(Gpfs, SmallFileUsesFewNsds) {
+  GpfsLayer g("Alpine", "/gpfs/alpine", gpfs_cfg());
+  util::Rng rng(1);
+  const Placement p = g.place(10 * kMiB, 0, rng);  // < one block
+  EXPECT_EQ(p.targets, 1u);
+  EXPECT_EQ(p.stripe_size, 16 * kMiB);
+  EXPECT_LT(p.start_target, 154u);
+}
+
+TEST(Gpfs, LargeFileSpansAllNsds) {
+  GpfsLayer g("Alpine", "/gpfs/alpine", gpfs_cfg());
+  util::Rng rng(2);
+  EXPECT_EQ(g.place(100ull * kGiB, 0, rng).targets, 154u);
+  // Blocks between 1 and 154 map 1:1.
+  EXPECT_EQ(g.place(3 * 16 * kMiB, 0, rng).targets, 3u);
+}
+
+TEST(Gpfs, HintIsIgnored) {
+  GpfsLayer g("Alpine", "/gpfs/alpine", gpfs_cfg());
+  util::Rng rng(3);
+  EXPECT_EQ(g.place(10 * kMiB, 64, rng).targets, 1u);
+}
+
+TEST(Gpfs, RandomStartCoversThePool) {
+  GpfsLayer g("Alpine", "/gpfs/alpine", gpfs_cfg());
+  util::Rng rng(4);
+  std::vector<bool> seen(154, false);
+  for (int i = 0; i < 5000; ++i) seen[g.place(kMiB, 0, rng).start_target] = true;
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), true), 154);
+}
+
+TEST(Lustre, DefaultStripeCountIsOne) {
+  LustreLayer l("scratch", "/global/cscratch1", lustre_cfg());
+  util::Rng rng(5);
+  EXPECT_EQ(l.place(100ull * kGiB, 0, rng).targets, 1u);  // Cori default
+}
+
+TEST(Lustre, HintWidensStriping) {
+  LustreLayer l("scratch", "/global/cscratch1", lustre_cfg());
+  util::Rng rng(6);
+  EXPECT_EQ(l.place(100ull * kGiB, 16, rng).targets, 16u);
+  // Hints beyond the OST pool clamp.
+  EXPECT_EQ(l.place(100ull * kGiB, 10000, rng).targets, 248u);
+  // A sub-stripe file can only live on one OST regardless of hint.
+  EXPECT_EQ(l.place(100, 16, rng).targets, 1u);
+}
+
+TEST(Lustre, RejectsBadConfig) {
+  auto cfg = lustre_cfg();
+  cfg.default_stripe_count = 0;
+  EXPECT_THROW(LustreLayer("x", "/x", cfg), util::ConfigError);
+  cfg = lustre_cfg();
+  cfg.default_stripe_count = 500;  // > osts
+  EXPECT_THROW(LustreLayer("x", "/x", cfg), util::ConfigError);
+}
+
+TEST(NodeLocal, PerfScalesWithNodes) {
+  NodeLocalLayer n("SCNL", "/mnt/bb", nvme_cfg());
+  const LayerPerf p = n.perf();
+  EXPECT_DOUBLE_EQ(p.peak_read_bw, 5.8e9 * 4608);
+  EXPECT_DOUBLE_EQ(p.per_stream_read_bw, 5.8e9);
+  EXPECT_GT(p.write_cache_bw, 0);
+}
+
+TEST(NodeLocal, WafIsOneForLargeSequentialWrites) {
+  NodeLocalLayer n("SCNL", "/mnt/bb", nvme_cfg());
+  EXPECT_DOUBLE_EQ(n.write_amplification(1 * kMiB, true, 0), 1.0);
+}
+
+TEST(NodeLocal, WafGrowsForSmallRandomWritesAndRewrites) {
+  NodeLocalLayer n("SCNL", "/mnt/bb", nvme_cfg());
+  const double small_random = n.write_amplification(512, false, 0);
+  const double small_seq = n.write_amplification(512, true, 0);
+  EXPECT_GT(small_random, small_seq);
+  EXPECT_GT(small_seq, 1.0);
+  EXPECT_NEAR(small_random, 16.0 * 1024 / 512, 1e-9);
+  // Rewrites add a GC tax.
+  EXPECT_GT(n.write_amplification(1 * kMiB, true, 3), n.write_amplification(1 * kMiB, true, 0));
+  // WAF is monotonically non-increasing in op size.
+  double prev = 1e18;
+  for (std::uint64_t op = 64; op <= 64 * kKiB; op *= 2) {
+    const double w = n.write_amplification(op, false, 0);
+    EXPECT_LE(w, prev);
+    EXPECT_GE(w, 1.0);
+    prev = w;
+  }
+}
+
+TEST(DataWarp, FragmentsRoundUpToGranularity) {
+  BurstBufferLayer b("CBB", "/var/opt/cray/dws", dw_cfg());
+  EXPECT_EQ(b.fragments_for(0), 1u);
+  EXPECT_EQ(b.fragments_for(1), 1u);
+  EXPECT_EQ(b.fragments_for(20 * kGiB), 1u);
+  EXPECT_EQ(b.fragments_for(20 * kGiB + 1), 2u);
+  EXPECT_EQ(b.fragments_for(100ull * kPB), 288u);  // clamped to BB nodes
+}
+
+TEST(DataWarp, PlacementBoundedByAllocationAndFileSize) {
+  BurstBufferLayer b("CBB", "/var/opt/cray/dws", dw_cfg());
+  util::Rng rng(8);
+  EXPECT_EQ(b.place(5 * kGiB, 8, rng).targets, 1u);      // file fits one fragment
+  EXPECT_EQ(b.place(100ull * kGiB, 8, rng).targets, 5u); // ceil(100/20)
+  EXPECT_EQ(b.place(400ull * kGiB, 8, rng).targets, 8u); // capped by allocation
+}
+
+TEST(Layers, KindsAndMounts) {
+  GpfsLayer g("Alpine", "/gpfs/alpine", gpfs_cfg());
+  NodeLocalLayer n("SCNL", "/mnt/bb", nvme_cfg());
+  BurstBufferLayer b("CBB", "/var/opt/cray/dws", dw_cfg());
+  EXPECT_EQ(g.kind(), LayerKind::kParallelFs);
+  EXPECT_EQ(n.kind(), LayerKind::kNodeLocal);
+  EXPECT_EQ(b.kind(), LayerKind::kBurstBuffer);
+  EXPECT_FALSE(is_in_system(g.kind()));
+  EXPECT_TRUE(is_in_system(n.kind()));
+  EXPECT_EQ(g.fs_type(), "gpfs");
+  EXPECT_EQ(b.fs_type(), "dwfs");
+}
+
+TEST(Layers, ToStringCoversEnums) {
+  EXPECT_EQ(to_string(LayerKind::kParallelFs), "pfs");
+  EXPECT_EQ(to_string(Interface::kStdio), "STDIO");
+  EXPECT_EQ(to_string(Direction::kWrite), "write");
+}
+
+}  // namespace
+}  // namespace mlio::sim

@@ -1,0 +1,99 @@
+#include "core/load_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "darshan/runtime.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mlio::core {
+namespace {
+
+using darshan::JobRecord;
+using darshan::LogData;
+using darshan::ModuleId;
+using util::kMB;
+
+LogData log_with(std::int64_t start, std::int64_t end, std::uint64_t pfs_read,
+                 std::uint64_t insys_write) {
+  JobRecord job;
+  job.job_id = static_cast<std::uint64_t>(start);
+  job.nprocs = 1;
+  job.nnodes = 1;
+  darshan::Runtime rt(job, {{"/gpfs/alpine", "gpfs"}, {"/mnt/bb", "xfs"}});
+  if (pfs_read > 0) {
+    auto h = rt.open_file(ModuleId::kPosix, 0, "/gpfs/alpine/in.bin", 0);
+    rt.record_reads(h, 0, kMB, pfs_read / kMB, 0, 1.0);
+  }
+  if (insys_write > 0) {
+    auto h = rt.open_file(ModuleId::kStdio, 0, "/mnt/bb/out.dat", 0);
+    rt.record_writes(h, 0, kMB, insys_write / kMB, 0, 1.0);
+  }
+  return rt.finalize(start, end);
+}
+
+TEST(LoadTimeline, SpreadsBytesOverTheJobWindow) {
+  LoadTimeline tl(/*horizon=*/1000, /*buckets=*/10);  // 100 s buckets
+  // A log spanning [100, 300): buckets 1 and 2.
+  tl.add_log(log_with(100, 300, 200 * kMB, 0));
+  EXPECT_EQ(tl.bucket(1).active_logs, 1u);
+  EXPECT_EQ(tl.bucket(2).active_logs, 1u);
+  EXPECT_EQ(tl.bucket(0).active_logs, 0u);
+  const auto pfs = static_cast<std::size_t>(Layer::kPfs);
+  EXPECT_DOUBLE_EQ(tl.bucket(1).read_bytes[pfs], 100.0 * kMB);
+  EXPECT_DOUBLE_EQ(tl.bucket(2).read_bytes[pfs], 100.0 * kMB);
+  // Throughput: 200 MB over 2 busy buckets of 100 s -> 1 MB/s.
+  EXPECT_NEAR(tl.mean_throughput(Layer::kPfs, true), 1.0 * kMB, 1.0);
+  EXPECT_NEAR(tl.peak_throughput(Layer::kPfs, true), 1.0 * kMB, 1.0);
+}
+
+TEST(LoadTimeline, LayersAreSeparated) {
+  LoadTimeline tl(1000, 10);
+  tl.add_log(log_with(0, 100, 50 * kMB, 70 * kMB));
+  EXPECT_GT(tl.mean_throughput(Layer::kPfs, true), 0.0);
+  EXPECT_DOUBLE_EQ(tl.mean_throughput(Layer::kPfs, false), 0.0);
+  EXPECT_GT(tl.mean_throughput(Layer::kInSystem, false), 0.0);
+  EXPECT_DOUBLE_EQ(tl.mean_throughput(Layer::kInSystem, true), 0.0);
+}
+
+TEST(LoadTimeline, ConcurrencyAndBusyFraction) {
+  LoadTimeline tl(1000, 10);
+  tl.add_log(log_with(0, 500, 10 * kMB, 0));    // buckets 0-4
+  tl.add_log(log_with(200, 400, 10 * kMB, 0));  // buckets 2-3
+  EXPECT_EQ(tl.peak_concurrency(), 2u);
+  EXPECT_DOUBLE_EQ(tl.busy_fraction(), 0.5);
+}
+
+TEST(LoadTimeline, ClampsOutOfHorizonJobs) {
+  LoadTimeline tl(1000, 10);
+  tl.add_log(log_with(900, 5000, 100 * kMB, 0));  // runs past the horizon
+  EXPECT_EQ(tl.bucket(9).active_logs, 1u);
+  EXPECT_EQ(tl.peak_concurrency(), 1u);
+}
+
+TEST(LoadTimeline, MergeEqualsSequential) {
+  LoadTimeline a(1000, 10), b(1000, 10), all(1000, 10);
+  for (int i = 0; i < 8; ++i) {
+    const LogData log = log_with(i * 100, i * 100 + 150, 30 * kMB, 10 * kMB);
+    (i % 2 ? a : b).add_log(log);
+    all.add_log(log);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.peak_concurrency(), all.peak_concurrency());
+  EXPECT_DOUBLE_EQ(a.mean_throughput(Layer::kPfs, true),
+                   all.mean_throughput(Layer::kPfs, true));
+  EXPECT_DOUBLE_EQ(a.busy_fraction(), all.busy_fraction());
+}
+
+TEST(LoadTimeline, MergeRejectsShapeMismatch) {
+  LoadTimeline a(1000, 10), b(1000, 20);
+  EXPECT_THROW(a.merge(b), util::ConfigError);
+}
+
+TEST(LoadTimeline, RejectsBadConstruction) {
+  EXPECT_THROW((void)LoadTimeline(0, 10), util::ConfigError);
+  EXPECT_THROW((void)LoadTimeline(100, 0), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace mlio::core

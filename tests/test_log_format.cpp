@@ -1,0 +1,130 @@
+#include "darshan/log_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "darshan/counters.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mlio::darshan {
+namespace {
+
+LogData random_log(std::uint64_t seed, std::size_t n_records) {
+  util::Rng rng(seed);
+  LogData log;
+  log.job.job_id = rng.next();
+  log.job.user_id = static_cast<std::uint32_t>(rng.uniform_u64(1, 1 << 20));
+  log.job.nprocs = static_cast<std::uint32_t>(rng.uniform_u64(1, 4096));
+  log.job.nnodes = std::max(1u, log.job.nprocs / 42);
+  log.job.start_time = static_cast<std::int64_t>(rng.uniform_u64(0, 1u << 30));
+  log.job.end_time = log.job.start_time + static_cast<std::int64_t>(rng.uniform_u64(1, 86400));
+  log.job.exe = "exe_" + std::to_string(rng.next() & 0xffff);
+  log.job.metadata["domain"] = "Physics";
+  log.job.metadata["machine"] = "Summit";
+  log.mounts = {{"/gpfs/alpine", "gpfs"}, {"/mnt/bb", "xfs"}};
+
+  for (std::size_t i = 0; i < n_records; ++i) {
+    const auto mod = static_cast<ModuleId>(rng.uniform_u64(0, 3));
+    const std::string path = "/gpfs/alpine/f" + std::to_string(i);
+    FileRecord rec(hash_record_id(path), i % 3 == 0 ? kSharedRank
+                                                    : static_cast<std::int32_t>(i % 7),
+                   mod);
+    log.names[rec.record_id] = path;
+    for (auto& c : rec.counters) c = static_cast<std::int64_t>(rng.next() >> 16);
+    for (auto& f : rec.fcounters) f = rng.uniform_real(0, 1e6);
+    log.records.push_back(std::move(rec));
+  }
+  return log;
+}
+
+TEST(LogFormat, RoundtripCompressed) {
+  const LogData log = random_log(1, 25);
+  const auto bytes = write_log_bytes(log);
+  const LogData back = read_log_bytes(bytes);
+  EXPECT_TRUE(log == back);
+}
+
+TEST(LogFormat, RoundtripUncompressed) {
+  const LogData log = random_log(2, 10);
+  WriteOptions opts;
+  opts.compress = false;
+  const auto bytes = write_log_bytes(log, opts);
+  EXPECT_TRUE(log == read_log_bytes(bytes));
+}
+
+TEST(LogFormat, RoundtripEmptyLog) {
+  LogData log;
+  log.job.job_id = 9;
+  EXPECT_TRUE(log == read_log_bytes(write_log_bytes(log)));
+}
+
+TEST(LogFormat, CompressionShrinksTypicalLogs) {
+  const LogData log = random_log(3, 200);
+  WriteOptions raw;
+  raw.compress = false;
+  EXPECT_LT(write_log_bytes(log).size(), write_log_bytes(log, raw).size());
+}
+
+TEST(LogFormat, BadMagicThrows) {
+  auto bytes = write_log_bytes(random_log(4, 1));
+  bytes[0] = std::byte{0x00};
+  EXPECT_THROW(read_log_bytes(bytes), util::FormatError);
+}
+
+TEST(LogFormat, BadVersionThrows) {
+  auto bytes = write_log_bytes(random_log(5, 1));
+  bytes[4] = std::byte{0x7f};
+  EXPECT_THROW(read_log_bytes(bytes), util::FormatError);
+}
+
+TEST(LogFormat, CorruptBodyThrows) {
+  auto bytes = write_log_bytes(random_log(6, 20));
+  bytes[bytes.size() - 5] ^= std::byte{0xff};
+  EXPECT_THROW(read_log_bytes(bytes), util::FormatError);
+}
+
+TEST(LogFormat, CrcCatchesUncompressedCorruption) {
+  WriteOptions raw;
+  raw.compress = false;
+  auto bytes = write_log_bytes(random_log(7, 5), raw);
+  bytes[bytes.size() - 1] ^= std::byte{0x01};
+  EXPECT_THROW(read_log_bytes(bytes), util::FormatError);
+}
+
+TEST(LogFormat, TruncatedBodyThrows) {
+  auto bytes = write_log_bytes(random_log(8, 20));
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(read_log_bytes(bytes), util::FormatError);
+}
+
+TEST(LogFormat, FileRoundtrip) {
+  namespace fs = std::filesystem;
+  const LogData log = random_log(9, 40);
+  const fs::path path = fs::temp_directory_path() / "mlio_test_log.darshan";
+  write_log_file(log, path);
+  const LogData back = read_log_file(path);
+  EXPECT_TRUE(log == back);
+  fs::remove(path);
+}
+
+TEST(LogFormat, MissingFileThrows) {
+  EXPECT_THROW(read_log_file("/nonexistent/dir/x.darshan"), util::Error);
+}
+
+// Property sweep: roundtrip holds across log shapes and record counts.
+class LogFormatProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LogFormatProperty, RoundtripManyShapes) {
+  for (std::uint64_t seed = 100; seed < 105; ++seed) {
+    const LogData log = random_log(seed * 7 + GetParam(), GetParam());
+    EXPECT_TRUE(log == read_log_bytes(write_log_bytes(log)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RecordCounts, LogFormatProperty,
+                         ::testing::Values(0u, 1u, 2u, 17u, 64u, 257u, 1024u));
+
+}  // namespace
+}  // namespace mlio::darshan

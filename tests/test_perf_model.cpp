@@ -1,0 +1,239 @@
+#include "iosim/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iosim/machine.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mlio::sim {
+namespace {
+
+using util::kGB;
+using util::kGiB;
+using util::kMB;
+using util::kMiB;
+
+// Noise-free model for deterministic assertions.
+PerfModel quiet_model() {
+  PerfModelConfig cfg;
+  cfg.noise_sigma = 0.0;
+  return PerfModel(cfg);
+}
+
+AccessRequest base_request(const Machine& m, const StorageLayer& layer) {
+  AccessRequest req;
+  req.layer = &layer;
+  req.total_bytes = 1 * kGB;
+  req.op_size = 1 * kMB;
+  req.streams = 1;
+  req.nodes = 1;
+  req.contention = 1.0;
+  req.node_link_bw = m.node_link_bw();
+  util::Rng rng(1);
+  req.placement = layer.place(req.total_bytes, 0, rng);
+  return req;
+}
+
+TEST(PerfModel, BandwidthIncreasesWithRequestSize) {
+  const Machine m = Machine::summit();
+  const PerfModel pm = quiet_model();
+  AccessRequest req = base_request(m, m.pfs());
+  req.op_size = 100;  // tiny requests: latency dominated
+  const double small = pm.aggregate_bandwidth(req);
+  req.op_size = 16 * kMiB;
+  const double big = pm.aggregate_bandwidth(req);
+  EXPECT_GT(big, small * 100);
+}
+
+TEST(PerfModel, PosixScalesWithStreamsStdioDoesNot) {
+  const Machine m = Machine::summit();
+  const PerfModel pm = quiet_model();
+  AccessRequest req = base_request(m, m.pfs());
+  req.total_bytes = 100 * kGB;
+  util::Rng rng(2);
+  req.placement = m.pfs().place(req.total_bytes, 0, rng);
+  req.nodes = 32;
+
+  req.iface = Interface::kPosix;
+  req.streams = 1;
+  const double posix1 = pm.aggregate_bandwidth(req);
+  req.streams = 64;
+  const double posix64 = pm.aggregate_bandwidth(req);
+  EXPECT_GT(posix64, posix1 * 8);
+
+  req.iface = Interface::kStdio;
+  req.streams = 1;
+  const double stdio1 = pm.aggregate_bandwidth(req);
+  req.streams = 64;
+  const double stdio64 = pm.aggregate_bandwidth(req);
+  EXPECT_DOUBLE_EQ(stdio64, stdio1);  // single buffered stream per file
+}
+
+TEST(PerfModel, TypicalPosixBeatsTypicalStdioOnPfsReads) {
+  // The Fig. 11a gap at equal transfer size: a typical POSIX access (large
+  // requests, several ranks) vs a typical STDIO access (small requests, one
+  // buffered stream).
+  const Machine m = Machine::summit();
+  const PerfModel pm = quiet_model();
+  AccessRequest req = base_request(m, m.pfs());
+  req.dir = Direction::kRead;
+
+  req.iface = Interface::kPosix;
+  req.op_size = 1 * kMB;
+  req.streams = 8;
+  req.nodes = 2;
+  const double posix = pm.aggregate_bandwidth(req);
+
+  req.iface = Interface::kStdio;
+  req.op_size = 1024;  // STDIO users issue small fread/fscanf calls
+  req.streams = 8;     // ignored: one FILE* stream serves the file
+  const double stdio = pm.aggregate_bandwidth(req);
+  EXPECT_GT(posix, stdio * 3);
+}
+
+TEST(PerfModel, BufferingHelpsTinyReads) {
+  // At equal (tiny) request size, the STDIO buffer/readahead batches requests
+  // while raw 1 KB preads pay full per-op latency — buffered I/O wins.  The
+  // production STDIO deficit comes from parallelism and request-size mix,
+  // not from buffering itself.
+  const Machine m = Machine::summit();
+  const PerfModel pm = quiet_model();
+  AccessRequest req = base_request(m, m.pfs());
+  req.dir = Direction::kRead;
+  req.op_size = 1024;
+  req.iface = Interface::kPosix;
+  const double posix_tiny = pm.aggregate_bandwidth(req);
+  req.iface = Interface::kStdio;
+  const double stdio_tiny = pm.aggregate_bandwidth(req);
+  EXPECT_GT(stdio_tiny, posix_tiny);
+}
+
+TEST(PerfModel, NodeLocalStdioWriteBackBeatsPosixForMediumFiles) {
+  // The Fig. 11b inversion: buffered STDIO writes of 100 MB-1 GB land in the
+  // page cache while POSIX syncs to flash.
+  const Machine m = Machine::summit();
+  const PerfModel pm = quiet_model();
+  AccessRequest req = base_request(m, m.in_system());
+  req.placement = Placement{1, 0, 0};
+  req.dir = Direction::kWrite;
+  req.total_bytes = 500 * kMB;
+  req.op_size = 64 * 1024;
+
+  req.iface = Interface::kStdio;
+  const double stdio = pm.aggregate_bandwidth(req);
+  req.iface = Interface::kPosix;
+  const double posix = pm.aggregate_bandwidth(req);
+  EXPECT_GT(stdio, posix);
+
+  // Beyond the cache threshold the device bounds both (at equal wire-level
+  // request sizes; STDIO still coalesces small app requests via writeback).
+  req.total_bytes = 200 * kGiB;
+  req.op_size = 1 * kMiB;
+  req.iface = Interface::kStdio;
+  const double stdio_big = pm.aggregate_bandwidth(req);
+  req.iface = Interface::kPosix;
+  const double posix_big = pm.aggregate_bandwidth(req);
+  EXPECT_LE(stdio_big, posix_big * 1.25);
+}
+
+TEST(PerfModel, CollectiveBufferingRescuesTinyMpiioRequests) {
+  const Machine m = Machine::cori();
+  const PerfModel pm = quiet_model();
+  AccessRequest req = base_request(m, m.pfs());
+  req.iface = Interface::kMpiIo;
+  req.op_size = 512;  // tiny per-rank requests
+  req.streams = 32;
+  req.nodes = 4;
+  req.collective = false;
+  const double indep = pm.aggregate_bandwidth(req);
+  req.collective = true;
+  const double coll = pm.aggregate_bandwidth(req);
+  EXPECT_GT(coll, indep * 10);
+}
+
+TEST(PerfModel, ContentionCapsAggregate) {
+  const Machine m = Machine::summit();
+  const PerfModel pm = quiet_model();
+  AccessRequest req = base_request(m, m.pfs());
+  req.streams = 4096;
+  req.nodes = 128;
+  req.total_bytes = 1000 * kGB;
+  util::Rng rng(3);
+  req.placement = m.pfs().place(req.total_bytes, 0, rng);
+  req.contention = 1.0;
+  const double free_bw = pm.aggregate_bandwidth(req);
+  req.contention = 0.01;
+  const double busy = pm.aggregate_bandwidth(req);
+  EXPECT_GT(free_bw, busy * 10);
+  EXPECT_LE(busy, 0.01 * m.pfs().perf().peak_read_bw * 1.0001);
+}
+
+TEST(PerfModel, LustreSingleStripeBottlenecks) {
+  const Machine m = Machine::cori();
+  const PerfModel pm = quiet_model();
+  AccessRequest req = base_request(m, m.pfs());
+  req.streams = 256;
+  req.nodes = 16;
+  req.total_bytes = 1000 * kGB;
+  req.placement = Placement{1, 1 * kMiB, 0};  // default stripe_count = 1
+  const double one_ost = pm.aggregate_bandwidth(req);
+  req.placement = Placement{48, 1 * kMiB, 0};  // lfs setstripe -c 48
+  const double wide = pm.aggregate_bandwidth(req);
+  EXPECT_GT(wide, one_ost * 10);
+}
+
+TEST(PerfModel, ElapsedScalesWithBytes) {
+  const Machine m = Machine::summit();
+  const PerfModel pm = quiet_model();
+  AccessRequest req = base_request(m, m.pfs());
+  util::Rng rng(4);
+  const double t1 = pm.elapsed_seconds(req, rng);
+  req.total_bytes *= 10;
+  const double t10 = pm.elapsed_seconds(req, rng);
+  EXPECT_GT(t10, t1 * 5);
+}
+
+TEST(PerfModel, NoiseIsMedianCentered) {
+  const Machine m = Machine::summit();
+  const PerfModel pm(PerfModelConfig{});  // default noise
+  AccessRequest req = base_request(m, m.pfs());
+  util::Rng rng(5);
+  const PerfModel quiet = quiet_model();
+  util::Rng qrng(5);
+  const double base = quiet.elapsed_seconds(req, qrng);
+  int above = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) above += pm.elapsed_seconds(req, rng) > base;
+  EXPECT_NEAR(above, n / 2, n / 10);
+}
+
+TEST(PerfModel, RejectsBadConfig) {
+  PerfModelConfig cfg;
+  cfg.stdio_buffer_bytes = 0;
+  EXPECT_THROW((void)PerfModel(cfg), util::ConfigError);
+  PerfModelConfig cfg2;
+  cfg2.noise_sigma = -1;
+  EXPECT_THROW((void)PerfModel(cfg2), util::ConfigError);
+}
+
+TEST(Machine, PresetsAndPathRouting) {
+  const Machine s = Machine::summit();
+  EXPECT_EQ(s.name(), "Summit");
+  EXPECT_EQ(s.compute_nodes(), 4608u);
+  EXPECT_EQ(s.pfs().fs_type(), "gpfs");
+  EXPECT_EQ(s.in_system().kind(), LayerKind::kNodeLocal);
+  EXPECT_EQ(s.layer_for_path("/gpfs/alpine/proj/x.h5"), &s.pfs());
+  EXPECT_EQ(s.layer_for_path("/mnt/bb/tmp.dat"), &s.in_system());
+  EXPECT_EQ(s.layer_for_path("/home/user/x"), nullptr);
+  EXPECT_EQ(s.mounts().size(), 2u);
+
+  const Machine c = Machine::cori();
+  EXPECT_EQ(c.pfs().fs_type(), "lustre");
+  EXPECT_EQ(c.in_system().kind(), LayerKind::kBurstBuffer);
+  EXPECT_EQ(c.layer_for_path("/global/cscratch1/sd/u/f"), &c.pfs());
+  EXPECT_EQ(c.layer_for_path("/var/opt/cray/dws/mounts/bb"), &c.in_system());
+}
+
+}  // namespace
+}  // namespace mlio::sim

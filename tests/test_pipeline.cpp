@@ -1,0 +1,99 @@
+#include "workload/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mlio::wl {
+namespace {
+
+GeneratorConfig cfg(std::uint64_t n_jobs, std::uint64_t seed = 3) {
+  GeneratorConfig c;
+  c.n_jobs = n_jobs;
+  c.seed = seed;
+  c.logs_per_job_scale = 0.2;
+  c.files_per_log_scale = 0.2;
+  return c;
+}
+
+TEST(Pipeline, EndToEndOnBothSystems) {
+  for (const SystemProfile* prof :
+       {&SystemProfile::summit_2020(), &SystemProfile::cori_2019()}) {
+    const WorkloadGenerator gen(*prof, cfg(60));
+    PipelineOptions opts;
+    opts.include_huge = false;
+    const PipelineResult r = run_pipeline(gen, opts);
+    EXPECT_GT(r.bulk.summary().logs(), 0u) << prof->system;
+    EXPECT_GT(r.bulk.summary().files(), 100u) << prof->system;
+    EXPECT_EQ(r.bulk.unattributed_files(), 0u) << prof->system;
+    EXPECT_GT(r.bulk.access().layer(core::Layer::kPfs).bytes_read, 0.0) << prof->system;
+  }
+}
+
+TEST(Pipeline, DeterministicAcrossThreadCounts) {
+  const WorkloadGenerator gen(SystemProfile::summit_2020(), cfg(40));
+  PipelineOptions one;
+  one.threads = 1;
+  one.include_huge = false;
+  PipelineOptions four;
+  four.threads = 4;
+  four.include_huge = false;
+  const PipelineResult a = run_pipeline(gen, one);
+  const PipelineResult b = run_pipeline(gen, four);
+  EXPECT_EQ(a.bulk.summary().logs(), b.bulk.summary().logs());
+  EXPECT_EQ(a.bulk.summary().files(), b.bulk.summary().files());
+  EXPECT_DOUBLE_EQ(a.bulk.access().layer(core::Layer::kPfs).bytes_read,
+                   b.bulk.access().layer(core::Layer::kPfs).bytes_read);
+  EXPECT_DOUBLE_EQ(a.bulk.access().layer(core::Layer::kInSystem).bytes_written,
+                   b.bulk.access().layer(core::Layer::kInSystem).bytes_written);
+  EXPECT_EQ(a.bulk.layers().job_exclusivity().pfs_only,
+            b.bulk.layers().job_exclusivity().pfs_only);
+}
+
+TEST(Pipeline, LogRoundtripDoesNotChangeResults) {
+  // Serializing every log through the on-disk format and parsing it back must
+  // be analysis-invariant: the format loses nothing the analyses consume.
+  const WorkloadGenerator gen(SystemProfile::cori_2019(), cfg(25));
+  PipelineOptions direct;
+  direct.include_huge = false;
+  PipelineOptions via_disk = direct;
+  via_disk.roundtrip_logs = true;
+  const PipelineResult a = run_pipeline(gen, direct);
+  const PipelineResult b = run_pipeline(gen, via_disk);
+  EXPECT_EQ(a.bulk.summary().files(), b.bulk.summary().files());
+  EXPECT_DOUBLE_EQ(a.bulk.access().layer(core::Layer::kPfs).bytes_written,
+                   b.bulk.access().layer(core::Layer::kPfs).bytes_written);
+  EXPECT_EQ(a.bulk.interfaces().counts(core::Layer::kPfs).stdio,
+            b.bulk.interfaces().counts(core::Layer::kPfs).stdio);
+  EXPECT_EQ(a.bulk.performance().observations(), b.bulk.performance().observations());
+}
+
+TEST(Pipeline, HugeStratumLandsInTable4Census) {
+  const WorkloadGenerator gen(SystemProfile::cori_2019(), cfg(5));
+  const PipelineResult r = run_pipeline(gen);
+  const auto& cbb = r.huge.access().layer(core::Layer::kInSystem);
+  const auto& pfs = r.huge.access().layer(core::Layer::kPfs);
+  EXPECT_EQ(cbb.huge_read_files, 513u);
+  EXPECT_EQ(cbb.huge_write_files, 950u);
+  EXPECT_EQ(pfs.huge_read_files, 74u);
+  EXPECT_EQ(pfs.huge_write_files, 10045u);
+  // Bulk stays below 1 TB by construction.
+  EXPECT_EQ(r.bulk.access().layer(core::Layer::kPfs).huge_read_files, 0u);
+}
+
+TEST(Pipeline, MachineForRejectsUnknownSystems) {
+  SystemProfile p = SystemProfile::summit_2020();
+  p.system = "Trinity";
+  EXPECT_THROW(machine_for(p), util::ConfigError);
+}
+
+TEST(Pipeline, CombinedMergesStrata) {
+  const WorkloadGenerator gen(SystemProfile::summit_2020(), cfg(10));
+  const PipelineResult r = run_pipeline(gen);
+  const core::Analysis all = r.combined();
+  EXPECT_EQ(all.summary().logs(), r.bulk.summary().logs() + r.huge.summary().logs());
+}
+
+}  // namespace
+}  // namespace mlio::wl

@@ -1,0 +1,140 @@
+// Data-integrity tests for the calibrated system profiles: every published
+// aggregate encoded in profile.cpp must stay self-consistent, so that a
+// future edit cannot silently break the calibration.
+#include "workload/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mlio::wl {
+namespace {
+
+class ProfileTest : public ::testing::TestWithParam<const SystemProfile*> {};
+
+TEST_P(ProfileTest, CensusIsPositiveAndOrdered) {
+  const SystemProfile& p = *GetParam();
+  EXPECT_GT(p.real_jobs, 0.0);
+  EXPECT_GT(p.real_logs, p.real_jobs);        // multiple logs per job
+  EXPECT_GT(p.real_files, p.real_logs);       // multiple files per log
+  EXPECT_GT(p.real_node_hours, 0.0);
+  EXPECT_FALSE(p.darshan_version.empty());
+}
+
+TEST_P(ProfileTest, LayerFileSharesSumToOne) {
+  const SystemProfile& p = *GetParam();
+  EXPECT_NEAR(p.insys.file_share + p.pfs.file_share, 1.0, 0.01);
+}
+
+TEST_P(ProfileTest, ClassSharesSumToOne) {
+  const SystemProfile& p = *GetParam();
+  for (const LayerProfile* l : {&p.insys, &p.pfs}) {
+    for (const ClassShares* c : {&l->classes_posix, &l->classes_stdio}) {
+      EXPECT_NEAR(c->ro + c->rw + c->wo, 1.0, 1e-6);
+      EXPECT_GE(c->ro, 0.0);
+      EXPECT_GE(c->rw, 0.0);
+      EXPECT_GE(c->wo, 0.0);
+    }
+  }
+}
+
+TEST_P(ProfileTest, TransferAnchorsAreProbabilities) {
+  const SystemProfile& p = *GetParam();
+  for (const LayerProfile* l : {&p.insys, &p.pfs}) {
+    for (const TransferTargets* t :
+         {&l->posix_read, &l->posix_write, &l->stdio_read, &l->stdio_write}) {
+      EXPECT_GT(t->below_1gb, 0.0);
+      EXPECT_LE(t->below_1gb, 1.0);
+      EXPECT_GE(t->tiny_split, 0.0);
+      EXPECT_LE(t->tiny_split, 1.0);
+      EXPECT_GE(t->volume_pb, 0.0);
+      if (t->huge_files > 0) {
+        EXPECT_GT(t->huge_cap, 1'000'000'000'000ull);
+      }
+    }
+  }
+}
+
+TEST_P(ProfileTest, RequestBinsSumToOne) {
+  const SystemProfile& p = *GetParam();
+  for (const LayerProfile* l : {&p.insys, &p.pfs}) {
+    for (const RequestBins* b : {&l->req_read, &l->req_write}) {
+      const double sum = std::accumulate(b->p.begin(), b->p.end(), 0.0);
+      EXPECT_NEAR(sum, 1.0, 0.02);
+    }
+  }
+}
+
+TEST_P(ProfileTest, DomainWeightsSumToOne) {
+  const SystemProfile& p = *GetParam();
+  double sum = 0;
+  for (const auto& d : p.domains) {
+    EXPECT_FALSE(d.name.empty());
+    EXPECT_GT(d.job_weight, 0.0);
+    sum += d.job_weight;
+  }
+  EXPECT_NEAR(sum, 1.0, 0.02);
+}
+
+TEST_P(ProfileTest, SharedFractionsAreProbabilities) {
+  const SystemProfile& p = *GetParam();
+  for (const LayerProfile* l : {&p.insys, &p.pfs}) {
+    for (const double f :
+         {l->shared_frac_posix, l->shared_frac_mpiio, l->shared_frac_stdio}) {
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+    }
+  }
+  EXPECT_GT(p.stdio_job_frac, 0.0);
+  EXPECT_LE(p.stdio_job_frac, 1.0);
+  EXPECT_GT(p.domain_tag_coverage, 0.0);
+  EXPECT_LE(p.domain_tag_coverage, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothSystems, ProfileTest,
+                         ::testing::Values(&SystemProfile::summit_2020(),
+                                           &SystemProfile::cori_2019()),
+                         [](const auto& p) { return p.param->system; });
+
+TEST(Profile, SummitEncodesTheTable3Split) {
+  const SystemProfile& p = SystemProfile::summit_2020();
+  EXPECT_NEAR(p.insys.file_share, 279.39 / 1294.85, 1e-6);
+  // Table 4: every >1 TB file is on the PFS.
+  EXPECT_DOUBLE_EQ(p.insys.posix_read.huge_files, 0.0);
+  EXPECT_DOUBLE_EQ(p.insys.posix_write.huge_files, 0.0);
+  EXPECT_DOUBLE_EQ(p.pfs.posix_read.huge_files, 7232.0);
+  // 73 POSIX + 5 STDIO = the 78 write files of Table 4.
+  EXPECT_DOUBLE_EQ(p.pfs.posix_write.huge_files + p.pfs.stdio_write.huge_files, 78.0);
+}
+
+TEST(Profile, CoriEncodesTheTable4AndTable5Splits) {
+  const SystemProfile& p = SystemProfile::cori_2019();
+  EXPECT_DOUBLE_EQ(p.insys.posix_read.huge_files, 513.0);
+  EXPECT_DOUBLE_EQ(p.insys.posix_write.huge_files, 950.0);
+  EXPECT_DOUBLE_EQ(p.pfs.posix_read.huge_files, 74.0);
+  EXPECT_DOUBLE_EQ(p.pfs.posix_write.huge_files, 10045.0);
+  // Table 5 counts.
+  EXPECT_NEAR(p.jobs_insys_only / (p.jobs_pfs_only + p.jobs_insys_only + p.jobs_both),
+              0.1438, 0.001);
+}
+
+TEST(Profile, SummitHasNoInsysExclusiveJobs) {
+  EXPECT_DOUBLE_EQ(SystemProfile::summit_2020().jobs_insys_only, 0.0);
+}
+
+TEST(Profile, DomainBiasesMatchFig7a) {
+  const SystemProfile& p = SystemProfile::summit_2020();
+  auto bias_of = [&](const std::string& name) {
+    for (const auto& d : p.domains) {
+      if (d.name == name) return d.insys_bias;
+    }
+    ADD_FAILURE() << "missing domain " << name;
+    return DomainInsysBias::kNone;
+  };
+  EXPECT_EQ(bias_of("Biology"), DomainInsysBias::kReadOnly);
+  EXPECT_EQ(bias_of("Materials"), DomainInsysBias::kReadOnly);
+  EXPECT_EQ(bias_of("Chemistry"), DomainInsysBias::kWriteOnly);
+}
+
+}  // namespace
+}  // namespace mlio::wl

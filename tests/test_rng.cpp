@@ -1,0 +1,156 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mlio::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, StreamsAreIndependentAndDeterministic) {
+  Rng a = Rng::stream(42, 7);
+  Rng b = Rng::stream(42, 7);
+  Rng c = Rng::stream(42, 8);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformIsInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64RespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = r.uniform_u64(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+  EXPECT_EQ(r.uniform_u64(7, 7), 7u);
+}
+
+TEST(Rng, UniformU64IsRoughlyUniform) {
+  Rng r(13);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform_u64(0, 9)];
+  for (const int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(Rng, LogUniformRespectsBoundsAndSpreadsDecades) {
+  Rng r(17);
+  int low_decade = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = r.log_uniform_u64(10, 100000);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 100000u);
+    if (v < 100) ++low_decade;
+  }
+  // Log-uniform over 4 decades: ~25% in the first decade (uniform would be ~0.09%).
+  EXPECT_NEAR(low_decade, n / 4, n / 20);
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Rng r(21);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng r(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) xs.push_back(r.lognormal(1.0, 0.5));
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], std::exp(1.0), 0.1);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(AliasTable, MatchesWeights) {
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  AliasTable t(w);
+  EXPECT_NEAR(t.probability(0), 0.1, 1e-12);
+  EXPECT_NEAR(t.probability(2), 0.6, 1e-12);
+  Rng r(31);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[t.sample(r)];
+  EXPECT_NEAR(counts[0], 0.1 * n, 0.015 * n);
+  EXPECT_NEAR(counts[1], 0.3 * n, 0.02 * n);
+  EXPECT_NEAR(counts[2], 0.6 * n, 0.02 * n);
+}
+
+TEST(AliasTable, NeverReturnsZeroWeightEntries) {
+  const std::vector<double> w = {0.0, 1.0, 0.0, 2.0};
+  AliasTable t(w);
+  Rng r(37);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t s = t.sample(r);
+    EXPECT_TRUE(s == 1 || s == 3) << s;
+  }
+}
+
+TEST(AliasTable, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), ConfigError);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}), ConfigError);
+  EXPECT_THROW(AliasTable(std::vector<double>{-1.0, 2.0}), ConfigError);
+}
+
+// Property sweep: uniform_u64 respects arbitrary bounds.
+class RngBounds : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(RngBounds, InRange) {
+  const auto [lo, hi] = GetParam();
+  Rng r(lo * 31 + hi);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = r.uniform_u64(lo, hi);
+    ASSERT_GE(v, lo);
+    ASSERT_LE(v, hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, RngBounds,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{0, 0},
+                      std::pair<std::uint64_t, std::uint64_t>{0, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{5, 6},
+                      std::pair<std::uint64_t, std::uint64_t>{0, ~0ull},
+                      std::pair<std::uint64_t, std::uint64_t>{~0ull - 3, ~0ull},
+                      std::pair<std::uint64_t, std::uint64_t>{1ull << 40, (1ull << 40) + 100}));
+
+}  // namespace
+}  // namespace mlio::util

@@ -1,0 +1,195 @@
+#include "darshan/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "darshan/counters.hpp"
+#include "util/units.hpp"
+
+namespace mlio::darshan {
+namespace {
+
+JobRecord make_job(std::uint32_t nprocs) {
+  JobRecord job;
+  job.job_id = 77;
+  job.user_id = 1001;
+  job.nprocs = nprocs;
+  job.nnodes = std::max(1u, nprocs / 42);
+  return job;
+}
+
+std::vector<MountEntry> mounts() { return {{"/gpfs/alpine", "gpfs"}, {"/mnt/bb", "xfs"}}; }
+
+const FileRecord* find(const LogData& log, ModuleId mod, std::int32_t rank) {
+  for (const auto& r : log.records) {
+    if (r.module == mod && r.rank == rank) return &r;
+  }
+  return nullptr;
+}
+
+TEST(Runtime, PosixCountersAccumulate) {
+  Runtime rt(make_job(1), mounts());
+  const auto h = rt.open_file(ModuleId::kPosix, 0, "/gpfs/alpine/a.bin", 0.0);
+  rt.record_reads(h, 0, 4096, 10, 0.0, 1.0);
+  rt.record_writes(h, 0, util::kMB * 2, 3, 1.0, 0.5);
+  rt.record_meta(h, 0, 2, 0.01);
+  const LogData log = rt.finalize(100, 200);
+
+  ASSERT_EQ(log.records.size(), 1u);
+  const FileRecord& r = log.records[0];
+  EXPECT_EQ(r.c(posix::OPENS), 1);
+  EXPECT_EQ(r.c(posix::READS), 10);
+  EXPECT_EQ(r.c(posix::WRITES), 3);
+  EXPECT_EQ(r.c(posix::BYTES_READ), 40960);
+  EXPECT_EQ(r.c(posix::BYTES_WRITTEN), 6 * 1000 * 1000);
+  EXPECT_EQ(r.c(posix::STATS), 2);
+  // 4 KB requests land in the 1K-10K bin; 2 MB in the 1M-4M bin.
+  EXPECT_EQ(r.c(posix::SIZE_READ_1K_10K), 10);
+  EXPECT_EQ(r.c(posix::SIZE_WRITE_1M_4M), 3);
+  EXPECT_DOUBLE_EQ(r.f(posix::F_READ_TIME), 1.0);
+  EXPECT_DOUBLE_EQ(r.f(posix::F_WRITE_TIME), 0.5);
+  EXPECT_DOUBLE_EQ(r.f(posix::F_READ_END_TIMESTAMP), 1.0);
+  EXPECT_DOUBLE_EQ(r.f(posix::F_WRITE_END_TIMESTAMP), 1.5);
+  EXPECT_EQ(r.c(posix::MAX_BYTE_READ), 40960 - 1);
+  EXPECT_EQ(log.job.start_time, 100);
+  EXPECT_EQ(log.job.end_time, 200);
+}
+
+TEST(Runtime, SequentialCountersOnlyWhenSequential) {
+  Runtime rt(make_job(1), mounts());
+  const auto h = rt.open_file(ModuleId::kPosix, 0, "/gpfs/alpine/s.bin", 0.0);
+  rt.record_reads(h, 0, 100, 5, 0, 0.1, /*sequential=*/true);
+  rt.record_reads(h, 0, 100, 4, 0, 0.1, /*sequential=*/false);
+  const LogData log = rt.finalize(0, 1);
+  const FileRecord& r = log.records[0];
+  EXPECT_EQ(r.c(posix::READS), 9);
+  EXPECT_EQ(r.c(posix::SEQ_READS), 5);
+  EXPECT_EQ(r.c(posix::CONSEC_READS), 4);
+}
+
+TEST(Runtime, StdioHasNoHistogramButCountsBytes) {
+  Runtime rt(make_job(1), mounts());
+  const auto h = rt.open_file(ModuleId::kStdio, 0, "/mnt/bb/log.txt", 0.0);
+  rt.record_writes(h, 0, 128, 100, 0.0, 0.2);
+  const LogData log = rt.finalize(0, 1);
+  const FileRecord& r = log.records[0];
+  EXPECT_EQ(r.module, ModuleId::kStdio);
+  EXPECT_EQ(r.c(stdio::WRITES), 100);
+  EXPECT_EQ(r.c(stdio::BYTES_WRITTEN), 12800);
+  EXPECT_EQ(r.counters.size(), stdio::COUNTER_COUNT);  // no histogram slots exist
+}
+
+TEST(Runtime, SharedReductionCollapsesAllRanks) {
+  const std::uint32_t nprocs = 8;
+  Runtime rt(make_job(nprocs), mounts());
+  for (std::uint32_t rank = 0; rank < nprocs; ++rank) {
+    const auto h = rt.open_file(ModuleId::kPosix, static_cast<std::int32_t>(rank),
+                                "/gpfs/alpine/shared.h5", 0.1 * rank);
+    // Ranks finish at different times; the slowest defines the shared time.
+    rt.record_reads(h, static_cast<std::int32_t>(rank), util::kMB, 4, 0.1 * rank,
+                    1.0 + 0.1 * rank);
+  }
+  EXPECT_EQ(rt.live_records(), nprocs);
+  const LogData log = rt.finalize(0, 10);
+
+  ASSERT_EQ(log.records.size(), 1u);
+  const FileRecord& r = log.records[0];
+  EXPECT_EQ(r.rank, kSharedRank);
+  EXPECT_EQ(r.c(posix::READS), 4 * nprocs);
+  EXPECT_EQ(r.c(posix::BYTES_READ), static_cast<std::int64_t>(4 * nprocs * util::kMB));
+  // Min start across ranks; max end; slowest-rank time.
+  EXPECT_DOUBLE_EQ(r.f(posix::F_READ_START_TIMESTAMP), 0.0);
+  EXPECT_NEAR(r.f(posix::F_READ_END_TIMESTAMP), 0.7 + 1.7, 1e-9);
+  EXPECT_NEAR(r.f(posix::F_READ_TIME), 1.7, 1e-9);
+}
+
+TEST(Runtime, PartialAccessStaysPerRank) {
+  Runtime rt(make_job(8), mounts());
+  for (std::int32_t rank = 0; rank < 3; ++rank) {  // only 3 of 8 ranks
+    const auto h = rt.open_file(ModuleId::kPosix, rank, "/gpfs/alpine/partial.bin", 0.0);
+    rt.record_reads(h, rank, 1024, 1, 0.0, 0.1);
+  }
+  const LogData log = rt.finalize(0, 1);
+  EXPECT_EQ(log.records.size(), 3u);
+  for (const auto& r : log.records) EXPECT_NE(r.rank, kSharedRank);
+}
+
+TEST(Runtime, DirectSharedRankPassesThrough) {
+  Runtime rt(make_job(4096), mounts());
+  const auto h = rt.open_file(ModuleId::kPosix, kSharedRank, "/gpfs/alpine/big.h5", 0.0);
+  rt.record_writes(h, kSharedRank, 16 * util::kMB, 1000, 0.0, 30.0);
+  const LogData log = rt.finalize(0, 60);
+  ASSERT_EQ(log.records.size(), 1u);
+  EXPECT_EQ(log.records[0].rank, kSharedRank);
+  EXPECT_EQ(log.records[0].c(posix::WRITES), 1000);
+}
+
+TEST(Runtime, SerialJobIsNotReduced) {
+  Runtime rt(make_job(1), mounts());
+  const auto h = rt.open_file(ModuleId::kPosix, 0, "/gpfs/alpine/serial.bin", 0.0);
+  rt.record_reads(h, 0, 100, 1, 0, 0.1);
+  const LogData log = rt.finalize(0, 1);
+  ASSERT_EQ(log.records.size(), 1u);
+  EXPECT_EQ(log.records[0].rank, 0);  // nprocs == 1: stays rank 0
+}
+
+TEST(Runtime, LustreGeometryRecord) {
+  Runtime rt(make_job(2), mounts());
+  rt.record_lustre("/gpfs/alpine/striped.h5", 1 << 20, 8, 17, 5, 248);
+  const LogData log = rt.finalize(0, 1);
+  ASSERT_EQ(log.records.size(), 1u);
+  const FileRecord& r = log.records[0];
+  EXPECT_EQ(r.module, ModuleId::kLustre);
+  EXPECT_EQ(r.c(lustre::STRIPE_WIDTH), 8);
+  EXPECT_EQ(r.c(lustre::OSTS), 248);
+  EXPECT_EQ(r.rank, kSharedRank);
+}
+
+TEST(Runtime, MultipleModulesForSameFile) {
+  Runtime rt(make_job(1), mounts());
+  const auto hm = rt.open_file(ModuleId::kMpiIo, 0, "/gpfs/alpine/both.h5", 0.0);
+  const auto hp = rt.open_file(ModuleId::kPosix, 0, "/gpfs/alpine/both.h5", 0.0);
+  rt.record_reads(hm, 0, 1024, 2, 0, 0.1);
+  rt.record_reads(hp, 0, 16 * util::kMB, 1, 0, 0.1);
+  const LogData log = rt.finalize(0, 1);
+  ASSERT_EQ(log.records.size(), 2u);
+  EXPECT_NE(find(log, ModuleId::kMpiIo, 0), nullptr);
+  EXPECT_NE(find(log, ModuleId::kPosix, 0), nullptr);
+  EXPECT_EQ(log.records[0].record_id, log.records[1].record_id);
+}
+
+TEST(Runtime, NamesAndMountsAreRecorded) {
+  Runtime rt(make_job(1), mounts());
+  rt.open_file(ModuleId::kPosix, 0, "/mnt/bb/x.dat", 0.0);
+  const LogData log = rt.finalize(0, 1);
+  EXPECT_EQ(log.mounts.size(), 2u);
+  EXPECT_EQ(log.path_of(hash_record_id("/mnt/bb/x.dat")), "/mnt/bb/x.dat");
+}
+
+TEST(Runtime, ZeroOpBatchesAreIgnored) {
+  Runtime rt(make_job(1), mounts());
+  const auto h = rt.open_file(ModuleId::kPosix, 0, "/gpfs/alpine/z.bin", 0.0);
+  rt.record_reads(h, 0, 1024, 0, 0, 0.0);
+  const LogData log = rt.finalize(0, 1);
+  EXPECT_EQ(log.records[0].c(posix::READS), 0);
+  EXPECT_EQ(log.records[0].c(posix::BYTES_READ), 0);
+}
+
+TEST(Runtime, DeterministicRecordOrder) {
+  auto build = [] {
+    Runtime rt(make_job(4), mounts());
+    for (int f = 0; f < 20; ++f) {
+      for (std::int32_t rank = 0; rank < 2; ++rank) {
+        const auto h = rt.open_file(ModuleId::kPosix, rank,
+                                    "/gpfs/alpine/f" + std::to_string(f), 0.0);
+        rt.record_reads(h, rank, 100, 1, 0, 0.1);
+      }
+    }
+    return rt.finalize(0, 1);
+  };
+  EXPECT_TRUE(build() == build());
+}
+
+}  // namespace
+}  // namespace mlio::darshan

@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mlio::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+}
+
+TEST(Table, SeparatorInsertsRule) {
+  Table t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.to_string();
+  // header rule + top + bottom + separator = 4 rules.
+  std::size_t rules = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos; pos = out.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"x", "y"});
+  t.add_row({"a,b", "he said \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ConfigError);
+}
+
+TEST(Table, EmptyHeadersThrow) { EXPECT_THROW(Table({}), ConfigError); }
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace mlio::util

@@ -1,0 +1,46 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlio::util {
+namespace {
+
+TEST(Units, ConstantsAreDecimalAndBinary) {
+  EXPECT_EQ(kKB, 1000u);
+  EXPECT_EQ(kMB, 1000u * 1000u);
+  EXPECT_EQ(kGB, 1000ull * 1000 * 1000);
+  EXPECT_EQ(kTB, 1000ull * kGB);
+  EXPECT_EQ(kPB, 1000ull * kTB);
+  EXPECT_EQ(kKiB, 1024u);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+  EXPECT_EQ(kGiB, 1024ull * kMiB);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(100), "100 B");
+  EXPECT_EQ(format_bytes(1500), "1.50 KB");
+  EXPECT_EQ(format_bytes(4.43e15), "4.43 PB");
+  EXPECT_EQ(format_bytes(2.5e12), "2.50 TB");
+}
+
+TEST(Units, FormatCount) {
+  EXPECT_EQ(format_count(42), "42");
+  EXPECT_EQ(format_count(281.6e3), "281.6K");
+  EXPECT_EQ(format_count(7.74e6), "7.74M");
+  EXPECT_EQ(format_count(1.29485e9), "1.29B");
+}
+
+TEST(Units, FormatBandwidthAndFixed) {
+  EXPECT_EQ(format_bandwidth(2.5e9), "2.50 GB/s");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.0, 0), "3");
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(to_pb(4.43e15), 4.43);
+  EXPECT_DOUBLE_EQ(to_tb(1e12), 1.0);
+}
+
+}  // namespace
+}  // namespace mlio::util
