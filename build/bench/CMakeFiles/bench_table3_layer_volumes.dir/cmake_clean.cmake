@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_layer_volumes.dir/bench_table3_layer_volumes.cpp.o"
+  "CMakeFiles/bench_table3_layer_volumes.dir/bench_table3_layer_volumes.cpp.o.d"
+  "bench_table3_layer_volumes"
+  "bench_table3_layer_volumes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_layer_volumes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_huge_files.dir/bench_table4_huge_files.cpp.o"
+  "CMakeFiles/bench_table4_huge_files.dir/bench_table4_huge_files.cpp.o.d"
+  "bench_table4_huge_files"
+  "bench_table4_huge_files.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_huge_files.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_job_exclusivity.cpp" "bench/CMakeFiles/bench_table5_job_exclusivity.dir/bench_table5_job_exclusivity.cpp.o" "gcc" "bench/CMakeFiles/bench_table5_job_exclusivity.dir/bench_table5_job_exclusivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mlio_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mlio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/iosim/CMakeFiles/mlio_iosim.dir/DependInfo.cmake"
+  "/root/repo/build/src/darshan/CMakeFiles/mlio_darshan.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

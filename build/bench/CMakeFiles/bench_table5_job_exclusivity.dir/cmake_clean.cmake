@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_job_exclusivity.dir/bench_table5_job_exclusivity.cpp.o"
+  "CMakeFiles/bench_table5_job_exclusivity.dir/bench_table5_job_exclusivity.cpp.o.d"
+  "bench_table5_job_exclusivity"
+  "bench_table5_job_exclusivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_job_exclusivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_interfaces.dir/bench_table6_interfaces.cpp.o"
+  "CMakeFiles/bench_table6_interfaces.dir/bench_table6_interfaces.cpp.o.d"
+  "bench_table6_interfaces"
+  "bench_table6_interfaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darshan_dump.dir/darshan_dump.cpp.o"
+  "CMakeFiles/darshan_dump.dir/darshan_dump.cpp.o.d"
+  "darshan_dump"
+  "darshan_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darshan_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quickstart_logs.dir/quickstart_logs.cpp.o"
+  "CMakeFiles/quickstart_logs.dir/quickstart_logs.cpp.o.d"
+  "quickstart_logs"
+  "quickstart_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quickstart_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

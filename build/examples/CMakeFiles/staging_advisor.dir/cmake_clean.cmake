@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staging_advisor.dir/staging_advisor.cpp.o"
+  "CMakeFiles/staging_advisor.dir/staging_advisor.cpp.o.d"
+  "staging_advisor"
+  "staging_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staging_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

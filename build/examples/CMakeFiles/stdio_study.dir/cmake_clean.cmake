@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stdio_study.dir/stdio_study.cpp.o"
+  "CMakeFiles/stdio_study.dir/stdio_study.cpp.o.d"
+  "stdio_study"
+  "stdio_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stdio_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

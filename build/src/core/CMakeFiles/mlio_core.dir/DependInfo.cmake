@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_patterns.cpp" "src/core/CMakeFiles/mlio_core.dir/access_patterns.cpp.o" "gcc" "src/core/CMakeFiles/mlio_core.dir/access_patterns.cpp.o.d"
+  "/root/repo/src/core/analysis.cpp" "src/core/CMakeFiles/mlio_core.dir/analysis.cpp.o" "gcc" "src/core/CMakeFiles/mlio_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/mlio_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/mlio_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/interface_usage.cpp" "src/core/CMakeFiles/mlio_core.dir/interface_usage.cpp.o" "gcc" "src/core/CMakeFiles/mlio_core.dir/interface_usage.cpp.o.d"
+  "/root/repo/src/core/layer_usage.cpp" "src/core/CMakeFiles/mlio_core.dir/layer_usage.cpp.o" "gcc" "src/core/CMakeFiles/mlio_core.dir/layer_usage.cpp.o.d"
+  "/root/repo/src/core/load_timeline.cpp" "src/core/CMakeFiles/mlio_core.dir/load_timeline.cpp.o" "gcc" "src/core/CMakeFiles/mlio_core.dir/load_timeline.cpp.o.d"
+  "/root/repo/src/core/performance.cpp" "src/core/CMakeFiles/mlio_core.dir/performance.cpp.o" "gcc" "src/core/CMakeFiles/mlio_core.dir/performance.cpp.o.d"
+  "/root/repo/src/core/ssd_study.cpp" "src/core/CMakeFiles/mlio_core.dir/ssd_study.cpp.o" "gcc" "src/core/CMakeFiles/mlio_core.dir/ssd_study.cpp.o.d"
+  "/root/repo/src/core/summary.cpp" "src/core/CMakeFiles/mlio_core.dir/summary.cpp.o" "gcc" "src/core/CMakeFiles/mlio_core.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/darshan/CMakeFiles/mlio_darshan.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

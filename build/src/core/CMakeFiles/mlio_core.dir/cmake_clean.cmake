@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlio_core.dir/access_patterns.cpp.o"
+  "CMakeFiles/mlio_core.dir/access_patterns.cpp.o.d"
+  "CMakeFiles/mlio_core.dir/analysis.cpp.o"
+  "CMakeFiles/mlio_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/mlio_core.dir/dataset.cpp.o"
+  "CMakeFiles/mlio_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/mlio_core.dir/interface_usage.cpp.o"
+  "CMakeFiles/mlio_core.dir/interface_usage.cpp.o.d"
+  "CMakeFiles/mlio_core.dir/layer_usage.cpp.o"
+  "CMakeFiles/mlio_core.dir/layer_usage.cpp.o.d"
+  "CMakeFiles/mlio_core.dir/load_timeline.cpp.o"
+  "CMakeFiles/mlio_core.dir/load_timeline.cpp.o.d"
+  "CMakeFiles/mlio_core.dir/performance.cpp.o"
+  "CMakeFiles/mlio_core.dir/performance.cpp.o.d"
+  "CMakeFiles/mlio_core.dir/ssd_study.cpp.o"
+  "CMakeFiles/mlio_core.dir/ssd_study.cpp.o.d"
+  "CMakeFiles/mlio_core.dir/summary.cpp.o"
+  "CMakeFiles/mlio_core.dir/summary.cpp.o.d"
+  "libmlio_core.a"
+  "libmlio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

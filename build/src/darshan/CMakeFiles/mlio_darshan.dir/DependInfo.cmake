@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/darshan/dxt.cpp" "src/darshan/CMakeFiles/mlio_darshan.dir/dxt.cpp.o" "gcc" "src/darshan/CMakeFiles/mlio_darshan.dir/dxt.cpp.o.d"
+  "/root/repo/src/darshan/log_format.cpp" "src/darshan/CMakeFiles/mlio_darshan.dir/log_format.cpp.o" "gcc" "src/darshan/CMakeFiles/mlio_darshan.dir/log_format.cpp.o.d"
+  "/root/repo/src/darshan/module.cpp" "src/darshan/CMakeFiles/mlio_darshan.dir/module.cpp.o" "gcc" "src/darshan/CMakeFiles/mlio_darshan.dir/module.cpp.o.d"
+  "/root/repo/src/darshan/record.cpp" "src/darshan/CMakeFiles/mlio_darshan.dir/record.cpp.o" "gcc" "src/darshan/CMakeFiles/mlio_darshan.dir/record.cpp.o.d"
+  "/root/repo/src/darshan/runtime.cpp" "src/darshan/CMakeFiles/mlio_darshan.dir/runtime.cpp.o" "gcc" "src/darshan/CMakeFiles/mlio_darshan.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mlio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

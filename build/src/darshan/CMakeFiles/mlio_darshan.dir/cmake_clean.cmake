@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlio_darshan.dir/dxt.cpp.o"
+  "CMakeFiles/mlio_darshan.dir/dxt.cpp.o.d"
+  "CMakeFiles/mlio_darshan.dir/log_format.cpp.o"
+  "CMakeFiles/mlio_darshan.dir/log_format.cpp.o.d"
+  "CMakeFiles/mlio_darshan.dir/module.cpp.o"
+  "CMakeFiles/mlio_darshan.dir/module.cpp.o.d"
+  "CMakeFiles/mlio_darshan.dir/record.cpp.o"
+  "CMakeFiles/mlio_darshan.dir/record.cpp.o.d"
+  "CMakeFiles/mlio_darshan.dir/runtime.cpp.o"
+  "CMakeFiles/mlio_darshan.dir/runtime.cpp.o.d"
+  "libmlio_darshan.a"
+  "libmlio_darshan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlio_darshan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

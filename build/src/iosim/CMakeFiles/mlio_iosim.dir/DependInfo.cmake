@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iosim/datawarp.cpp" "src/iosim/CMakeFiles/mlio_iosim.dir/datawarp.cpp.o" "gcc" "src/iosim/CMakeFiles/mlio_iosim.dir/datawarp.cpp.o.d"
+  "/root/repo/src/iosim/executor.cpp" "src/iosim/CMakeFiles/mlio_iosim.dir/executor.cpp.o" "gcc" "src/iosim/CMakeFiles/mlio_iosim.dir/executor.cpp.o.d"
+  "/root/repo/src/iosim/gpfs.cpp" "src/iosim/CMakeFiles/mlio_iosim.dir/gpfs.cpp.o" "gcc" "src/iosim/CMakeFiles/mlio_iosim.dir/gpfs.cpp.o.d"
+  "/root/repo/src/iosim/layer.cpp" "src/iosim/CMakeFiles/mlio_iosim.dir/layer.cpp.o" "gcc" "src/iosim/CMakeFiles/mlio_iosim.dir/layer.cpp.o.d"
+  "/root/repo/src/iosim/lustre.cpp" "src/iosim/CMakeFiles/mlio_iosim.dir/lustre.cpp.o" "gcc" "src/iosim/CMakeFiles/mlio_iosim.dir/lustre.cpp.o.d"
+  "/root/repo/src/iosim/machine.cpp" "src/iosim/CMakeFiles/mlio_iosim.dir/machine.cpp.o" "gcc" "src/iosim/CMakeFiles/mlio_iosim.dir/machine.cpp.o.d"
+  "/root/repo/src/iosim/nvme.cpp" "src/iosim/CMakeFiles/mlio_iosim.dir/nvme.cpp.o" "gcc" "src/iosim/CMakeFiles/mlio_iosim.dir/nvme.cpp.o.d"
+  "/root/repo/src/iosim/perf_model.cpp" "src/iosim/CMakeFiles/mlio_iosim.dir/perf_model.cpp.o" "gcc" "src/iosim/CMakeFiles/mlio_iosim.dir/perf_model.cpp.o.d"
+  "/root/repo/src/iosim/types.cpp" "src/iosim/CMakeFiles/mlio_iosim.dir/types.cpp.o" "gcc" "src/iosim/CMakeFiles/mlio_iosim.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/darshan/CMakeFiles/mlio_darshan.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlio_iosim.dir/datawarp.cpp.o"
+  "CMakeFiles/mlio_iosim.dir/datawarp.cpp.o.d"
+  "CMakeFiles/mlio_iosim.dir/executor.cpp.o"
+  "CMakeFiles/mlio_iosim.dir/executor.cpp.o.d"
+  "CMakeFiles/mlio_iosim.dir/gpfs.cpp.o"
+  "CMakeFiles/mlio_iosim.dir/gpfs.cpp.o.d"
+  "CMakeFiles/mlio_iosim.dir/layer.cpp.o"
+  "CMakeFiles/mlio_iosim.dir/layer.cpp.o.d"
+  "CMakeFiles/mlio_iosim.dir/lustre.cpp.o"
+  "CMakeFiles/mlio_iosim.dir/lustre.cpp.o.d"
+  "CMakeFiles/mlio_iosim.dir/machine.cpp.o"
+  "CMakeFiles/mlio_iosim.dir/machine.cpp.o.d"
+  "CMakeFiles/mlio_iosim.dir/nvme.cpp.o"
+  "CMakeFiles/mlio_iosim.dir/nvme.cpp.o.d"
+  "CMakeFiles/mlio_iosim.dir/perf_model.cpp.o"
+  "CMakeFiles/mlio_iosim.dir/perf_model.cpp.o.d"
+  "CMakeFiles/mlio_iosim.dir/types.cpp.o"
+  "CMakeFiles/mlio_iosim.dir/types.cpp.o.d"
+  "libmlio_iosim.a"
+  "libmlio_iosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlio_iosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

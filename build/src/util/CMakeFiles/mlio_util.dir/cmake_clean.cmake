@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlio_util.dir/bins.cpp.o"
+  "CMakeFiles/mlio_util.dir/bins.cpp.o.d"
+  "CMakeFiles/mlio_util.dir/byte_io.cpp.o"
+  "CMakeFiles/mlio_util.dir/byte_io.cpp.o.d"
+  "CMakeFiles/mlio_util.dir/compress.cpp.o"
+  "CMakeFiles/mlio_util.dir/compress.cpp.o.d"
+  "CMakeFiles/mlio_util.dir/error.cpp.o"
+  "CMakeFiles/mlio_util.dir/error.cpp.o.d"
+  "CMakeFiles/mlio_util.dir/histogram.cpp.o"
+  "CMakeFiles/mlio_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/mlio_util.dir/rng.cpp.o"
+  "CMakeFiles/mlio_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mlio_util.dir/stats.cpp.o"
+  "CMakeFiles/mlio_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mlio_util.dir/table.cpp.o"
+  "CMakeFiles/mlio_util.dir/table.cpp.o.d"
+  "CMakeFiles/mlio_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mlio_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/mlio_util.dir/units.cpp.o"
+  "CMakeFiles/mlio_util.dir/units.cpp.o.d"
+  "libmlio_util.a"
+  "libmlio_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlio_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

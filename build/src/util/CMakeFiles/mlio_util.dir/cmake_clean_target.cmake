@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlio_util.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlio_workload.dir/calibration.cpp.o"
+  "CMakeFiles/mlio_workload.dir/calibration.cpp.o.d"
+  "CMakeFiles/mlio_workload.dir/generator.cpp.o"
+  "CMakeFiles/mlio_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/mlio_workload.dir/pipeline.cpp.o"
+  "CMakeFiles/mlio_workload.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mlio_workload.dir/profile.cpp.o"
+  "CMakeFiles/mlio_workload.dir/profile.cpp.o.d"
+  "libmlio_workload.a"
+  "libmlio_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlio_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

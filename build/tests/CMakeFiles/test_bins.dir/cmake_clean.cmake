@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bins.dir/test_bins.cpp.o"
+  "CMakeFiles/test_bins.dir/test_bins.cpp.o.d"
+  "test_bins"
+  "test_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_darshan_records.dir/test_darshan_records.cpp.o"
+  "CMakeFiles/test_darshan_records.dir/test_darshan_records.cpp.o.d"
+  "test_darshan_records"
+  "test_darshan_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_darshan_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

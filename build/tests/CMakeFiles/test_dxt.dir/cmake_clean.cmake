@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dxt.dir/test_dxt.cpp.o"
+  "CMakeFiles/test_dxt.dir/test_dxt.cpp.o.d"
+  "test_dxt"
+  "test_dxt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dxt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_request_mix.dir/test_request_mix.cpp.o"
+  "CMakeFiles/test_request_mix.dir/test_request_mix.cpp.o.d"
+  "test_request_mix"
+  "test_request_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_request_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

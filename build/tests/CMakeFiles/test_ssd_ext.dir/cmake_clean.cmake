@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssd_ext.dir/test_ssd_ext.cpp.o"
+  "CMakeFiles/test_ssd_ext.dir/test_ssd_ext.cpp.o.d"
+  "test_ssd_ext"
+  "test_ssd_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssd_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
