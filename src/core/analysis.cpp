@@ -1,6 +1,34 @@
 #include "core/analysis.hpp"
 
+#include <bit>
+#include <string_view>
+
 namespace mlio::core {
+
+namespace {
+
+/// FNV-1a accumulator used by Analysis::fingerprint.
+struct Digest {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u64(s.size());
+    for (const char c : s) u64(static_cast<std::uint8_t>(c));
+  }
+  void histogram(const util::Histogram& hist) {
+    u64(hist.total());
+    for (std::size_t i = 0; i < hist.size(); ++i) u64(hist.count(i));
+  }
+};
+
+}  // namespace
 
 void Analysis::add(const darshan::LogData& log) {
   const std::vector<FileSummary> files = summarize_log(log, &unattributed_);
@@ -11,6 +39,105 @@ void Analysis::add(const darshan::LogData& log) {
     access_.add(log.job, f);
     performance_.add(f);
   }
+}
+
+std::uint64_t Analysis::fingerprint() const {
+  Digest d;
+
+  d.u64(summary_.logs());
+  d.u64(summary_.jobs());
+  d.u64(summary_.files());
+  d.f64(summary_.node_hours());
+  d.u64(summary_.min_logs_per_job());
+  d.u64(summary_.max_logs_per_job());
+  d.u64(unattributed_);
+
+  for (std::size_t li = 0; li < kLayerCount; ++li) {
+    const auto layer = static_cast<Layer>(li);
+
+    const auto& a = access_.layer(layer);
+    d.u64(a.files);
+    d.u64(a.read_files);
+    d.u64(a.write_files);
+    d.f64(a.bytes_read);
+    d.f64(a.bytes_written);
+    d.u64(a.huge_read_files);
+    d.u64(a.huge_write_files);
+    d.histogram(a.read_transfer);
+    d.histogram(a.write_transfer);
+    d.histogram(a.read_requests);
+    d.histogram(a.write_requests);
+    d.histogram(a.read_requests_large);
+    d.histogram(a.write_requests_large);
+
+    const auto& lc = layers_.classes(layer);
+    d.u64(lc.read_only);
+    d.u64(lc.read_write);
+    d.u64(lc.write_only);
+
+    const auto& ic = interfaces_.counts(layer);
+    d.u64(ic.posix);
+    d.u64(ic.mpiio);
+    d.u64(ic.stdio);
+    const auto& sc = interfaces_.stdio_classes(layer);
+    d.u64(sc.read_only);
+    d.u64(sc.read_write);
+    d.u64(sc.write_only);
+    for (std::size_t iface = 0; iface < 3; ++iface) {
+      d.histogram(interfaces_.transfer(layer, iface, /*read=*/true));
+      d.histogram(interfaces_.transfer(layer, iface, /*read=*/false));
+    }
+
+    for (std::size_t iface = 0; iface < 2; ++iface) {
+      for (std::size_t bin = 0; bin < Performance::bins().size(); ++bin) {
+        for (const bool read : {true, false}) {
+          const util::FiveNumber fn = performance_.cell(layer, iface, bin, read);
+          d.u64(fn.count);
+          d.f64(fn.min);
+          d.f64(fn.q1);
+          d.f64(fn.median);
+          d.f64(fn.q3);
+          d.f64(fn.max);
+        }
+      }
+    }
+  }
+
+  const auto ex = layers_.job_exclusivity();
+  d.u64(ex.pfs_only);
+  d.u64(ex.insys_only);
+  d.u64(ex.both);
+  d.u64(layers_.insys_jobs());
+  for (const auto& [name, usage] : layers_.domains()) {
+    d.str(name);
+    d.f64(usage.insys_bytes_read);
+    d.f64(usage.insys_bytes_written);
+    d.u64(usage.insys_logs);
+  }
+
+  d.u64(interfaces_.stdio_jobs());
+  d.u64(interfaces_.stdio_jobs_with_domain());
+  for (const auto& [name, usage] : interfaces_.stdio_domains()) {
+    d.str(name);
+    d.f64(usage.bytes_read);
+    d.f64(usage.bytes_written);
+  }
+  for (const auto& [ext, n] : interfaces_.stdio_extensions()) {
+    d.str(ext);
+    d.u64(n);
+  }
+
+  d.u64(performance_.observations());
+  return d.h;
+}
+
+double Analysis::total_bytes() const {
+  double bytes = 0;
+  for (std::size_t li = 0; li < kLayerCount; ++li) {
+    const auto& a = access_.layer(static_cast<Layer>(li));
+    bytes += a.bytes_read + a.bytes_written;
+  }
+  return bytes;
 }
 
 void Analysis::merge(const Analysis& other) {

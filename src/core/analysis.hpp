@@ -29,6 +29,16 @@ class Analysis {
   /// on real logs means /home, /tmp, etc.).
   std::uint64_t unattributed_files() const { return unattributed_; }
 
+  /// Order-sensitive digest of every accumulator: summary counts, per-layer
+  /// volumes, every histogram bin, interface censuses, and the performance
+  /// five-number summaries (doubles hashed bit-for-bit).  Two pipelines that
+  /// produce the same fingerprint produced bit-identical analyses — the
+  /// determinism contract checked across thread counts and scheduler modes.
+  std::uint64_t fingerprint() const;
+
+  /// Total simulated traffic (bytes read + written) across all layers.
+  double total_bytes() const;
+
  private:
   Summary summary_;
   AccessPatterns access_;

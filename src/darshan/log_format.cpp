@@ -100,12 +100,15 @@ void write_body(ByteWriter& w, const LogData& log) {
   }
 }
 
-LogData read_body(ByteReader& r) {
-  LogData log;
+// Parse a body into `log`, recycling its vectors.  log.records is reused
+// element-wise so each record's counter storage survives across logs —
+// the dominant allocation in the pipeline's roundtrip path.
+void read_body_into(ByteReader& r, LogData& log) {
   log.job = read_job(r);
 
   const std::uint32_t n_mounts = r.u32();
   if (n_mounts > r.remaining()) throw FormatError("mount count exceeds body size");
+  log.mounts.clear();
   log.mounts.reserve(n_mounts);
   for (std::uint32_t i = 0; i < n_mounts; ++i) {
     MountEntry m;
@@ -116,12 +119,14 @@ LogData read_body(ByteReader& r) {
 
   const std::uint32_t n_names = r.u32();
   if (n_names > r.remaining()) throw FormatError("name count exceeds body size");
+  log.names.clear();
   log.names.reserve(n_names);
   for (std::uint32_t i = 0; i < n_names; ++i) {
     const std::uint64_t id = r.u64();
     log.names.emplace(id, r.str());
   }
 
+  std::size_t used = 0;
   const std::uint32_t n_regions = r.u32();
   for (std::uint32_t reg = 0; reg < n_regions; ++reg) {
     const std::uint8_t mod_raw = r.u8();
@@ -138,15 +143,25 @@ LogData read_body(ByteReader& r) {
       // unspecified, and these must happen in stream order.
       const std::uint64_t record_id = r.u64();
       const auto rank = static_cast<std::int32_t>(r.u32());
-      FileRecord rec(record_id, rank, mod);
+      if (used == log.records.size()) {
+        log.records.emplace_back(record_id, rank, mod);
+      }
+      FileRecord& rec = log.records[used];
+      ++used;
+      rec.record_id = record_id;
+      rec.rank = rank;
+      rec.module = mod;
+      rec.counters.resize(n_counters);
+      rec.fcounters.resize(n_fcounters);
       for (auto& c : rec.counters) c = r.i64();
       for (auto& f : rec.fcounters) f = r.f64();
-      log.records.push_back(std::move(rec));
     }
   }
+  log.records.resize(used);
 
   const std::uint32_t n_dxt = r.u32();
   if (n_dxt > r.remaining()) throw FormatError("DXT count exceeds body size");
+  log.dxt.clear();
   log.dxt.reserve(n_dxt);
   for (std::uint32_t i = 0; i < n_dxt; ++i) {
     DxtRecord rec;
@@ -169,31 +184,37 @@ LogData read_body(ByteReader& r) {
     }
     log.dxt.push_back(std::move(rec));
   }
-  return log;
 }
 
 }  // namespace
 
-std::vector<std::byte> write_log_bytes(const LogData& log, const WriteOptions& opts) {
-  ByteWriter body;
-  write_body(body, log);
-  const auto body_bytes = body.take();
+std::span<const std::byte> write_log_bytes_into(const LogData& log, LogIoBuffers& io,
+                                                const WriteOptions& opts) {
+  io.body.clear();
+  write_body(io.body, log);
+  const auto body_bytes = io.body.view();
 
-  ByteWriter out;
-  out.u32(kLogMagic);
-  out.u16(kLogVersion);
-  out.u16(opts.compress ? kFlagCompressed : 0);
-  out.u32(util::crc32(body_bytes));
-  out.u64(body_bytes.size());
+  io.frame.clear();
+  io.frame.u32(kLogMagic);
+  io.frame.u16(kLogVersion);
+  io.frame.u16(opts.compress ? kFlagCompressed : 0);
+  io.frame.u32(util::crc32(body_bytes));
+  io.frame.u64(body_bytes.size());
   if (opts.compress) {
-    const auto packed = util::zlib_compress(body_bytes, opts.zlib_level);
-    out.u64(packed.size());
-    out.bytes(packed);
+    io.deflater.compress(body_bytes, opts.zlib_level, io.packed);
+    io.frame.u64(io.packed.size());
+    io.frame.bytes(io.packed);
   } else {
-    out.u64(body_bytes.size());
-    out.bytes(body_bytes);
+    io.frame.u64(body_bytes.size());
+    io.frame.bytes(body_bytes);
   }
-  return out.take();
+  return io.frame.view();
+}
+
+std::vector<std::byte> write_log_bytes(const LogData& log, const WriteOptions& opts) {
+  LogIoBuffers io;
+  write_log_bytes_into(log, io, opts);
+  return io.frame.take();
 }
 
 void write_log_file(const LogData& log, const std::filesystem::path& path,
@@ -206,7 +227,7 @@ void write_log_file(const LogData& log, const std::filesystem::path& path,
   if (!f) throw util::Error("write failed: " + path.string());
 }
 
-LogData read_log_bytes(std::span<const std::byte> data) {
+void read_log_bytes_into(std::span<const std::byte> data, LogIoBuffers& io, LogData& out) {
   ByteReader header(data);
   if (header.u32() != kLogMagic) throw FormatError("bad magic");
   const std::uint16_t version = header.u16();
@@ -226,18 +247,25 @@ LogData read_log_bytes(std::span<const std::byte> data) {
   }
   const auto stored = header.bytes(static_cast<std::size_t>(stored_size));
 
-  std::vector<std::byte> body;
+  std::span<const std::byte> body;
   if (flags & kFlagCompressed) {
-    body = util::zlib_decompress(stored, static_cast<std::size_t>(body_size));
+    io.inflater.decompress(stored, static_cast<std::size_t>(body_size), io.unpacked);
+    body = io.unpacked;
   } else {
     if (body_size != stored_size) throw FormatError("size mismatch in uncompressed log");
-    body.assign(stored.begin(), stored.end());
+    body = stored;  // parse straight from the input frame; no copy needed
   }
   if (util::crc32(body) != crc) throw FormatError("body CRC mismatch");
 
   ByteReader r(body);
-  LogData log = read_body(r);
+  read_body_into(r, out);
   if (!r.at_end()) throw FormatError("trailing bytes in log body");
+}
+
+LogData read_log_bytes(std::span<const std::byte> data) {
+  LogIoBuffers io;
+  LogData log;
+  read_log_bytes_into(data, io, log);
   return log;
 }
 

@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "darshan/record.hpp"
+#include "util/byte_io.hpp"
+#include "util/compress.hpp"
 
 namespace mlio::darshan {
 
@@ -37,14 +39,37 @@ struct WriteOptions {
   int zlib_level = 6;
 };
 
+/// Scratch buffers for the allocation-free codec entry points below.  One
+/// instance per worker thread: every buffer (body, framed output, compressed
+/// payload, zlib stream state) is grown once and reused across logs.
+struct LogIoBuffers {
+  util::ByteWriter body;             ///< uncompressed body under construction
+  util::ByteWriter frame;            ///< header + payload (the on-disk bytes)
+  std::vector<std::byte> packed;     ///< compressed payload (write path)
+  std::vector<std::byte> unpacked;   ///< decompressed body (read path)
+  util::Deflater deflater;
+  util::Inflater inflater;
+};
+
 /// Serialize a log to bytes / a file.
 std::vector<std::byte> write_log_bytes(const LogData& log, const WriteOptions& opts = {});
 void write_log_file(const LogData& log, const std::filesystem::path& path,
                     const WriteOptions& opts = {});
 
+/// Buffer-reuse variant: serializes into `io` and returns a view of the
+/// framed bytes, valid until the next write into the same `io`.
+std::span<const std::byte> write_log_bytes_into(const LogData& log, LogIoBuffers& io,
+                                                const WriteOptions& opts = {});
+
 /// Parse a log from bytes / a file.  Throws FormatError on malformed input
 /// (bad magic, version, CRC, truncated regions, counter-count mismatches).
 LogData read_log_bytes(std::span<const std::byte> data);
 LogData read_log_file(const std::filesystem::path& path);
+
+/// Buffer-reuse variant: parses into `out`, recycling its record vectors
+/// (including each record's counter storage) instead of reallocating.  `out`
+/// may be the very LogData that produced `data` via write_log_bytes_into —
+/// the source is fully framed into `io` before parsing begins.
+void read_log_bytes_into(std::span<const std::byte> data, LogIoBuffers& io, LogData& out);
 
 }  // namespace mlio::darshan

@@ -262,11 +262,18 @@ void Runtime::reduce_into(FileRecord& shared, const FileRecord& rank_rec) {
 
 LogData Runtime::finalize(std::int64_t start_epoch, std::int64_t end_epoch) {
   LogData log;
+  finalize_into(start_epoch, end_epoch, log);
+  return log;
+}
+
+void Runtime::finalize_into(std::int64_t start_epoch, std::int64_t end_epoch, LogData& out) {
+  LogData& log = out;
   log.job = job_;
   log.job.start_time = start_epoch;
   log.job.end_time = end_epoch;
   log.mounts = std::move(mounts_);
   log.names = std::move(names_);
+  log.dxt.clear();
   log.dxt.reserve(dxt_.size());
   for (auto& [key, rec] : dxt_) {
     (void)key;
@@ -290,6 +297,7 @@ LogData Runtime::finalize(std::int64_t start_epoch, std::int64_t end_epoch) {
     groups[gkey].push_back(i);
   }
 
+  log.records.clear();
   log.records.reserve(groups.size());
   for (auto& [gkey, idxs] : groups) {
     (void)gkey;
@@ -322,7 +330,6 @@ LogData Runtime::finalize(std::int64_t start_epoch, std::int64_t end_epoch) {
 
   index_.clear();
   records_.clear();
-  return log;
 }
 
 }  // namespace mlio::darshan

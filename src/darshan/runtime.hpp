@@ -77,6 +77,10 @@ class Runtime {
   /// return the finished LogData.  The runtime is empty afterwards.
   LogData finalize(std::int64_t start_epoch, std::int64_t end_epoch);
 
+  /// Same, but fills `out` in place, recycling its vectors' capacity — for
+  /// hot loops that execute millions of jobs through one scratch LogData.
+  void finalize_into(std::int64_t start_epoch, std::int64_t end_epoch, LogData& out);
+
  private:
   struct Key {
     std::uint64_t record_id;

@@ -80,6 +80,12 @@ JobExecutor::JobExecutor(const Machine& machine, const ExecutorConfig& cfg)
 }
 
 darshan::LogData JobExecutor::execute(const JobSpec& spec) const {
+  darshan::LogData log;
+  execute_into(spec, log);
+  return log;
+}
+
+void JobExecutor::execute_into(const JobSpec& spec, darshan::LogData& out) const {
   if (spec.nprocs == 0 || spec.nnodes == 0) {
     throw util::ConfigError("JobSpec: nprocs and nnodes must be positive");
   }
@@ -264,7 +270,7 @@ darshan::LogData JobExecutor::execute(const JobSpec& spec) const {
   // reproduces Table 2's ~2 node-hours per log given the node-count mix.
   const double compute = rng.uniform_real(20.0, 1200.0);
   const auto duration = static_cast<std::int64_t>(std::ceil(clock.now + compute));
-  return rt.finalize(spec.start_epoch, spec.start_epoch + std::max<std::int64_t>(1, duration));
+  rt.finalize_into(spec.start_epoch, spec.start_epoch + std::max<std::int64_t>(1, duration), out);
 }
 
 StagingReport JobExecutor::estimate_staging(const JobSpec& spec) const {

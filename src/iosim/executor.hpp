@@ -41,6 +41,11 @@ class JobExecutor {
   /// Execute the plan; returns the job's Darshan log.
   darshan::LogData execute(const JobSpec& spec) const;
 
+  /// Same, but fills `out` in place, recycling its vectors' capacity.  The
+  /// pipeline threads one scratch LogData per worker through this to avoid
+  /// per-job allocation churn.
+  void execute_into(const JobSpec& spec, darshan::LogData& out) const;
+
   /// Estimate the PFS<->BB staging cost of the job's directives (runs outside
   /// the job's Darshan window, as DataWarp stages before start / after exit).
   StagingReport estimate_staging(const JobSpec& spec) const;

@@ -31,6 +31,8 @@ class ByteWriter {
   std::span<const std::byte> view() const { return buf_; }
   std::vector<std::byte> take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
+  /// Forget the contents but keep the capacity — for buffer-reuse loops.
+  void clear() { buf_.clear(); }
 
  private:
   std::vector<std::byte> buf_;

@@ -8,27 +8,102 @@
 
 namespace mlio::util {
 
-std::vector<std::byte> zlib_compress(std::span<const std::byte> input, int level) {
+// A z_stream carries ~256 KB of window/state allocations made by
+// deflateInit/inflateInit; both Impls initialize lazily on first use and
+// afterwards only Reset, which keeps the allocations.
+
+struct Deflater::Impl {
+  z_stream zs{};
+  int level = -1;  ///< level the stream was initialized with; -1 = none
+
+  ~Impl() {
+    if (level >= 0) deflateEnd(&zs);
+  }
+};
+
+Deflater::Deflater() : impl_(std::make_unique<Impl>()) {}
+Deflater::~Deflater() = default;
+Deflater::Deflater(Deflater&&) noexcept = default;
+Deflater& Deflater::operator=(Deflater&&) noexcept = default;
+
+void Deflater::compress(std::span<const std::byte> input, int level,
+                        std::vector<std::byte>& out) {
   if (level < 1 || level > 9) throw ConfigError("zlib level must be in [1, 9]");
-  uLongf bound = compressBound(static_cast<uLong>(input.size()));
-  std::vector<std::byte> out(bound);
-  const int rc = compress2(reinterpret_cast<Bytef*>(out.data()), &bound,
-                           reinterpret_cast<const Bytef*>(input.data()),
-                           static_cast<uLong>(input.size()), level);
-  if (rc != Z_OK) throw FormatError("zlib compression failed");
+  if (impl_->level != level) {
+    if (impl_->level >= 0) deflateEnd(&impl_->zs);
+    impl_->zs = z_stream{};
+    if (deflateInit(&impl_->zs, level) != Z_OK) {
+      impl_->level = -1;
+      throw FormatError("zlib deflateInit failed");
+    }
+    impl_->level = level;
+  } else if (deflateReset(&impl_->zs) != Z_OK) {
+    throw FormatError("zlib deflateReset failed");
+  }
+
+  z_stream& zs = impl_->zs;
+  const uLong bound = deflateBound(&zs, static_cast<uLong>(input.size()));
   out.resize(bound);
+  zs.next_in = const_cast<Bytef*>(reinterpret_cast<const Bytef*>(input.data()));
+  zs.avail_in = static_cast<uInt>(input.size());
+  zs.next_out = reinterpret_cast<Bytef*>(out.data());
+  zs.avail_out = static_cast<uInt>(out.size());
+  if (deflate(&zs, Z_FINISH) != Z_STREAM_END) {
+    throw FormatError("zlib compression failed");
+  }
+  out.resize(zs.total_out);
+}
+
+struct Inflater::Impl {
+  z_stream zs{};
+  bool live = false;
+
+  ~Impl() {
+    if (live) inflateEnd(&zs);
+  }
+};
+
+Inflater::Inflater() : impl_(std::make_unique<Impl>()) {}
+Inflater::~Inflater() = default;
+Inflater::Inflater(Inflater&&) noexcept = default;
+Inflater& Inflater::operator=(Inflater&&) noexcept = default;
+
+void Inflater::decompress(std::span<const std::byte> input, std::size_t expected_size,
+                          std::vector<std::byte>& out) {
+  out.resize(expected_size);
+  if (expected_size == 0 && input.empty()) return;
+  if (!impl_->live) {
+    if (inflateInit(&impl_->zs) != Z_OK) throw FormatError("zlib inflateInit failed");
+    impl_->live = true;
+  } else if (inflateReset(&impl_->zs) != Z_OK) {
+    throw FormatError("zlib inflateReset failed");
+  }
+
+  z_stream& zs = impl_->zs;
+  zs.next_in = const_cast<Bytef*>(reinterpret_cast<const Bytef*>(input.data()));
+  zs.avail_in = static_cast<uInt>(input.size());
+  // inflate needs a non-empty output buffer even for an empty stream; hand
+  // it a dummy byte and let the total_out check below reject real output.
+  Bytef dummy;
+  zs.next_out = expected_size != 0 ? reinterpret_cast<Bytef*>(out.data()) : &dummy;
+  zs.avail_out = expected_size != 0 ? static_cast<uInt>(out.size()) : 1;
+  const int rc = inflate(&zs, Z_FINISH);
+  if (rc != Z_STREAM_END) throw FormatError("zlib decompression failed");
+  if (zs.total_out != expected_size) throw FormatError("decompressed size mismatch");
+}
+
+std::vector<std::byte> zlib_compress(std::span<const std::byte> input, int level) {
+  Deflater deflater;
+  std::vector<std::byte> out;
+  deflater.compress(input, level, out);
   return out;
 }
 
 std::vector<std::byte> zlib_decompress(std::span<const std::byte> input,
                                        std::size_t expected_size) {
-  std::vector<std::byte> out(expected_size);
-  uLongf dest_len = static_cast<uLongf>(expected_size);
-  const int rc = uncompress(reinterpret_cast<Bytef*>(out.data()), &dest_len,
-                            reinterpret_cast<const Bytef*>(input.data()),
-                            static_cast<uLong>(input.size()));
-  if (rc != Z_OK) throw FormatError("zlib decompression failed");
-  if (dest_len != expected_size) throw FormatError("decompressed size mismatch");
+  Inflater inflater;
+  std::vector<std::byte> out;
+  inflater.decompress(input, expected_size, out);
   return out;
 }
 

@@ -1,12 +1,55 @@
 // zlib (DEFLATE) helpers used by the Darshan log format.
+//
+// The free functions are one-shot conveniences.  Deflater / Inflater own a
+// reusable z_stream plus its internal window state, so hot loops (the
+// pipeline's log roundtrip path serializes millions of logs) pay the zlib
+// allocation cost once per worker instead of once per log.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 namespace mlio::util {
+
+/// Reusable DEFLATE stream.  compress() resets the stream, so one instance
+/// serves any number of independent buffers; not thread-safe.
+class Deflater {
+ public:
+  Deflater();
+  ~Deflater();
+  Deflater(Deflater&&) noexcept;
+  Deflater& operator=(Deflater&&) noexcept;
+
+  /// Deflate `input` at `level` (1..9) into `out` (cleared first; capacity is
+  /// reused).  Throws ConfigError on a bad level, FormatError on failure.
+  void compress(std::span<const std::byte> input, int level, std::vector<std::byte>& out);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Reusable INFLATE stream; the mirror of Deflater.
+class Inflater {
+ public:
+  Inflater();
+  ~Inflater();
+  Inflater(Inflater&&) noexcept;
+  Inflater& operator=(Inflater&&) noexcept;
+
+  /// Inflate `input` into `out`, which is resized to `expected_size` (the
+  /// exact decompressed size recorded in the log header).  Throws
+  /// FormatError on corrupt data or size mismatch.
+  void decompress(std::span<const std::byte> input, std::size_t expected_size,
+                  std::vector<std::byte>& out);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Deflate `input` at the given zlib level (1..9; 6 is the format default).
 std::vector<std::byte> zlib_compress(std::span<const std::byte> input, int level = 6);

@@ -1,10 +1,20 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/error.hpp"
 
 namespace mlio::util {
+
+namespace {
+// Set for the lifetime of a worker thread (any pool); lets the parallel_for
+// entry points detect nested submission and fall back to inline execution
+// instead of deadlocking on their own queue.
+thread_local bool tl_in_worker = false;
+}  // namespace
+
+bool ThreadPool::in_worker() { return tl_in_worker; }
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
@@ -45,12 +55,26 @@ void ThreadPool::parallel_for_chunks(
   const std::uint64_t n = end - begin;
   chunks = std::min(chunks, n);
 
+  const std::uint64_t per = n / chunks;
+  const std::uint64_t extra = n % chunks;
+
+  if (tl_in_worker) {
+    // Nested call from inside a worker task: waiting on the pool would
+    // deadlock (every worker may be blocked on this same barrier), so run
+    // the chunks serially on the caller.  Chunk boundaries are unchanged.
+    std::uint64_t cursor = begin;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const std::uint64_t len = per + (c < extra ? 1 : 0);
+      body(c, cursor, cursor + len);
+      cursor += len;
+    }
+    return;
+  }
+
   std::mutex done_mu;
   std::condition_variable done_cv;
   std::uint64_t remaining = chunks;
 
-  const std::uint64_t per = n / chunks;
-  const std::uint64_t extra = n % chunks;
   std::uint64_t cursor = begin;
   for (std::uint64_t c = 0; c < chunks; ++c) {
     const std::uint64_t len = per + (c < extra ? 1 : 0);
@@ -67,7 +91,61 @@ void ThreadPool::parallel_for_chunks(
   done_cv.wait(lock, [&] { return remaining == 0; });
 }
 
+std::vector<std::uint64_t> ThreadPool::parallel_for_dynamic(
+    std::uint64_t begin, std::uint64_t end, std::uint64_t block_size,
+    const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t, unsigned)>& body) {
+  std::vector<std::uint64_t> per_worker(std::max(1u, thread_count()), 0);
+  if (begin >= end) return per_worker;
+  if (block_size == 0) block_size = 1;
+  const std::uint64_t n_blocks = (end - begin + block_size - 1) / block_size;
+
+  auto block_range = [&](std::uint64_t b) {
+    const std::uint64_t lo = begin + b * block_size;
+    return std::pair{lo, std::min(end, lo + block_size)};
+  };
+
+  if (tl_in_worker) {
+    // Nested call: run every block inline on the caller (see header).
+    for (std::uint64_t b = 0; b < n_blocks; ++b) {
+      const auto [lo, hi] = block_range(b);
+      body(b, lo, hi, 0);
+    }
+    per_worker[0] = n_blocks;
+    return per_worker;
+  }
+
+  // One runner task per worker; each drains the shared ticket counter, so a
+  // runner stuck on a heavy block simply stops claiming tickets while the
+  // others finish the tail — no straggler waits.
+  std::atomic<std::uint64_t> ticket{0};
+  const unsigned runners =
+      static_cast<unsigned>(std::min<std::uint64_t>(thread_count(), n_blocks));
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  unsigned remaining = runners;
+
+  for (unsigned w = 0; w < runners; ++w) {
+    submit([&, w] {
+      std::uint64_t executed = 0;
+      for (;;) {
+        const std::uint64_t b = ticket.fetch_add(1, std::memory_order_relaxed);
+        if (b >= n_blocks) break;
+        const auto [lo, hi] = block_range(b);
+        body(b, lo, hi, w);
+        ++executed;
+      }
+      per_worker[w] = executed;
+      std::lock_guard lock(done_mu);
+      if (--remaining == 0) done_cv.notify_one();
+    });
+  }
+  std::unique_lock lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  return per_worker;
+}
+
 void ThreadPool::worker_loop() {
+  tl_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {

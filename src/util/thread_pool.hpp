@@ -1,10 +1,23 @@
-// Minimal work-stealing-free thread pool with a deterministic parallel_for.
+// Minimal thread pool with two deterministic parallel_for schedulers.
 //
 // The generation→simulation→analysis pipeline is embarrassingly parallel per
 // job.  Determinism is preserved by (a) seeding each job's Rng from its index
-// (never from thread identity) and (b) merging per-thread accumulators in
-// index order.  parallel_for_chunks exposes the chunk index so callers can
-// keep one accumulator per chunk and merge them in order afterwards.
+// (never from thread identity) and (b) merging per-chunk (or per-block)
+// accumulators in index order.
+//
+//   * parallel_for_chunks — static scheduling: the range is split into
+//     `chunks` contiguous ranges assigned up front.  Lowest overhead, but a
+//     heavy-tailed workload leaves threads idle behind the largest chunk.
+//   * parallel_for_dynamic — work-stealing via an atomic ticket counter over
+//     fixed-size blocks.  Block boundaries depend only on (range, block
+//     size), never on thread count or timing, so callers that keep one
+//     accumulator per block and merge in block order get bit-identical
+//     results no matter which worker ran which block.
+//
+// Nested parallelism: calling either parallel_for from inside a worker task
+// would deadlock a fully-busy pool (the inner call waits on workers that are
+// all waiting on it), so nested calls detect the situation via a thread-local
+// flag and degrade to an inline serial loop on the calling worker.
 #pragma once
 
 #include <condition_variable>
@@ -28,6 +41,9 @@ class ThreadPool {
 
   unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// True when the calling thread is a pool worker (of any ThreadPool).
+  static bool in_worker();
+
   /// Enqueue a task; tasks must not throw (they run under noexcept workers —
   /// wrap anything fallible and surface errors through your own channel).
   void submit(std::function<void()> task);
@@ -37,9 +53,25 @@ class ThreadPool {
 
   /// Split [begin, end) into `chunks` ranges and run
   /// body(chunk_index, chunk_begin, chunk_end) across the pool.  Blocks until
-  /// all chunks complete.  chunks == 0 selects thread_count().
+  /// all chunks complete.  chunks == 0 selects thread_count().  Safe to call
+  /// from inside a worker task: the chunks then run inline on the caller.
   void parallel_for_chunks(std::uint64_t begin, std::uint64_t end, std::uint64_t chunks,
                            const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>& body);
+
+  /// Work-stealing variant: split [begin, end) into fixed-size blocks of
+  /// `block_size` elements (the last block may be short) and hand block
+  /// indices to idle workers through an atomic ticket counter.  The body is
+  /// called as body(block_index, block_begin, block_end, worker_slot) where
+  /// worker_slot is a dense index in [0, thread_count()) identifying the
+  /// executing runner — callers use it to reuse per-worker scratch state.
+  /// Block boundaries are a pure function of (begin, end, block_size).
+  /// Returns the number of blocks each worker slot executed (telemetry; the
+  /// per-slot counts are timing-dependent, the set of blocks is not).
+  /// block_size == 0 selects 1.  Safe to call from inside a worker task:
+  /// every block then runs inline on the caller under worker_slot 0.
+  std::vector<std::uint64_t> parallel_for_dynamic(
+      std::uint64_t begin, std::uint64_t end, std::uint64_t block_size,
+      const std::function<void(std::uint64_t, std::uint64_t, std::uint64_t, unsigned)>& body);
 
  private:
   void worker_loop();

@@ -293,35 +293,71 @@ void WorkloadGenerator::generate_job(std::uint64_t job_index, const JobSink& sin
   }
 }
 
-void WorkloadGenerator::generate_huge(const JobSink& sink) const {
-  const SystemProfile& prof = profile();
-  // Every >1 TB file of Table 4, attached to synthetic "hero" jobs, up to 64
-  // files per job.  Sizes are log-uniform in [1 TB, cap].
-  struct HugeGroup {
-    const TransferTargets* t;
-    bool on_insys;
-    bool is_stdio;
-    bool is_read;
-  };
-  const std::vector<HugeGroup> groups = {
+namespace {
+
+// The >1 TB stratum is generated as synthetic "hero" jobs of up to 64 huge
+// files each.  The groups below partition Table 4's census; hero jobs are
+// indexed globally across groups so any subrange can be generated
+// independently (parallel chunking) with bit-identical output.
+struct HugeGroup {
+  const TransferTargets* t;
+  bool on_insys;
+  bool is_stdio;
+  bool is_read;
+};
+
+std::vector<HugeGroup> huge_groups(const SystemProfile& prof) {
+  return {
       {&prof.pfs.posix_read, false, false, true},
       {&prof.pfs.posix_write, false, false, false},
       {&prof.pfs.stdio_write, false, true, false},
       {&prof.insys.posix_read, true, false, true},
       {&prof.insys.posix_write, true, false, false},
   };
+}
 
-  std::uint64_t job_counter = 0x40000000ull;  // disjoint from bulk job ids
-  for (const auto& g : groups) {
+constexpr std::uint64_t kHugeFilesPerJob = 64;
+constexpr std::uint64_t kHugeJobIdBase = 0x40000000ull;  // disjoint from bulk job ids
+
+std::uint64_t huge_group_jobs(const HugeGroup& g) {
+  const auto total = static_cast<std::uint64_t>(std::llround(g.t->huge_files));
+  if (total == 0 || g.t->huge_cap <= kTB) return 0;
+  return (total + kHugeFilesPerJob - 1) / kHugeFilesPerJob;
+}
+
+}  // namespace
+
+std::uint64_t WorkloadGenerator::huge_job_count() const {
+  std::uint64_t n = 0;
+  for (const auto& g : huge_groups(profile())) n += huge_group_jobs(g);
+  return n;
+}
+
+void WorkloadGenerator::generate_huge(const JobSink& sink) const {
+  generate_huge_range(0, huge_job_count(), sink);
+}
+
+void WorkloadGenerator::generate_huge_range(std::uint64_t begin, std::uint64_t end,
+                                            const JobSink& sink) const {
+  const SystemProfile& prof = profile();
+  // Sizes are log-uniform in [1 TB, cap].
+  std::uint64_t k = 0;  // global hero-job index across groups
+  for (const auto& g : huge_groups(prof)) {
     const auto total = static_cast<std::uint64_t>(std::llround(g.t->huge_files));
-    if (total == 0 || g.t->huge_cap <= kTB) continue;
-    std::uint64_t emitted = 0;
-    while (emitted < total) {
-      const std::uint64_t batch = std::min<std::uint64_t>(64, total - emitted);
-      Rng jrng = Rng::stream(cfg_.seed ^ 0xbead5ull, job_counter);
+    const std::uint64_t n_jobs = huge_group_jobs(g);
+    if (k + n_jobs <= begin || k >= end) {
+      k += n_jobs;
+      continue;
+    }
+    for (std::uint64_t b = 0; b < n_jobs; ++b, ++k) {
+      if (k < begin) continue;
+      if (k >= end) return;
+      const std::uint64_t emitted = b * kHugeFilesPerJob;
+      const std::uint64_t batch = std::min(kHugeFilesPerJob, total - emitted);
+      Rng jrng = Rng::stream(cfg_.seed ^ 0xbead5ull, kHugeJobIdBase + k);
 
       sim::JobSpec spec;
-      spec.job_id = ++job_counter;
+      spec.job_id = kHugeJobIdBase + k + 1;
       spec.user_id = 777;
       spec.nprocs = 2048;
       spec.nnodes = std::max<std::uint32_t>(1, 2048 / prof.procs_per_node);
@@ -353,7 +389,6 @@ void WorkloadGenerator::generate_huge(const JobSink& sink) const {
                     std::to_string(emitted + i) + (g.is_stdio ? ".dat" : ".h5");
         spec.files.push_back(std::move(file));
       }
-      emitted += batch;
       sink(spec);
     }
   }

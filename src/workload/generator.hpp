@@ -44,6 +44,12 @@ class WorkloadGenerator {
   void generate_bulk_range(std::uint64_t begin, std::uint64_t end, const JobSink& sink) const;
   /// Generate the full-scale huge-file stratum.
   void generate_huge(const JobSink& sink) const;
+  /// Number of synthetic "hero" jobs in the huge stratum — the index domain
+  /// of generate_huge_range.
+  std::uint64_t huge_job_count() const;
+  /// Generate hero jobs [begin, end) — for parallel chunking.  Any subrange
+  /// reproduces the same jobs generate_huge emits, bit-identically.
+  void generate_huge_range(std::uint64_t begin, std::uint64_t end, const JobSink& sink) const;
 
   const CalibratedSystem& calibrated() const { return calib_; }
   const SystemProfile& profile() const { return *calib_.profile; }

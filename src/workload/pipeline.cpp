@@ -1,12 +1,42 @@
 #include "workload/pipeline.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <vector>
 
-#include "darshan/log_format.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mlio::wl {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point t0) {
+  return std::chrono::duration<double>(SteadyClock::now() - t0).count();
+}
+
+// Auto block sizing: at most this many blocks per stratum.  An Analysis
+// shard costs ~50 us to construct (histograms + quantile reservoirs), so the
+// cap bounds that overhead while still giving a ticket scheduler plenty of
+// blocks to balance a heavy-tailed population across any realistic thread
+// count.  Must stay a pure function of the population size — block
+// boundaries are part of the determinism contract.
+constexpr std::uint64_t kMaxAutoBlocks = 256;
+
+std::uint64_t auto_block_size(std::uint64_t n) {
+  return std::max<std::uint64_t>(1, (n + kMaxAutoBlocks - 1) / kMaxAutoBlocks);
+}
+
+/// Per-worker reusable state: the scratch LogData every job is executed
+/// into, plus the codec buffers for the roundtrip path.
+struct WorkerScratch {
+  darshan::LogData log;
+  darshan::LogIoBuffers io;
+};
+
+}  // namespace
 
 core::Analysis PipelineResult::combined() const {
   core::Analysis all;
@@ -24,37 +54,105 @@ const sim::Machine& machine_for(const SystemProfile& profile) {
 }
 
 PipelineResult run_pipeline(const WorkloadGenerator& gen, const PipelineOptions& opts) {
+  const auto t_start = SteadyClock::now();
   const sim::Machine& machine = machine_for(gen.profile());
   const sim::JobExecutor executor(machine);
-
-  auto consume = [&](core::Analysis& into, const sim::JobSpec& spec) {
-    darshan::LogData log = executor.execute(spec);
-    if (opts.roundtrip_logs) {
-      const auto bytes = darshan::write_log_bytes(log);
-      log = darshan::read_log_bytes(bytes);
-    }
-    into.add(log);
-  };
-
-  PipelineResult result;
+  const bool dynamic = opts.scheduling == PipelineOptions::Scheduling::kDynamic;
 
   util::ThreadPool pool(opts.threads);
+
+  PipelineResult result;
+  PipelineStats& stats = result.stats;
+  stats.threads = pool.thread_count();
+  stats.dynamic_scheduling = dynamic;
+  stats.worker_blocks.assign(std::max(1u, pool.thread_count()), 0);
+
+  // In dynamic mode scratch is per worker slot and lives across both strata;
+  // static chunks construct their own (one per contiguous block run).
+  std::vector<WorkerScratch> scratch(std::max(1u, pool.thread_count()));
+
+  auto consume = [&](core::Analysis& into, WorkerScratch& ws, const sim::JobSpec& spec) {
+    executor.execute_into(spec, ws.log);
+    if (opts.roundtrip_logs) {
+      const auto bytes = darshan::write_log_bytes_into(ws.log, ws.io, opts.write_options);
+      darshan::read_log_bytes_into(bytes, ws.io, ws.log);
+    }
+    into.add(ws.log);
+  };
+
+  // Run one stratum of `n` jobs in blocks of `block` through the configured
+  // scheduler; `generate(lo, hi, sink)` produces jobs [lo, hi).  Blocks are
+  // chunked on job boundaries so all logs of a job land in one accumulator
+  // (the distinct-job censuses rely on it), and shards merge in block order.
+  auto run_stratum = [&](std::uint64_t n, std::uint64_t block, core::Analysis& into,
+                         const auto& generate) -> std::uint64_t {
+    if (n == 0) return 0;
+    const std::uint64_t n_blocks = (n + block - 1) / block;
+    std::vector<core::Analysis> shards(n_blocks);
+    if (dynamic) {
+      const auto counts = pool.parallel_for_dynamic(
+          0, n, block, [&](std::uint64_t b, std::uint64_t lo, std::uint64_t hi, unsigned w) {
+            generate(lo, hi,
+                     [&](const sim::JobSpec& spec) { consume(shards[b], scratch[w], spec); });
+          });
+      for (std::size_t w = 0; w < counts.size() && w < stats.worker_blocks.size(); ++w) {
+        stats.worker_blocks[w] += counts[w];
+      }
+    } else {
+      // Static assignment: contiguous runs of blocks per chunk, as the seed
+      // scheduler did — but over the same block partition as dynamic mode,
+      // so both schedulers produce bit-identical analyses.
+      pool.parallel_for_chunks(
+          0, n_blocks, std::uint64_t{pool.thread_count()} * 4,
+          [&](std::uint64_t chunk, std::uint64_t blo, std::uint64_t bhi) {
+            (void)chunk;
+            WorkerScratch ws;
+            for (std::uint64_t b = blo; b < bhi; ++b) {
+              const std::uint64_t lo = b * block;
+              const std::uint64_t hi = std::min(n, lo + block);
+              generate(lo, hi, [&](const sim::JobSpec& spec) { consume(shards[b], ws, spec); });
+            }
+          });
+    }
+    const auto t_merge = SteadyClock::now();
+    for (const auto& shard : shards) into.merge(shard);
+    stats.merge_seconds += seconds_since(t_merge);
+    return n_blocks;
+  };
+
   const std::uint64_t n_jobs = gen.config().n_jobs;
-  // Chunk on job boundaries so all logs of a job land in one accumulator
-  // (the distinct-job censuses rely on it).
-  const std::uint64_t n_chunks = std::min<std::uint64_t>(n_jobs, pool.thread_count() * 4);
-  std::vector<core::Analysis> shards(n_chunks);
-  pool.parallel_for_chunks(0, n_jobs, n_chunks,
-                           [&](std::uint64_t chunk, std::uint64_t lo, std::uint64_t hi) {
-                             gen.generate_bulk_range(lo, hi, [&](const sim::JobSpec& spec) {
-                               consume(shards[chunk], spec);
-                             });
-                           });
-  for (const auto& shard : shards) result.bulk.merge(shard);
+  stats.block_jobs = opts.block_jobs != 0 ? opts.block_jobs : auto_block_size(n_jobs);
+  stats.jobs = n_jobs;
+
+  {
+    const auto t_bulk = SteadyClock::now();
+    const double merge_before = stats.merge_seconds;
+    stats.bulk_blocks = run_stratum(
+        n_jobs, stats.block_jobs, result.bulk,
+        [&](std::uint64_t lo, std::uint64_t hi, const WorkloadGenerator::JobSink& sink) {
+          gen.generate_bulk_range(lo, hi, sink);
+        });
+    stats.bulk_seconds = seconds_since(t_bulk) - (stats.merge_seconds - merge_before);
+  }
 
   if (opts.include_huge) {
-    gen.generate_huge([&](const sim::JobSpec& spec) { consume(result.huge, spec); });
+    // Hero jobs are few but individually heavy; one job per block keeps the
+    // ticket scheduler free to spread them across every worker.
+    const std::uint64_t n_huge = gen.huge_job_count();
+    stats.jobs += n_huge;
+    const auto t_huge = SteadyClock::now();
+    const double merge_before = stats.merge_seconds;
+    stats.huge_blocks = run_stratum(
+        n_huge, 1, result.huge,
+        [&](std::uint64_t lo, std::uint64_t hi, const WorkloadGenerator::JobSink& sink) {
+          gen.generate_huge_range(lo, hi, sink);
+        });
+    stats.huge_seconds = seconds_since(t_huge) - (stats.merge_seconds - merge_before);
   }
+
+  stats.logs = result.bulk.summary().logs() + result.huge.summary().logs();
+  stats.simulated_bytes = result.bulk.total_bytes() + result.huge.total_bytes();
+  stats.total_seconds = seconds_since(t_start);
   return result;
 }
 

@@ -1,28 +1,74 @@
 // End-to-end pipeline: generate -> simulate -> instrument -> analyze.
 //
-// Parallel over job chunks with deterministic results: every job is generated
-// from its own index-derived Rng stream and per-chunk Analysis accumulators
-// are merged in chunk order.  The bulk and huge strata are kept in separate
-// accumulators so benches can up-scale only the bulk (DESIGN.md §4).
+// Parallel over fixed-size job blocks with deterministic results: every job
+// is generated from its own index-derived Rng stream, one core::Analysis
+// accumulator is kept per block, and block accumulators are merged in block
+// order.  The block partition is a pure function of the population size (see
+// PipelineOptions::block_jobs), so the merged analysis is bit-identical
+// across thread counts and scheduler modes.  The bulk and huge strata are
+// kept in separate accumulators so benches can up-scale only the bulk
+// (DESIGN.md §4); both strata run through the same scheduler.
 #pragma once
 
+#include <vector>
+
 #include "core/analysis.hpp"
+#include "darshan/log_format.hpp"
 #include "iosim/executor.hpp"
 #include "workload/generator.hpp"
 
 namespace mlio::wl {
 
 struct PipelineOptions {
+  enum class Scheduling {
+    kStatic,   ///< contiguous block runs assigned up front (the seed behavior)
+    kDynamic,  ///< work-stealing: idle workers claim blocks via a ticket counter
+  };
+
   unsigned threads = 0;       ///< 0 = hardware concurrency
   bool include_huge = true;   ///< generate the full-scale >1 TB stratum
   /// Serialize every log through the on-disk format and parse it back before
   /// analysis — slower, but exercises writer+reader on the whole population.
   bool roundtrip_logs = false;
+  /// Log-format settings for the roundtrip (compression on/off, zlib level).
+  darshan::WriteOptions write_options;
+  Scheduling scheduling = Scheduling::kDynamic;
+  /// Jobs per scheduling block.  0 = auto: a pure function of n_jobs (never
+  /// of thread count), so the block partition — and with it every analysis
+  /// bit — is invariant under threads and scheduling mode.
+  std::uint64_t block_jobs = 0;
+};
+
+/// Throughput telemetry for one run_pipeline call.
+struct PipelineStats {
+  unsigned threads = 0;
+  bool dynamic_scheduling = true;
+  std::uint64_t block_jobs = 0;   ///< resolved block size (bulk stratum)
+  std::uint64_t bulk_blocks = 0;
+  std::uint64_t huge_blocks = 0;
+  std::uint64_t jobs = 0;         ///< bulk + hero jobs executed
+  std::uint64_t logs = 0;         ///< Darshan logs produced and analyzed
+  double simulated_bytes = 0;     ///< total traffic moved through the models
+
+  double bulk_seconds = 0;        ///< bulk generate+simulate+analyze wall time
+  double huge_seconds = 0;        ///< huge stratum wall time
+  double merge_seconds = 0;       ///< block-ordered accumulator merging
+  double total_seconds = 0;
+
+  /// Blocks executed per worker slot (both strata), populated in dynamic
+  /// mode — static chunks are not pinned to a slot.  Uniform counts mean the
+  /// load was balanced; a straggling slot shows up as a low count.
+  std::vector<std::uint64_t> worker_blocks;
+
+  double jobs_per_second() const { return total_seconds > 0 ? static_cast<double>(jobs) / total_seconds : 0; }
+  double logs_per_second() const { return total_seconds > 0 ? static_cast<double>(logs) / total_seconds : 0; }
+  double simulated_bytes_per_second() const { return total_seconds > 0 ? simulated_bytes / total_seconds : 0; }
 };
 
 struct PipelineResult {
   core::Analysis bulk;
   core::Analysis huge;
+  PipelineStats stats;
 
   /// Combined view (bulk + huge merged) for scale-free statistics.
   core::Analysis combined() const;

@@ -69,6 +69,94 @@ TEST(Pipeline, LogRoundtripDoesNotChangeResults) {
   EXPECT_EQ(a.bulk.performance().observations(), b.bulk.performance().observations());
 }
 
+TEST(Pipeline, BitIdenticalAcrossThreadsAndSchedulers) {
+  // The determinism contract: one Analysis per fixed-size block, merged in
+  // block order, with block boundaries a pure function of the population.
+  // On a skewed population (full huge stratum included), every analysis bit
+  // — summary counts, CDF bins, performance moments — must be identical
+  // across thread counts and scheduler modes.
+  const WorkloadGenerator gen(SystemProfile::cori_2019(), cfg(30));
+
+  auto run = [&](unsigned threads, PipelineOptions::Scheduling mode) {
+    PipelineOptions opts;
+    opts.threads = threads;
+    opts.scheduling = mode;
+    opts.include_huge = true;
+    return run_pipeline(gen, opts);
+  };
+
+  const PipelineResult base = run(1, PipelineOptions::Scheduling::kStatic);
+  const std::uint64_t bulk_fp = base.bulk.fingerprint();
+  const std::uint64_t huge_fp = base.huge.fingerprint();
+  for (const unsigned threads : {1u, 8u}) {
+    for (const auto mode :
+         {PipelineOptions::Scheduling::kStatic, PipelineOptions::Scheduling::kDynamic}) {
+      const PipelineResult r = run(threads, mode);
+      EXPECT_EQ(r.bulk.fingerprint(), bulk_fp)
+          << "threads=" << threads << " dynamic=" << (mode == PipelineOptions::Scheduling::kDynamic);
+      EXPECT_EQ(r.huge.fingerprint(), huge_fp)
+          << "threads=" << threads << " dynamic=" << (mode == PipelineOptions::Scheduling::kDynamic);
+      // Spot-check a few raw values so a fingerprint bug can't mask a drift.
+      EXPECT_EQ(r.bulk.summary().files(), base.bulk.summary().files());
+      EXPECT_EQ(r.combined().performance().observations(),
+                base.combined().performance().observations());
+      const auto fn = r.huge.performance().cell(core::Layer::kPfs, 0, 5, false);
+      const auto fn_base = base.huge.performance().cell(core::Layer::kPfs, 0, 5, false);
+      EXPECT_EQ(fn.count, fn_base.count);
+      EXPECT_EQ(fn.median, fn_base.median);  // exact: same merge order required
+    }
+  }
+}
+
+TEST(Pipeline, RoundtripHonorsWriteOptions) {
+  // The roundtrip must be analysis-invariant for any WriteOptions — and the
+  // options must actually be plumbed through (uncompressed logs parse too).
+  const WorkloadGenerator gen(SystemProfile::summit_2020(), cfg(15));
+  PipelineOptions direct;
+  direct.include_huge = false;
+  const std::uint64_t fp = run_pipeline(gen, direct).bulk.fingerprint();
+
+  PipelineOptions uncompressed = direct;
+  uncompressed.roundtrip_logs = true;
+  uncompressed.write_options.compress = false;
+  EXPECT_EQ(run_pipeline(gen, uncompressed).bulk.fingerprint(), fp);
+
+  PipelineOptions fast_zlib = direct;
+  fast_zlib.roundtrip_logs = true;
+  fast_zlib.write_options.zlib_level = 1;
+  EXPECT_EQ(run_pipeline(gen, fast_zlib).bulk.fingerprint(), fp);
+}
+
+TEST(Pipeline, StatsReportThroughput) {
+  const WorkloadGenerator gen(SystemProfile::cori_2019(), cfg(20));
+  PipelineOptions opts;
+  opts.threads = 2;
+  const PipelineResult r = run_pipeline(gen, opts);
+  const PipelineStats& s = r.stats;
+  EXPECT_EQ(s.threads, 2u);
+  EXPECT_TRUE(s.dynamic_scheduling);
+  EXPECT_EQ(s.jobs, 20u + gen.huge_job_count());
+  EXPECT_EQ(s.logs, r.bulk.summary().logs() + r.huge.summary().logs());
+  EXPECT_GT(s.simulated_bytes, 0.0);
+  EXPECT_GT(s.total_seconds, 0.0);
+  EXPECT_GT(s.jobs_per_second(), 0.0);
+  EXPECT_GT(s.logs_per_second(), 0.0);
+  // Every block was executed by exactly one worker slot.
+  std::uint64_t blocks = 0;
+  for (const auto c : s.worker_blocks) blocks += c;
+  EXPECT_EQ(blocks, s.bulk_blocks + s.huge_blocks);
+}
+
+TEST(Pipeline, ExplicitBlockSizeIsHonored) {
+  const WorkloadGenerator gen(SystemProfile::summit_2020(), cfg(10));
+  PipelineOptions opts;
+  opts.include_huge = false;
+  opts.block_jobs = 3;
+  const PipelineResult r = run_pipeline(gen, opts);
+  EXPECT_EQ(r.stats.block_jobs, 3u);
+  EXPECT_EQ(r.stats.bulk_blocks, 4u);  // ceil(10 / 3)
+}
+
 TEST(Pipeline, HugeStratumLandsInTable4Census) {
   const WorkloadGenerator gen(SystemProfile::cori_2019(), cfg(5));
   const PipelineResult r = run_pipeline(gen);
