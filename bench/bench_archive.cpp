@@ -1,0 +1,192 @@
+// Archive throughput driver: measures ingest rate and cold- vs warm-query
+// latency of the partitioned log archive and writes the numbers to
+// BENCH_archive.json so the trajectory is tracked across PRs.
+//
+//   ingest — generate the population and append it as --batches partitions
+//            (+ the huge stratum) through the pipeline's archive-sink mode.
+//   cold   — first query: every partition shard rebuilt from its segment.
+//   warm   — second query: every shard served from the snapshot cache.
+//
+// cold and warm must agree bit for bit (the archive's determinism
+// contract); the JSON records the fingerprint comparison alongside the
+// speedup so a caching regression is visible as either wrong bits or a
+// missing win.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/ingest.hpp"
+#include "archive/query.hpp"
+#include "workload/pipeline.hpp"
+
+namespace {
+
+using namespace mlio;
+
+struct Args {
+  std::uint64_t jobs = 600;
+  std::uint64_t seed = 42;
+  std::uint64_t batches = 8;
+  double logs_scale = 0.25;
+  double files_scale = 0.25;
+  unsigned threads = 0;
+  unsigned reps = 3;
+  bool compress = true;
+  std::string dir;
+  std::string out = "BENCH_archive.json";
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--jobs")) a.jobs = std::strtoull(next("--jobs"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--seed")) a.seed = std::strtoull(next("--seed"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--batches")) a.batches = std::strtoull(next("--batches"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--logs-scale")) a.logs_scale = std::strtod(next("--logs-scale"), nullptr);
+    else if (!std::strcmp(argv[i], "--files-scale")) a.files_scale = std::strtod(next("--files-scale"), nullptr);
+    else if (!std::strcmp(argv[i], "--threads")) a.threads = static_cast<unsigned>(std::strtoul(next("--threads"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--reps")) a.reps = static_cast<unsigned>(std::strtoul(next("--reps"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--no-compress")) a.compress = false;
+    else if (!std::strcmp(argv[i], "--dir")) a.dir = next("--dir");
+    else if (!std::strcmp(argv[i], "--out")) a.out = next("--out");
+    else if (!std::strcmp(argv[i], "--help")) {
+      std::printf("usage: %s [--jobs N] [--seed S] [--batches B] [--logs-scale X]\n"
+                  "          [--files-scale X] [--threads T] [--reps R] [--no-compress]\n"
+                  "          [--dir DIR] [--out FILE]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+struct Rep {
+  archive::IngestStats ingest;
+  archive::QueryStats cold;
+  archive::QueryStats warm;
+  std::uint64_t cold_fp = 0;
+  std::uint64_t warm_fp = 0;
+};
+
+void print_query(const char* label, const archive::QueryStats& s) {
+  std::printf("  %-5s %8.4f s  (%llu/%llu partitions from cache, %llu logs decoded)\n", label,
+              s.total_seconds, static_cast<unsigned long long>(s.snapshot_hits),
+              static_cast<unsigned long long>(s.partitions),
+              static_cast<unsigned long long>(s.logs_scanned));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  wl::GeneratorConfig cfg;
+  cfg.seed = args.seed;
+  cfg.n_jobs = args.jobs;
+  cfg.logs_per_job_scale = args.logs_scale;
+  cfg.files_per_log_scale = args.files_scale;
+  const wl::WorkloadGenerator gen(wl::SystemProfile::cori_2019(), cfg);
+
+  const std::filesystem::path base =
+      args.dir.empty() ? std::filesystem::temp_directory_path() / "mlio_bench_archive"
+                       : std::filesystem::path(args.dir);
+
+  std::vector<Rep> reps;
+  for (unsigned rep = 0; rep < args.reps; ++rep) {
+    const std::filesystem::path dir = base / ("rep" + std::to_string(rep));
+    std::filesystem::remove_all(dir);
+
+    Rep r;
+    archive::Archive ar = archive::Archive::create(dir);
+    archive::IngestOptions iopts;
+    iopts.batches = args.batches;
+    iopts.threads = args.threads;
+    iopts.write_options.compress = args.compress;
+    r.ingest = archive::ingest_generated(ar, gen, iopts);
+
+    archive::QueryOptions qopts;
+    qopts.threads = args.threads;
+    const archive::QueryResult cold = query_archive(ar, qopts);
+    r.cold = cold.stats;
+    r.cold_fp = cold.analysis.fingerprint();
+    const archive::QueryResult warm = query_archive(ar, qopts);
+    r.warm = warm.stats;
+    r.warm_fp = warm.analysis.fingerprint();
+
+    std::printf("rep %u: ingest %.3f s (%.0f logs/s, %llu partitions)\n", rep,
+                r.ingest.seconds,
+                r.ingest.seconds > 0 ? static_cast<double>(r.ingest.logs) / r.ingest.seconds : 0.0,
+                static_cast<unsigned long long>(r.ingest.partitions));
+    print_query("cold", r.cold);
+    print_query("warm", r.warm);
+    reps.push_back(r);
+    std::filesystem::remove_all(dir);
+  }
+  if (args.dir.empty()) std::filesystem::remove_all(base);
+
+  bool bit_identical = true;
+  bool warm_all_cached = true;
+  const Rep* best = &reps.front();
+  for (const Rep& r : reps) {
+    bit_identical = bit_identical && r.cold_fp == r.warm_fp && r.cold_fp == reps.front().cold_fp;
+    warm_all_cached = warm_all_cached && r.warm.partitions_scanned == 0;
+    if (r.cold.total_seconds < best->cold.total_seconds) best = &r;
+  }
+  const double speedup =
+      best->warm.total_seconds > 0 ? best->cold.total_seconds / best->warm.total_seconds : 0.0;
+  std::printf("cold/warm speedup (best rep): %.1fx, bit-identical: %s\n", speedup,
+              bit_identical ? "yes" : "NO");
+
+  std::FILE* f = std::fopen(args.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"config\": {\"system\": \"Cori\", \"jobs\": %llu, \"seed\": %llu, "
+               "\"batches\": %llu, \"logs_scale\": %g, \"files_scale\": %g, "
+               "\"compress\": %s, \"include_huge\": true, \"host_cpus\": %u},\n",
+               static_cast<unsigned long long>(args.jobs),
+               static_cast<unsigned long long>(args.seed),
+               static_cast<unsigned long long>(args.batches), args.logs_scale, args.files_scale,
+               args.compress ? "true" : "false", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"reps\": [\n");
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const Rep& r = reps[i];
+    std::fprintf(
+        f,
+        "    {\"ingest_s\": %.4f, \"ingest_logs_per_s\": %.2f, \"partitions\": %llu,\n"
+        "     \"segment_bytes\": %llu, \"cold_query_s\": %.4f, \"cold_scan_s\": %.4f,\n"
+        "     \"cold_merge_s\": %.4f, \"warm_query_s\": %.4f, \"warm_snapshot_hits\": %llu,\n"
+        "     \"logs\": %llu}%s\n",
+        r.ingest.seconds,
+        r.ingest.seconds > 0 ? static_cast<double>(r.ingest.logs) / r.ingest.seconds : 0.0,
+        static_cast<unsigned long long>(r.ingest.partitions),
+        static_cast<unsigned long long>(r.ingest.bytes), r.cold.total_seconds,
+        r.cold.scan_seconds, r.cold.merge_seconds, r.warm.total_seconds,
+        static_cast<unsigned long long>(r.warm.snapshot_hits),
+        static_cast<unsigned long long>(r.ingest.logs), i + 1 < reps.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"warm_speedup_best\": %.3f,\n", speedup);
+  std::fprintf(f, "  \"warm_all_cached\": %s,\n", warm_all_cached ? "true" : "false");
+  std::fprintf(f, "  \"cold_warm_bit_identical\": %s\n", bit_identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", args.out.c_str());
+  return bit_identical && warm_all_cached ? 0 : 1;
+}

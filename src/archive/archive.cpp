@@ -1,0 +1,333 @@
+#include "archive/archive.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <system_error>
+
+#include "util/byte_io.hpp"
+#include "util/compress.hpp"
+#include "util/error.hpp"
+
+namespace mlio::archive {
+
+namespace {
+
+constexpr const char* kManifestName = "manifest.bin";
+
+std::string part_name(std::uint64_t id, const char* ext) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "p%06llu.%s", static_cast<unsigned long long>(id), ext);
+  return buf;
+}
+
+void append_segment_header(std::vector<std::byte>& out, std::uint64_t partition_id) {
+  util::ByteWriter w;
+  w.u32(kSegmentMagic);
+  w.u16(kSegmentVersion);
+  w.u16(0);
+  w.u64(partition_id);
+  const auto view = w.view();
+  out.insert(out.end(), view.begin(), view.end());
+}
+
+/// Validate a segment file against its manifest entry and return its bytes.
+std::vector<std::byte> checked_segment(const std::filesystem::path& path,
+                                       const PartitionInfo& p) {
+  const std::vector<std::byte> bytes = util::read_file_bytes(path);
+  if (bytes.size() != p.segment_bytes) {
+    throw util::FormatError("segment " + path.string() + ": size mismatch (truncated?)");
+  }
+  if (util::crc32(bytes) != p.segment_crc) {
+    throw util::FormatError("segment " + path.string() + ": CRC mismatch");
+  }
+  util::ByteReader r(bytes);
+  if (r.u32() != kSegmentMagic) throw util::FormatError("segment: bad magic");
+  if (r.u16() != kSegmentVersion) throw util::FormatError("segment: unsupported version");
+  (void)r.u16();
+  if (r.u64() != p.id) throw util::FormatError("segment: partition id mismatch");
+  return bytes;
+}
+
+}  // namespace
+
+Archive::Archive(std::filesystem::path dir, Manifest manifest)
+    : dir_(std::move(dir)), manifest_(std::move(manifest)) {}
+
+Archive Archive::create(const std::filesystem::path& dir) {
+  if (std::filesystem::exists(dir / kManifestName)) {
+    throw util::ConfigError("archive already exists at " + dir.string());
+  }
+  std::filesystem::create_directories(dir);
+  Archive a(dir, Manifest{});
+  a.write_manifest();
+  return a;
+}
+
+Archive Archive::open(const std::filesystem::path& dir) {
+  return Archive(dir, read_manifest_bytes(util::read_file_bytes(dir / kManifestName)));
+}
+
+Archive Archive::open_or_create(const std::filesystem::path& dir) {
+  if (std::filesystem::exists(dir / kManifestName)) return open(dir);
+  return create(dir);
+}
+
+std::filesystem::path Archive::segment_path(std::uint64_t id) const {
+  return dir_ / part_name(id, "seg");
+}
+std::filesystem::path Archive::index_path(std::uint64_t id) const {
+  return dir_ / part_name(id, "idx");
+}
+std::filesystem::path Archive::snapshot_path(std::uint64_t id) const {
+  return dir_ / part_name(id, "snap");
+}
+
+void Archive::write_manifest() {
+  manifest_.generation += 1;
+  util::write_file_atomic(dir_ / kManifestName, write_manifest_bytes(manifest_));
+}
+
+Archive::PartitionWriter::PartitionWriter(Archive& owner)
+    : owner_(&owner), id_(owner.manifest_.next_partition_id) {
+  append_segment_header(segment_, id_);
+}
+
+Archive::PartitionWriter Archive::begin_partition() { return PartitionWriter(*this); }
+
+void Archive::PartitionWriter::append_frame(const darshan::JobRecord& job,
+                                            std::span<const std::byte> frame) {
+  MLIO_ASSERT(owner_ != nullptr);
+  IndexEntry e;
+  e.offset = segment_.size();
+  e.size = frame.size();
+  e.job_id = job.job_id;
+  segment_.insert(segment_.end(), frame.begin(), frame.end());
+  if (entries_.empty()) {
+    job_id_min_ = job_id_max_ = job.job_id;
+  } else {
+    job_id_min_ = std::min(job_id_min_, job.job_id);
+    job_id_max_ = std::max(job_id_max_, job.job_id);
+  }
+  entries_.push_back(e);
+}
+
+void Archive::PartitionWriter::append(const darshan::LogData& log,
+                                      const darshan::WriteOptions& opts) {
+  append_frame(log.job, darshan::write_log_bytes(log, opts));
+}
+
+PartitionInfo Archive::PartitionWriter::seal() {
+  MLIO_ASSERT(owner_ != nullptr);
+  Archive& a = *owner_;
+  owner_ = nullptr;
+
+  PartitionInfo p;
+  p.id = id_;
+  p.log_count = entries_.size();
+  p.job_id_min = job_id_min_;
+  p.job_id_max = job_id_max_;
+  p.segment_bytes = segment_.size();
+  p.segment_crc = util::crc32(segment_);
+
+  util::write_file_atomic(a.segment_path(id_), segment_);
+  util::write_file_atomic(a.index_path(id_), write_index_bytes(id_, entries_));
+  // Manifest last: until it lands, the new files are unreferenced garbage,
+  // never a half-visible partition.
+  a.manifest_.next_partition_id = id_ + 1;
+  p.data_generation = a.manifest_.generation + 1;  // the write below bumps it
+  a.manifest_.partitions.push_back(p);
+  a.write_manifest();
+  return p;
+}
+
+void Archive::scan_partition(const PartitionInfo& p,
+                             const std::function<void(const darshan::LogData&)>& fn) const {
+  const std::vector<std::byte> bytes = checked_segment(segment_path(p.id), p);
+  const std::vector<IndexEntry> entries =
+      read_index_bytes(util::read_file_bytes(index_path(p.id)), p.id);
+  if (entries.size() != p.log_count) {
+    throw util::FormatError("index of partition " + std::to_string(p.id) + ": count mismatch");
+  }
+  darshan::LogData log;
+  darshan::LogIoBuffers io;
+  for (const IndexEntry& e : entries) {
+    if (e.offset < kSegmentHeaderBytes || e.offset + e.size > bytes.size()) {
+      throw util::FormatError("index of partition " + std::to_string(p.id) +
+                              ": entry out of segment bounds");
+    }
+    darshan::read_log_bytes_into(
+        std::span<const std::byte>(bytes.data() + e.offset, static_cast<std::size_t>(e.size)),
+        io, log);
+    fn(log);
+  }
+}
+
+std::optional<core::Analysis> Archive::load_snapshot(const PartitionInfo& p) const {
+  if (!p.has_snapshot || p.snapshot_generation != p.data_generation) return std::nullopt;
+  std::vector<std::byte> bytes;
+  try {
+    bytes = util::read_file_bytes(snapshot_path(p.id));
+  } catch (const util::IoError&) {
+    return std::nullopt;
+  }
+  if (util::crc32(bytes) != p.snapshot_crc) return std::nullopt;
+  try {
+    std::uint64_t tag = 0;
+    core::Analysis shard = core::read_snapshot_bytes(bytes, &tag);
+    if (tag != p.data_generation) return std::nullopt;
+    return shard;
+  } catch (const util::FormatError&) {
+    return std::nullopt;
+  }
+}
+
+void Archive::store_snapshot(std::uint64_t partition_id, const core::Analysis& shard,
+                             const core::SnapshotWriteOptions& opts) {
+  const auto it = std::find_if(manifest_.partitions.begin(), manifest_.partitions.end(),
+                               [&](const PartitionInfo& p) { return p.id == partition_id; });
+  if (it == manifest_.partitions.end()) {
+    throw util::ConfigError("store_snapshot: unknown partition " + std::to_string(partition_id));
+  }
+  const std::vector<std::byte> bytes =
+      core::write_snapshot_bytes(shard, it->data_generation, opts);
+  util::write_file_atomic(snapshot_path(partition_id), bytes);
+  it->has_snapshot = true;
+  it->snapshot_generation = it->data_generation;
+  it->snapshot_crc = util::crc32(bytes);
+  write_manifest();
+}
+
+std::size_t Archive::compact(std::uint64_t max_logs) {
+  // Greedy pass: maximal runs of >= 2 adjacent partitions, each smaller than
+  // max_logs, collapse into one partition at the run's position.  Raw frame
+  // copy — logs keep their exact bytes and ingest order.
+  std::vector<PartitionInfo> out;
+  std::vector<std::uint64_t> removed_ids;
+  std::size_t i = 0;
+  const auto& parts = manifest_.partitions;
+  bool changed = false;
+  while (i < parts.size()) {
+    std::size_t j = i;
+    while (j < parts.size() && parts[j].log_count < max_logs) ++j;
+    if (j - i < 2) {
+      out.push_back(parts[i]);
+      ++i;
+      continue;
+    }
+
+    const std::uint64_t new_id = manifest_.next_partition_id++;
+    std::vector<std::byte> segment;
+    append_segment_header(segment, new_id);
+    std::vector<IndexEntry> entries;
+    PartitionInfo np;
+    np.id = new_id;
+    for (std::size_t k = i; k < j; ++k) {
+      const PartitionInfo& src = parts[k];
+      const std::vector<std::byte> bytes = checked_segment(segment_path(src.id), src);
+      const std::vector<IndexEntry> src_entries =
+          read_index_bytes(util::read_file_bytes(index_path(src.id)), src.id);
+      for (const IndexEntry& e : src_entries) {
+        if (e.offset < kSegmentHeaderBytes || e.offset + e.size > bytes.size()) {
+          throw util::FormatError("compact: index entry out of segment bounds");
+        }
+        IndexEntry ne = e;
+        ne.offset = segment.size();
+        segment.insert(segment.end(), bytes.begin() + static_cast<std::ptrdiff_t>(e.offset),
+                       bytes.begin() + static_cast<std::ptrdiff_t>(e.offset + e.size));
+        entries.push_back(ne);
+        if (np.log_count == 0) {
+          np.job_id_min = np.job_id_max = ne.job_id;
+        } else {
+          np.job_id_min = std::min(np.job_id_min, ne.job_id);
+          np.job_id_max = std::max(np.job_id_max, ne.job_id);
+        }
+        np.log_count += 1;
+      }
+      removed_ids.push_back(src.id);
+    }
+    np.segment_bytes = segment.size();
+    np.segment_crc = util::crc32(segment);
+    np.data_generation = manifest_.generation + 1;  // stamped by write_manifest below
+    util::write_file_atomic(segment_path(new_id), segment);
+    util::write_file_atomic(index_path(new_id), write_index_bytes(new_id, entries));
+    out.push_back(np);
+    changed = true;
+    i = j;
+  }
+  if (!changed) return 0;
+
+  const std::size_t removed = manifest_.partitions.size() - out.size();
+  manifest_.partitions = std::move(out);
+  write_manifest();
+  // Old files go only after the manifest no longer references them.
+  for (const std::uint64_t id : removed_ids) {
+    std::error_code ec;
+    std::filesystem::remove(segment_path(id), ec);
+    std::filesystem::remove(index_path(id), ec);
+    std::filesystem::remove(snapshot_path(id), ec);
+  }
+  return removed;
+}
+
+Archive::VerifyReport Archive::verify(bool deep) const {
+  VerifyReport rep;
+  rep.partitions = manifest_.partitions.size();
+  for (const PartitionInfo& p : manifest_.partitions) {
+    const std::string tag = "partition " + std::to_string(p.id);
+    std::vector<std::byte> bytes;
+    std::vector<IndexEntry> entries;
+    bool data_ok = true;
+    try {
+      bytes = checked_segment(segment_path(p.id), p);
+      entries = read_index_bytes(util::read_file_bytes(index_path(p.id)), p.id);
+      if (entries.size() != p.log_count) throw util::FormatError(tag + ": index count mismatch");
+      std::uint64_t prev_end = kSegmentHeaderBytes;
+      for (const IndexEntry& e : entries) {
+        if (e.offset != prev_end || e.offset + e.size > bytes.size()) {
+          throw util::FormatError(tag + ": index entries not contiguous/in bounds");
+        }
+        prev_end = e.offset + e.size;
+      }
+      if (prev_end != bytes.size()) throw util::FormatError(tag + ": segment has slack bytes");
+    } catch (const util::Error& e) {
+      rep.issues.push_back(e.what());
+      data_ok = false;
+    }
+
+    if (deep && data_ok) {
+      darshan::LogData log;
+      darshan::LogIoBuffers io;
+      for (const IndexEntry& e : entries) {
+        try {
+          darshan::read_log_bytes_into(
+              std::span<const std::byte>(bytes.data() + e.offset,
+                                         static_cast<std::size_t>(e.size)),
+              io, log);
+          if (log.job.job_id != e.job_id) {
+            throw util::FormatError(tag + ": log job id disagrees with index");
+          }
+          rep.logs_checked += 1;
+        } catch (const util::Error& err) {
+          rep.issues.push_back(tag + ": " + err.what());
+          break;
+        }
+      }
+    }
+
+    if (!p.has_snapshot) {
+      rep.snapshots_missing += 1;
+    } else if (p.snapshot_generation != p.data_generation) {
+      rep.snapshots_stale += 1;
+      rep.issues.push_back(tag + ": snapshot is stale (generation " +
+                           std::to_string(p.snapshot_generation) + " != data generation " +
+                           std::to_string(p.data_generation) + ")");
+    } else if (load_snapshot(p).has_value()) {
+      rep.snapshots_valid += 1;
+    } else {
+      rep.issues.push_back(tag + ": snapshot file missing or corrupt");
+    }
+  }
+  return rep;
+}
+
+}  // namespace mlio::archive

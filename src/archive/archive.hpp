@@ -1,0 +1,123 @@
+// Persistent partitioned Darshan log archive (manifest.hpp has the layout).
+//
+// Write path: `begin_partition()` returns a PartitionWriter; logs are
+// appended (already-framed bytes straight from the pipeline sink, or
+// LogData via the convenience overload) and buffered in memory; `seal()`
+// writes the segment + index files and registers the partition in the
+// manifest atomically (temp-file + rename, manifest last), so a crash
+// mid-ingest leaves at worst unreferenced files, never a partial partition.
+//
+// Read path: `scan_partition` replays a partition's logs in ingest order
+// (verifying the segment CRC first); `load_snapshot` returns the cached
+// analysis shard when it is present, uncorrupted, and stamped with the
+// partition's current data generation.  The incremental query engine on top
+// lives in archive/query.hpp.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "archive/manifest.hpp"
+#include "core/snapshot.hpp"
+#include "darshan/log_format.hpp"
+
+namespace mlio::archive {
+
+class Archive {
+ public:
+  /// Create an empty archive (writes an empty manifest).  Throws ConfigError
+  /// when the directory already contains a manifest.
+  static Archive create(const std::filesystem::path& dir);
+  /// Open an existing archive.  Throws IoError when the manifest is missing,
+  /// FormatError when it is corrupt.
+  static Archive open(const std::filesystem::path& dir);
+  static Archive open_or_create(const std::filesystem::path& dir);
+
+  const std::filesystem::path& dir() const { return dir_; }
+  const Manifest& manifest() const { return manifest_; }
+
+  std::filesystem::path segment_path(std::uint64_t id) const;
+  std::filesystem::path index_path(std::uint64_t id) const;
+  std::filesystem::path snapshot_path(std::uint64_t id) const;
+
+  /// Buffers one partition's logs and seals them into the archive.
+  class PartitionWriter {
+   public:
+    /// Append one already-framed Darshan log (bytes as produced by
+    /// darshan::write_log_bytes*).
+    void append_frame(const darshan::JobRecord& job, std::span<const std::byte> frame);
+    /// Serialize-and-append convenience for pre-parsed logs.
+    void append(const darshan::LogData& log, const darshan::WriteOptions& opts = {});
+    std::uint64_t log_count() const { return entries_.size(); }
+
+    /// Write segment + index, register the partition, and return its info.
+    /// The writer is spent afterwards.
+    PartitionInfo seal();
+
+   private:
+    friend class Archive;
+    explicit PartitionWriter(Archive& owner);
+
+    Archive* owner_;
+    std::uint64_t id_;
+    std::vector<std::byte> segment_;  ///< header + frames
+    std::vector<IndexEntry> entries_;
+    std::uint64_t job_id_min_ = 0;
+    std::uint64_t job_id_max_ = 0;
+  };
+  PartitionWriter begin_partition();
+
+  /// Replay a partition's logs in ingest order.  Verifies the segment file's
+  /// CRC and the index before the first callback; throws FormatError on any
+  /// corruption (a truncated or bit-flipped segment never yields logs).
+  void scan_partition(const PartitionInfo& p,
+                      const std::function<void(const darshan::LogData&)>& fn) const;
+
+  /// Load the partition's cached analysis shard, or nullopt when the
+  /// snapshot is missing, corrupt (CRC/parse), or stale
+  /// (snapshot_generation != data_generation).  Invalid snapshots are never
+  /// silently used — callers fall back to scan_partition.
+  std::optional<core::Analysis> load_snapshot(const PartitionInfo& p) const;
+
+  /// Cache `shard` as the partition's snapshot, stamped with its current
+  /// data generation, and persist the manifest.
+  void store_snapshot(std::uint64_t partition_id, const core::Analysis& shard,
+                      const core::SnapshotWriteOptions& opts = {});
+
+  /// Merge runs of adjacent partitions whose log counts are all below
+  /// `max_logs` into single partitions (raw frame copy, ingest order
+  /// preserved).  Snapshots of merged partitions are dropped — the merge
+  /// tree changed, so shards must be recomputed.  Returns the number of
+  /// partitions removed.
+  std::size_t compact(std::uint64_t max_logs);
+
+  struct VerifyReport {
+    std::vector<std::string> issues;  ///< empty == archive is sound
+    std::uint64_t partitions = 0;
+    std::uint64_t logs_checked = 0;
+    std::uint64_t snapshots_valid = 0;
+    std::uint64_t snapshots_stale = 0;
+    std::uint64_t snapshots_missing = 0;
+    bool ok() const { return issues.empty(); }
+  };
+  /// Integrity check: segment sizes and CRCs, index consistency (count,
+  /// offsets, bounds), snapshot validity/staleness.  `deep` additionally
+  /// parses every log frame and cross-checks job ids against the index.
+  VerifyReport verify(bool deep) const;
+
+ private:
+  Archive(std::filesystem::path dir, Manifest manifest);
+
+  /// Bump the generation and atomically persist the manifest.
+  void write_manifest();
+
+  std::filesystem::path dir_;
+  Manifest manifest_;
+};
+
+}  // namespace mlio::archive

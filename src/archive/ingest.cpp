@@ -1,0 +1,84 @@
+#include "archive/ingest.hpp"
+
+#include <chrono>
+
+#include "util/byte_io.hpp"
+
+namespace mlio::archive {
+
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+
+/// Append one stratum job range as a single partition; optionally
+/// accumulates and caches the partition's analysis shard.
+void ingest_range(Archive& archive, const wl::WorkloadGenerator& gen, wl::Stratum stratum,
+                  std::uint64_t job_lo, std::uint64_t job_hi, const IngestOptions& opts,
+                  IngestStats& stats) {
+  Archive::PartitionWriter writer = archive.begin_partition();
+  core::Analysis shard;
+  darshan::LogData decoded;
+  darshan::LogIoBuffers io;
+
+  wl::SerializeOptions sopts;
+  sopts.threads = opts.threads;
+  sopts.write_options = opts.write_options;
+  wl::serialize_logs(gen, stratum, job_lo, job_hi, sopts,
+                     [&](const darshan::JobRecord& job, std::span<const std::byte> frame) {
+                       writer.append_frame(job, frame);
+                       stats.logs += 1;
+                       stats.bytes += frame.size();
+                       if (opts.write_snapshots) {
+                         darshan::read_log_bytes_into(frame, io, decoded);
+                         shard.add(decoded);
+                       }
+                     });
+
+  const PartitionInfo info = writer.seal();
+  stats.partitions += 1;
+  if (opts.write_snapshots) archive.store_snapshot(info.id, shard, opts.snapshot_options);
+}
+
+}  // namespace
+
+IngestStats ingest_generated(Archive& archive, const wl::WorkloadGenerator& gen,
+                             const IngestOptions& opts) {
+  const auto t0 = SteadyClock::now();
+  IngestStats stats;
+  const std::uint64_t n_jobs = gen.config().n_jobs;
+  const std::uint64_t batches = std::max<std::uint64_t>(1, std::min(opts.batches, n_jobs));
+  for (std::uint64_t b = 0; b < batches; ++b) {
+    const std::uint64_t lo = n_jobs * b / batches;
+    const std::uint64_t hi = n_jobs * (b + 1) / batches;
+    ingest_range(archive, gen, wl::Stratum::kBulk, lo, hi, opts, stats);
+  }
+  if (opts.include_huge && gen.huge_job_count() > 0) {
+    ingest_range(archive, gen, wl::Stratum::kHuge, 0, gen.huge_job_count(), opts, stats);
+  }
+  stats.seconds = std::chrono::duration<double>(SteadyClock::now() - t0).count();
+  return stats;
+}
+
+IngestStats ingest_log_files(Archive& archive, const std::vector<std::filesystem::path>& files,
+                             const IngestOptions& opts) {
+  const auto t0 = SteadyClock::now();
+  IngestStats stats;
+  Archive::PartitionWriter writer = archive.begin_partition();
+  core::Analysis shard;
+  for (const std::filesystem::path& path : files) {
+    const std::vector<std::byte> frame = util::read_file_bytes(path);
+    // Parse up front: corrupt files are rejected here instead of poisoning
+    // every later scan of the partition.
+    const darshan::LogData log = darshan::read_log_bytes(frame);
+    writer.append_frame(log.job, frame);
+    stats.logs += 1;
+    stats.bytes += frame.size();
+    if (opts.write_snapshots) shard.add(log);
+  }
+  const PartitionInfo info = writer.seal();
+  stats.partitions += 1;
+  if (opts.write_snapshots) archive.store_snapshot(info.id, shard, opts.snapshot_options);
+  stats.seconds = std::chrono::duration<double>(SteadyClock::now() - t0).count();
+  return stats;
+}
+
+}  // namespace mlio::archive

@@ -1,0 +1,50 @@
+// Ingest paths into the archive: the synthetic workload pipeline (via
+// wl::serialize_logs' archive-sink mode) and directories of standalone
+// Darshan log files.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "archive/archive.hpp"
+#include "workload/pipeline.hpp"
+
+namespace mlio::archive {
+
+struct IngestOptions {
+  /// Split the generator's bulk stratum into this many partitions (ingest
+  /// batches); jobs are divided as evenly as possible, in index order.
+  std::uint64_t batches = 1;
+  /// Append the full-scale >1 TB hero stratum as one final partition.
+  bool include_huge = true;
+  /// Compute each partition's analysis shard while ingesting and cache it,
+  /// so the very first query is all snapshot hits.  Costs one extra decode
+  /// per log (the shard must be accumulated from decoded logs in ingest
+  /// order — exactly what a rescan would compute).
+  bool write_snapshots = false;
+  unsigned threads = 0;
+  darshan::WriteOptions write_options;
+  core::SnapshotWriteOptions snapshot_options;
+};
+
+struct IngestStats {
+  std::uint64_t partitions = 0;
+  std::uint64_t logs = 0;
+  std::uint64_t bytes = 0;  ///< segment payload bytes appended
+  double seconds = 0;
+};
+
+/// Generate the workload and append it as `batches` (+ optional huge)
+/// partitions.  Log order within a partition is exact generation order.
+IngestStats ingest_generated(Archive& archive, const wl::WorkloadGenerator& gen,
+                             const IngestOptions& opts = {});
+
+/// Append existing on-disk Darshan logs (e.g. a facility's daily drop
+/// directory) as one partition.  Files are read in the given order; each
+/// must parse (throws FormatError otherwise — corrupt inputs never enter
+/// the archive).
+IngestStats ingest_log_files(Archive& archive, const std::vector<std::filesystem::path>& files,
+                             const IngestOptions& opts = {});
+
+}  // namespace mlio::archive

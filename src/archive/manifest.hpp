@@ -1,0 +1,81 @@
+// On-disk layout of the partitioned Darshan log archive.
+//
+// An archive directory holds:
+//
+//   manifest.bin      versioned, checksummed root: generation counter plus
+//                     one PartitionInfo per partition, in query merge order
+//   p<id>.seg         segment file: 16-byte header, then the partition's
+//                     logs as standard framed Darshan log bytes ("DSHN"
+//                     frames, zlib bodies), back to back in ingest order
+//   p<id>.idx         per-partition index: one (offset, size, job_id) entry
+//                     per log, checksummed
+//   p<id>.snap        cached core::Analysis shard of the partition (framed
+//                     snapshot, core/snapshot.hpp), tagged with the
+//                     partition's data generation
+//
+// Invalidation rules: every manifest write bumps `generation`; a partition
+// records the generation at which its data last changed
+// (`data_generation`), and a snapshot is valid only when its stored tag and
+// its file CRC match the manifest's `snapshot_generation`/`snapshot_crc`
+// AND `snapshot_generation == data_generation`.  Compaction rewrites data,
+// so it bumps data_generation and drops snapshots.
+//
+// All integers little-endian via util::ByteWriter/ByteReader.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mlio::archive {
+
+inline constexpr std::uint32_t kManifestMagic = 0x4352414d;  // "MARC"
+inline constexpr std::uint16_t kManifestVersion = 1;
+inline constexpr std::uint32_t kSegmentMagic = 0x4745534d;  // "MSEG"
+inline constexpr std::uint16_t kSegmentVersion = 1;
+inline constexpr std::uint32_t kIndexMagic = 0x5844494d;  // "MIDX"
+inline constexpr std::uint16_t kIndexVersion = 1;
+
+/// Bytes of the segment header preceding the first log frame:
+/// u32 magic, u16 version, u16 reserved, u64 partition id.
+inline constexpr std::uint64_t kSegmentHeaderBytes = 16;
+
+struct PartitionInfo {
+  std::uint64_t id = 0;
+  std::uint64_t log_count = 0;
+  std::uint64_t job_id_min = 0;  ///< undefined when log_count == 0
+  std::uint64_t job_id_max = 0;
+  std::uint64_t segment_bytes = 0;  ///< total segment file size
+  std::uint32_t segment_crc = 0;    ///< CRC-32 of the whole segment file
+  std::uint64_t data_generation = 0;
+  bool has_snapshot = false;
+  std::uint64_t snapshot_generation = 0;
+  std::uint32_t snapshot_crc = 0;  ///< CRC-32 of the whole snapshot file
+};
+
+struct Manifest {
+  std::uint64_t generation = 0;
+  std::uint64_t next_partition_id = 1;
+  /// Partition order here IS the query merge order (the archive's
+  /// determinism contract) — ingest appends, compact replaces in place.
+  std::vector<PartitionInfo> partitions;
+};
+
+std::vector<std::byte> write_manifest_bytes(const Manifest& m);
+/// Throws util::FormatError on bad magic/version or a CRC mismatch.
+Manifest read_manifest_bytes(std::span<const std::byte> data);
+
+/// One log within a segment file.
+struct IndexEntry {
+  std::uint64_t offset = 0;  ///< absolute offset of the frame in the segment
+  std::uint64_t size = 0;    ///< framed size in bytes
+  std::uint64_t job_id = 0;
+};
+
+std::vector<std::byte> write_index_bytes(std::uint64_t partition_id,
+                                         const std::vector<IndexEntry>& entries);
+/// Throws util::FormatError on corruption or a partition-id mismatch.
+std::vector<IndexEntry> read_index_bytes(std::span<const std::byte> data,
+                                         std::uint64_t expected_partition_id);
+
+}  // namespace mlio::archive

@@ -1,0 +1,264 @@
+// mlio_archive — facility-style front end to the partitioned log archive.
+//
+//   mlio_archive ingest  --dir D [--system Cori|Summit] [--jobs N] [--seed S]
+//                        [--batches B] [--logs-scale X] [--files-scale X]
+//                        [--threads T] [--no-huge] [--snapshots]
+//                        [--no-compress] [--zlib-level L]
+//   mlio_archive ingest  --dir D --from SRCDIR        (every regular file)
+//   mlio_archive query   --dir D [--threads T] [--no-write-snapshots] [--csv]
+//   mlio_archive verify  --dir D [--deep]
+//   mlio_archive compact --dir D [--max-logs N]
+//
+// `query` prints the paper's Table 2/3/5/6 summaries over the whole archive
+// plus the cache telemetry (partitions scanned vs served from snapshots).
+// Exit status: 0 on success, 1 on a failed verify or corruption, 2 on usage
+// errors.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "archive/ingest.hpp"
+#include "archive/query.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "workload/profile.hpp"
+
+namespace {
+
+using namespace mlio;
+
+struct Args {
+  std::string cmd;
+  std::string dir;
+  std::string from;
+  std::string system = "Cori";
+  std::uint64_t jobs = 600;
+  std::uint64_t seed = 42;
+  std::uint64_t batches = 1;
+  std::uint64_t max_logs = 1000;
+  double logs_scale = 0.25;
+  double files_scale = 0.25;
+  unsigned threads = 0;
+  bool huge = true;
+  bool snapshots = false;
+  bool write_snapshots = true;
+  bool compress = true;
+  int zlib_level = 6;
+  bool deep = false;
+  bool csv = false;
+};
+
+[[noreturn]] void usage(int rc) {
+  std::printf(
+      "usage: mlio_archive <ingest|query|verify|compact> --dir DIR [options]\n"
+      "  ingest:  --system Cori|Summit --jobs N --seed S --batches B\n"
+      "           --logs-scale X --files-scale X --threads T --no-huge\n"
+      "           --snapshots --no-compress --zlib-level L\n"
+      "           (or --from SRCDIR to ingest existing log files)\n"
+      "  query:   --threads T --no-write-snapshots --csv\n"
+      "  verify:  --deep\n"
+      "  compact: --max-logs N\n");
+  std::exit(rc);
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage(2);
+  Args a;
+  a.cmd = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--dir")) a.dir = next("--dir");
+    else if (!std::strcmp(argv[i], "--from")) a.from = next("--from");
+    else if (!std::strcmp(argv[i], "--system")) a.system = next("--system");
+    else if (!std::strcmp(argv[i], "--jobs")) a.jobs = std::strtoull(next("--jobs"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--seed")) a.seed = std::strtoull(next("--seed"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--batches")) a.batches = std::strtoull(next("--batches"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--max-logs")) a.max_logs = std::strtoull(next("--max-logs"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--logs-scale")) a.logs_scale = std::strtod(next("--logs-scale"), nullptr);
+    else if (!std::strcmp(argv[i], "--files-scale")) a.files_scale = std::strtod(next("--files-scale"), nullptr);
+    else if (!std::strcmp(argv[i], "--threads")) a.threads = static_cast<unsigned>(std::strtoul(next("--threads"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--zlib-level")) a.zlib_level = static_cast<int>(std::strtol(next("--zlib-level"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--no-huge")) a.huge = false;
+    else if (!std::strcmp(argv[i], "--snapshots")) a.snapshots = true;
+    else if (!std::strcmp(argv[i], "--no-write-snapshots")) a.write_snapshots = false;
+    else if (!std::strcmp(argv[i], "--no-compress")) a.compress = false;
+    else if (!std::strcmp(argv[i], "--deep")) a.deep = true;
+    else if (!std::strcmp(argv[i], "--csv")) a.csv = true;
+    else if (!std::strcmp(argv[i], "--help")) usage(0);
+    else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (a.dir.empty()) {
+    std::fprintf(stderr, "--dir is required\n");
+    std::exit(2);
+  }
+  return a;
+}
+
+void emit(const Args& a, const util::Table& t) {
+  std::printf("%s", (a.csv ? t.to_csv() : t.to_string()).c_str());
+}
+
+int cmd_ingest(const Args& a) {
+  archive::Archive ar = archive::Archive::open_or_create(a.dir);
+  archive::IngestOptions opts;
+  opts.batches = a.batches;
+  opts.include_huge = a.huge;
+  opts.write_snapshots = a.snapshots;
+  opts.threads = a.threads;
+  opts.write_options.compress = a.compress;
+  opts.write_options.zlib_level = a.zlib_level;
+
+  archive::IngestStats stats;
+  if (!a.from.empty()) {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(a.from)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      std::fprintf(stderr, "no files in %s\n", a.from.c_str());
+      return 1;
+    }
+    stats = archive::ingest_log_files(ar, files, opts);
+  } else {
+    wl::GeneratorConfig cfg;
+    cfg.seed = a.seed;
+    cfg.n_jobs = a.jobs;
+    cfg.logs_per_job_scale = a.logs_scale;
+    cfg.files_per_log_scale = a.files_scale;
+    const wl::SystemProfile& profile =
+        a.system == "Summit" ? wl::SystemProfile::summit_2020() : wl::SystemProfile::cori_2019();
+    const wl::WorkloadGenerator gen(profile, cfg);
+    stats = archive::ingest_generated(ar, gen, opts);
+  }
+  std::printf("ingested %llu logs (%s) into %llu partition(s) in %.2f s (%.0f logs/s)\n",
+              static_cast<unsigned long long>(stats.logs),
+              util::format_bytes(static_cast<double>(stats.bytes)).c_str(),
+              static_cast<unsigned long long>(stats.partitions), stats.seconds,
+              stats.seconds > 0 ? static_cast<double>(stats.logs) / stats.seconds : 0.0);
+  std::printf("archive now holds %zu partition(s), generation %llu\n",
+              ar.manifest().partitions.size(),
+              static_cast<unsigned long long>(ar.manifest().generation));
+  return 0;
+}
+
+int cmd_query(const Args& a) {
+  archive::Archive ar = archive::Archive::open(a.dir);
+  archive::QueryOptions opts;
+  opts.threads = a.threads;
+  opts.write_snapshots = a.write_snapshots;
+  const archive::QueryResult q = query_archive(ar, opts);
+  const core::Analysis& an = q.analysis;
+
+  {
+    util::Table t({"metric", "value"});
+    t.add_row({"logs", util::format_count(static_cast<double>(an.summary().logs()))});
+    t.add_row({"jobs", util::format_count(static_cast<double>(an.summary().jobs()))});
+    t.add_row({"files", util::format_count(static_cast<double>(an.summary().files()))});
+    t.add_row({"node-hours", util::format_count(an.summary().node_hours())});
+    std::printf("\n== Census (Table 2) ==\n");
+    emit(a, t);
+  }
+  {
+    util::Table t({"layer", "files", "read", "written", ">1TB rd", ">1TB wr"});
+    for (std::size_t li = 0; li < core::kLayerCount; ++li) {
+      const auto layer = static_cast<core::Layer>(li);
+      const auto& st = an.access().layer(layer);
+      t.add_row({std::string(core::layer_name(layer)),
+                 util::format_count(static_cast<double>(st.files)),
+                 util::format_bytes(st.bytes_read), util::format_bytes(st.bytes_written),
+                 util::format_count(static_cast<double>(st.huge_read_files)),
+                 util::format_count(static_cast<double>(st.huge_write_files))});
+    }
+    std::printf("\n== Per-layer volumes (Tables 3/4) ==\n");
+    emit(a, t);
+  }
+  {
+    const auto ex = an.layers().job_exclusivity();
+    util::Table t({"class", "jobs"});
+    t.add_row({"PFS only", util::format_count(static_cast<double>(ex.pfs_only))});
+    t.add_row({"in-system only", util::format_count(static_cast<double>(ex.insys_only))});
+    t.add_row({"both", util::format_count(static_cast<double>(ex.both))});
+    std::printf("\n== Job layer exclusivity (Table 5) ==\n");
+    emit(a, t);
+  }
+  {
+    util::Table t({"layer", "POSIX", "MPI-IO", "STDIO"});
+    for (std::size_t li = 0; li < core::kLayerCount; ++li) {
+      const auto layer = static_cast<core::Layer>(li);
+      const auto& c = an.interfaces().counts(layer);
+      t.add_row({std::string(core::layer_name(layer)),
+                 util::format_count(static_cast<double>(c.posix)),
+                 util::format_count(static_cast<double>(c.mpiio)),
+                 util::format_count(static_cast<double>(c.stdio))});
+    }
+    std::printf("\n== Interface usage (Table 6) ==\n");
+    emit(a, t);
+  }
+
+  const auto& s = q.stats;
+  std::printf(
+      "\nquery: %llu partition(s), %llu snapshot hit(s), %llu rescanned "
+      "(%llu logs decoded), %llu snapshot(s) written back, %.3f s\n",
+      static_cast<unsigned long long>(s.partitions),
+      static_cast<unsigned long long>(s.snapshot_hits),
+      static_cast<unsigned long long>(s.partitions_scanned),
+      static_cast<unsigned long long>(s.logs_scanned),
+      static_cast<unsigned long long>(s.snapshots_written), s.total_seconds);
+  std::printf("analysis fingerprint: %016llx\n",
+              static_cast<unsigned long long>(an.fingerprint()));
+  return 0;
+}
+
+int cmd_verify(const Args& a) {
+  archive::Archive ar = archive::Archive::open(a.dir);
+  const archive::Archive::VerifyReport rep = ar.verify(a.deep);
+  std::printf("verified %llu partition(s): %llu log(s) checked, snapshots %llu valid / "
+              "%llu stale / %llu missing\n",
+              static_cast<unsigned long long>(rep.partitions),
+              static_cast<unsigned long long>(rep.logs_checked),
+              static_cast<unsigned long long>(rep.snapshots_valid),
+              static_cast<unsigned long long>(rep.snapshots_stale),
+              static_cast<unsigned long long>(rep.snapshots_missing));
+  for (const std::string& issue : rep.issues) std::printf("ISSUE: %s\n", issue.c_str());
+  std::printf("%s\n", rep.ok() ? "archive OK" : "archive FAILED verification");
+  return rep.ok() ? 0 : 1;
+}
+
+int cmd_compact(const Args& a) {
+  archive::Archive ar = archive::Archive::open(a.dir);
+  const std::size_t before = ar.manifest().partitions.size();
+  const std::size_t removed = ar.compact(a.max_logs);
+  std::printf("compacted %zu -> %zu partition(s) (threshold %llu logs)\n", before,
+              before - removed, static_cast<unsigned long long>(a.max_logs));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  try {
+    if (a.cmd == "ingest") return cmd_ingest(a);
+    if (a.cmd == "query") return cmd_query(a);
+    if (a.cmd == "verify") return cmd_verify(a);
+    if (a.cmd == "compact") return cmd_compact(a);
+  } catch (const util::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", a.cmd.c_str());
+  usage(2);
+}

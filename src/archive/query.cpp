@@ -1,0 +1,91 @@
+#include "archive/query.hpp"
+
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace mlio::archive {
+
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point t0) {
+  return std::chrono::duration<double>(SteadyClock::now() - t0).count();
+}
+}  // namespace
+
+QueryResult query_archive(Archive& archive, const QueryOptions& opts) {
+  const auto t0 = SteadyClock::now();
+  QueryResult result;
+  QueryStats& stats = result.stats;
+  const std::vector<PartitionInfo> partitions = archive.manifest().partitions;
+  stats.partitions = partitions.size();
+
+  // Pass 1: serve what the cache can; collect the rest for rebuilding.
+  std::vector<std::optional<core::Analysis>> shards(partitions.size());
+  std::vector<std::size_t> rebuild;
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    shards[i] = archive.load_snapshot(partitions[i]);
+    if (shards[i].has_value()) {
+      stats.snapshot_hits += 1;
+    } else {
+      rebuild.push_back(i);
+    }
+  }
+
+  // Pass 2: rebuild missing shards in parallel — one partition per block,
+  // handed to idle workers.  Each shard is a sequential accumulation over
+  // its own logs, so parallelism never changes a single bit of the result.
+  std::vector<std::uint64_t> scanned(rebuild.size(), 0);
+  if (!rebuild.empty()) {
+    // Pool workers are noexcept, so corruption errors (FormatError from a
+    // damaged segment) are carried out by hand and rethrown on the caller.
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    util::ThreadPool pool(opts.threads);
+    pool.parallel_for_dynamic(
+        0, rebuild.size(), 1,
+        [&](std::uint64_t b, std::uint64_t lo, std::uint64_t hi, unsigned w) {
+          (void)b;
+          (void)w;
+          for (std::uint64_t r = lo; r < hi; ++r) {
+            const std::size_t slot = rebuild[static_cast<std::size_t>(r)];
+            try {
+              core::Analysis shard;
+              archive.scan_partition(partitions[slot], [&](const darshan::LogData& log) {
+                shard.add(log);
+                scanned[static_cast<std::size_t>(r)] += 1;
+              });
+              shards[slot] = std::move(shard);
+            } catch (...) {
+              const std::scoped_lock lock(error_mu);
+              if (!first_error) first_error = std::current_exception();
+            }
+          }
+        });
+    if (first_error) std::rethrow_exception(first_error);
+    stats.partitions_scanned = rebuild.size();
+    for (const std::uint64_t n : scanned) stats.logs_scanned += n;
+  }
+  stats.scan_seconds = seconds_since(t0);
+
+  if (opts.write_snapshots) {
+    for (const std::size_t slot : rebuild) {
+      archive.store_snapshot(partitions[slot].id, *shards[slot], opts.snapshot_options);
+      stats.snapshots_written += 1;
+    }
+  }
+
+  // Pass 3: merge in partition order — the archive's bit-identical merge
+  // contract.
+  const auto t_merge = SteadyClock::now();
+  for (const auto& shard : shards) result.analysis.merge(*shard);
+  stats.merge_seconds = seconds_since(t_merge);
+  stats.total_seconds = seconds_since(t0);
+  return result;
+}
+
+}  // namespace mlio::archive

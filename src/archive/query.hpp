@@ -1,0 +1,49 @@
+// Incremental, snapshot-cached query engine over a partitioned archive.
+//
+// A query builds one core::Analysis shard per partition — from the cached
+// snapshot when it is valid (present, CRC-clean, stamped with the
+// partition's current data generation), otherwise by rescanning the
+// segment — and merges the shards in manifest partition order.
+//
+// Determinism contract (DESIGN.md §6): a partition's shard is the
+// sequential accumulation of its logs in ingest order, and shards merge in
+// partition order on one thread.  Rescans are therefore bit-identical to
+// the snapshots they replace, so the query result never depends on cache
+// state, thread count, or which partitions happened to need a rescan.
+// Rebuilds of independent partitions run in parallel through
+// ThreadPool::parallel_for_dynamic (one partition per block).
+#pragma once
+
+#include "archive/archive.hpp"
+#include "core/analysis.hpp"
+#include "core/snapshot.hpp"
+
+namespace mlio::archive {
+
+struct QueryOptions {
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+  /// Write rebuilt shards back as snapshots so the next query is all cache
+  /// hits.
+  bool write_snapshots = true;
+  core::SnapshotWriteOptions snapshot_options;
+};
+
+struct QueryStats {
+  std::uint64_t partitions = 0;         ///< partitions in the archive
+  std::uint64_t snapshot_hits = 0;      ///< shards served from cache
+  std::uint64_t partitions_scanned = 0; ///< shards rebuilt from segments
+  std::uint64_t logs_scanned = 0;       ///< logs decoded during rebuilds
+  std::uint64_t snapshots_written = 0;  ///< shards written back
+  double scan_seconds = 0;   ///< snapshot loads + parallel rebuilds
+  double merge_seconds = 0;  ///< partition-ordered shard merging
+  double total_seconds = 0;
+};
+
+struct QueryResult {
+  core::Analysis analysis;
+  QueryStats stats;
+};
+
+QueryResult query_archive(Archive& archive, const QueryOptions& opts = {});
+
+}  // namespace mlio::archive

@@ -1,5 +1,6 @@
 #include "core/access_patterns.hpp"
 
+#include "util/byte_io.hpp"
 #include "util/units.hpp"
 
 namespace mlio::core {
@@ -65,6 +66,42 @@ void AccessPatterns::add(const darshan::JobRecord& job, const FileSummary& file)
 
 void AccessPatterns::merge(const AccessPatterns& other) {
   for (std::size_t i = 0; i < layers_.size(); ++i) layers_[i].merge(other.layers_[i]);
+}
+
+void AccessPatterns::save(util::ByteWriter& w) const {
+  for (const LayerStats& st : layers_) {
+    w.u64(st.files);
+    w.u64(st.read_files);
+    w.u64(st.write_files);
+    w.f64(st.bytes_read);
+    w.f64(st.bytes_written);
+    w.u64(st.huge_read_files);
+    w.u64(st.huge_write_files);
+    st.read_transfer.save(w);
+    st.write_transfer.save(w);
+    st.read_requests.save(w);
+    st.write_requests.save(w);
+    st.read_requests_large.save(w);
+    st.write_requests_large.save(w);
+  }
+}
+
+void AccessPatterns::load(util::ByteReader& r) {
+  for (LayerStats& st : layers_) {
+    st.files = r.u64();
+    st.read_files = r.u64();
+    st.write_files = r.u64();
+    st.bytes_read = r.f64();
+    st.bytes_written = r.f64();
+    st.huge_read_files = r.u64();
+    st.huge_write_files = r.u64();
+    st.read_transfer.load(r);
+    st.write_transfer.load(r);
+    st.read_requests.load(r);
+    st.write_requests.load(r);
+    st.read_requests_large.load(r);
+    st.write_requests_large.load(r);
+  }
 }
 
 }  // namespace mlio::core

@@ -14,6 +14,11 @@
 #include "core/dataset.hpp"
 #include "util/histogram.hpp"
 
+namespace mlio::util {
+class ByteReader;
+class ByteWriter;
+}  // namespace mlio::util
+
 namespace mlio::core {
 
 class AccessPatterns {
@@ -22,6 +27,9 @@ class AccessPatterns {
 
   void add(const darshan::JobRecord& job, const FileSummary& file);
   void merge(const AccessPatterns& other);
+
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
 
   struct LayerStats {
     std::uint64_t files = 0;

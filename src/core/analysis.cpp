@@ -3,6 +3,8 @@
 #include <bit>
 #include <string_view>
 
+#include "util/byte_io.hpp"
+
 namespace mlio::core {
 
 namespace {
@@ -138,6 +140,24 @@ double Analysis::total_bytes() const {
     bytes += a.bytes_read + a.bytes_written;
   }
   return bytes;
+}
+
+void Analysis::save(util::ByteWriter& w) const {
+  summary_.save(w);
+  access_.save(w);
+  layers_.save(w);
+  interfaces_.save(w);
+  performance_.save(w);
+  w.u64(unattributed_);
+}
+
+void Analysis::load(util::ByteReader& r) {
+  summary_.load(r);
+  access_.load(r);
+  layers_.load(r);
+  interfaces_.load(r);
+  performance_.load(r);
+  unattributed_ = r.u64();
 }
 
 void Analysis::merge(const Analysis& other) {

@@ -11,6 +11,11 @@
 #include "core/performance.hpp"
 #include "core/summary.hpp"
 
+namespace mlio::util {
+class ByteReader;
+class ByteWriter;
+}  // namespace mlio::util
+
 namespace mlio::core {
 
 class Analysis {
@@ -18,6 +23,18 @@ class Analysis {
   /// Consume one log (summarizes it once and feeds every accumulator).
   void add(const darshan::LogData& log);
   void merge(const Analysis& other);
+
+  /// Full-fidelity state serialization: every accumulator — counts,
+  /// histogram bins, distinct-job maps, and the performance reservoirs
+  /// including their Rng positions — round-trips exactly, so a loaded
+  /// Analysis adds, merges, and fingerprints bit-identically to the
+  /// original.  The byte stream is canonical (unordered containers are
+  /// emitted in sorted key order): equal states produce equal bytes.
+  /// Framed on-disk snapshots (magic, version, checksum, compression) are
+  /// provided by core/snapshot.hpp on top of these.
+  void save(util::ByteWriter& w) const;
+  /// Throws util::FormatError on structurally invalid input.
+  void load(util::ByteReader& r);
 
   const Summary& summary() const { return summary_; }
   const AccessPatterns& access() const { return access_; }

@@ -1,5 +1,9 @@
 #include "core/interface_usage.hpp"
 
+#include <algorithm>
+#include <vector>
+
+#include "util/byte_io.hpp"
 #include "util/error.hpp"
 
 namespace mlio::core {
@@ -69,6 +73,68 @@ void InterfaceUsage::add_log(const darshan::JobRecord& job,
     const auto [it, inserted] = stdio_jobs_.insert(job.job_id);
     (void)it;
     if (inserted && job.metadata.contains("domain")) stdio_jobs_with_domain_ += 1;
+  }
+}
+
+void InterfaceUsage::save(util::ByteWriter& w) const {
+  for (const IfaceCounts& ic : counts_) {
+    w.u64(ic.posix);
+    w.u64(ic.mpiio);
+    w.u64(ic.stdio);
+  }
+  for (const ClassCounts& cc : stdio_classes_) {
+    w.u64(cc.read_only);
+    w.u64(cc.read_write);
+    w.u64(cc.write_only);
+  }
+  for (const util::Histogram& h : transfer_) h.save(w);
+  w.u64(stdio_domains_.size());
+  for (const auto& [name, d] : stdio_domains_) {
+    w.str(name);
+    w.f64(d.bytes_read);
+    w.f64(d.bytes_written);
+  }
+  std::vector<std::uint64_t> jobs(stdio_jobs_.begin(), stdio_jobs_.end());
+  std::sort(jobs.begin(), jobs.end());
+  w.u64(jobs.size());
+  for (const std::uint64_t id : jobs) w.u64(id);
+  w.u64(stdio_jobs_with_domain_);
+  w.u64(stdio_extensions_.size());
+  for (const auto& [ext, n] : stdio_extensions_) {
+    w.str(ext);
+    w.u64(n);
+  }
+}
+
+void InterfaceUsage::load(util::ByteReader& r) {
+  for (IfaceCounts& ic : counts_) {
+    ic.posix = r.u64();
+    ic.mpiio = r.u64();
+    ic.stdio = r.u64();
+  }
+  for (ClassCounts& cc : stdio_classes_) {
+    cc.read_only = r.u64();
+    cc.read_write = r.u64();
+    cc.write_only = r.u64();
+  }
+  for (util::Histogram& h : transfer_) h.load(r);
+  stdio_domains_.clear();
+  const std::uint64_t n_domains = r.u64();
+  for (std::uint64_t i = 0; i < n_domains; ++i) {
+    DomainStdio& d = stdio_domains_[r.str()];
+    d.bytes_read = r.f64();
+    d.bytes_written = r.f64();
+  }
+  stdio_jobs_.clear();
+  const std::uint64_t n_jobs = r.u64();
+  stdio_jobs_.reserve(static_cast<std::size_t>(n_jobs));
+  for (std::uint64_t i = 0; i < n_jobs; ++i) stdio_jobs_.insert(r.u64());
+  stdio_jobs_with_domain_ = r.u64();
+  stdio_extensions_.clear();
+  const std::uint64_t n_exts = r.u64();
+  for (std::uint64_t i = 0; i < n_exts; ++i) {
+    std::uint64_t& n = stdio_extensions_[r.str()];
+    n = r.u64();
   }
 }
 

@@ -16,6 +16,11 @@
 #include "core/dataset.hpp"
 #include "util/histogram.hpp"
 
+namespace mlio::util {
+class ByteReader;
+class ByteWriter;
+}  // namespace mlio::util
+
 namespace mlio::core {
 
 class InterfaceUsage {
@@ -24,6 +29,10 @@ class InterfaceUsage {
 
   void add_log(const darshan::JobRecord& job, const std::vector<FileSummary>& files);
   void merge(const InterfaceUsage& other);
+
+  /// Canonical serialization (the STDIO job set is emitted sorted).
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
 
   /// Table 6 counts: files whose records include the given module.
   struct IfaceCounts {

@@ -1,5 +1,10 @@
 #include "core/layer_usage.hpp"
 
+#include <algorithm>
+#include <vector>
+
+#include "util/byte_io.hpp"
+
 namespace mlio::core {
 
 namespace {
@@ -59,6 +64,71 @@ void LayerUsage::merge(const LayerUsage& other) {
     mine.insys_bytes_read += usage.insys_bytes_read;
     mine.insys_bytes_written += usage.insys_bytes_written;
     mine.insys_logs += usage.insys_logs;
+  }
+}
+
+void LayerUsage::save(util::ByteWriter& w) const {
+  {
+    std::vector<std::pair<std::uint64_t, std::uint8_t>> sorted(job_mask_.begin(),
+                                                               job_mask_.end());
+    std::sort(sorted.begin(), sorted.end());
+    w.u64(sorted.size());
+    for (const auto& [id, mask] : sorted) {
+      w.u64(id);
+      w.u8(mask);
+    }
+  }
+  {
+    std::vector<std::pair<std::uint64_t, std::string>> sorted(insys_job_domain_.begin(),
+                                                              insys_job_domain_.end());
+    std::sort(sorted.begin(), sorted.end());
+    w.u64(sorted.size());
+    for (const auto& [id, dom] : sorted) {
+      w.u64(id);
+      w.str(dom);
+    }
+  }
+  for (const ClassCounts& cc : classes_) {
+    w.u64(cc.read_only);
+    w.u64(cc.read_write);
+    w.u64(cc.write_only);
+  }
+  w.u64(domains_.size());
+  for (const auto& [name, d] : domains_) {
+    w.str(name);
+    w.f64(d.insys_bytes_read);
+    w.f64(d.insys_bytes_written);
+    w.u64(d.insys_logs);
+  }
+}
+
+void LayerUsage::load(util::ByteReader& r) {
+  job_mask_.clear();
+  const std::uint64_t n_masks = r.u64();
+  job_mask_.reserve(static_cast<std::size_t>(n_masks));
+  for (std::uint64_t i = 0; i < n_masks; ++i) {
+    const std::uint64_t id = r.u64();
+    job_mask_[id] = r.u8();
+  }
+  insys_job_domain_.clear();
+  const std::uint64_t n_insys = r.u64();
+  insys_job_domain_.reserve(static_cast<std::size_t>(n_insys));
+  for (std::uint64_t i = 0; i < n_insys; ++i) {
+    const std::uint64_t id = r.u64();
+    insys_job_domain_[id] = r.str();
+  }
+  for (ClassCounts& cc : classes_) {
+    cc.read_only = r.u64();
+    cc.read_write = r.u64();
+    cc.write_only = r.u64();
+  }
+  domains_.clear();
+  const std::uint64_t n_domains = r.u64();
+  for (std::uint64_t i = 0; i < n_domains; ++i) {
+    DomainUsage& d = domains_[r.str()];
+    d.insys_bytes_read = r.f64();
+    d.insys_bytes_written = r.f64();
+    d.insys_logs = r.u64();
   }
 }
 

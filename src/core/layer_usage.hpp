@@ -17,6 +17,11 @@
 
 #include "core/dataset.hpp"
 
+namespace mlio::util {
+class ByteReader;
+class ByteWriter;
+}  // namespace mlio::util
+
 namespace mlio::core {
 
 class LayerUsage {
@@ -24,6 +29,11 @@ class LayerUsage {
   /// Call once per log with that log's summaries.
   void add_log(const darshan::JobRecord& job, const std::vector<FileSummary>& files);
   void merge(const LayerUsage& other);
+
+  /// Canonical serialization (unordered job maps emitted in sorted key
+  /// order).
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
 
   struct JobExclusivity {
     std::uint64_t pfs_only = 0;

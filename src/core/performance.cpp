@@ -1,5 +1,6 @@
 #include "core/performance.hpp"
 
+#include "util/byte_io.hpp"
 #include "util/error.hpp"
 
 namespace mlio::core {
@@ -39,6 +40,19 @@ void Performance::add(const FileSummary& file) {
     cells_[slot(file.layer, iface, bin, false)].add(mbps);
     ++observations_;
   }
+}
+
+void Performance::save(util::ByteWriter& w) const {
+  w.u64(cells_.size());
+  for (const util::ReservoirQuantiles& cell : cells_) cell.save(w);
+  w.u64(observations_);
+}
+
+void Performance::load(util::ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != cells_.size()) throw util::FormatError("Performance: cell count mismatch");
+  for (util::ReservoirQuantiles& cell : cells_) cell.load(r);
+  observations_ = r.u64();
 }
 
 void Performance::merge(const Performance& other) {

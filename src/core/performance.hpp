@@ -15,6 +15,11 @@
 #include "util/bins.hpp"
 #include "util/stats.hpp"
 
+namespace mlio::util {
+class ByteReader;
+class ByteWriter;
+}  // namespace mlio::util
+
 namespace mlio::core {
 
 class Performance {
@@ -23,6 +28,11 @@ class Performance {
 
   void add(const FileSummary& file);
   void merge(const Performance& other);
+
+  /// Exact serialization of every reservoir cell (samples + Rng position),
+  /// so a restored Performance merges and quantiles bit-identically.
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
 
   /// Five-number summary of MB/s for one cell.  `iface`: 0 POSIX, 1 STDIO.
   util::FiveNumber cell(Layer layer, std::size_t iface, std::size_t transfer_bin,

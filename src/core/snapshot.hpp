@@ -1,0 +1,50 @@
+// Framed on-disk container for a serialized core::Analysis.
+//
+// Layout (all integers little-endian, mirroring the Darshan log frame):
+//
+//   u32  magic            "MSNP" (0x504e534d)
+//   u16  version          currently 1
+//   u16  flags            bit 0: body is zlib-compressed
+//   u64  tag              caller-defined (the archive stores the partition's
+//                         data generation here to detect stale snapshots)
+//   u32  crc32            of the uncompressed body
+//   u64  body_size        uncompressed body size in bytes
+//   u64  stored_size      size of the (possibly compressed) body that follows
+//   []   body             Analysis::save byte stream
+//
+// The body is canonical (Analysis::save sorts its unordered containers), so
+// equal analysis states produce byte-identical snapshot files — the archive
+// e2e test leans on that to prove cached and recomputed shards are the same.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <vector>
+
+#include "core/analysis.hpp"
+
+namespace mlio::core {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x504e534d;  // "MSNP"
+inline constexpr std::uint16_t kSnapshotVersion = 1;
+inline constexpr std::uint16_t kSnapshotFlagCompressed = 0x1;
+
+struct SnapshotWriteOptions {
+  bool compress = true;
+  int zlib_level = 6;
+};
+
+/// Serialize `analysis` into a framed snapshot tagged with `tag`.
+std::vector<std::byte> write_snapshot_bytes(const Analysis& analysis, std::uint64_t tag,
+                                            const SnapshotWriteOptions& opts = {});
+void write_snapshot_file(const Analysis& analysis, std::uint64_t tag,
+                         const std::filesystem::path& path,
+                         const SnapshotWriteOptions& opts = {});
+
+/// Parse a framed snapshot.  Throws util::FormatError on bad magic, version,
+/// CRC, or a malformed body.  `tag` (optional) receives the stored tag.
+Analysis read_snapshot_bytes(std::span<const std::byte> data, std::uint64_t* tag = nullptr);
+Analysis read_snapshot_file(const std::filesystem::path& path, std::uint64_t* tag = nullptr);
+
+}  // namespace mlio::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/byte_io.hpp"
+
 namespace mlio::core {
 
 void Summary::add_log(const darshan::JobRecord& job, const std::vector<FileSummary>& files) {
@@ -18,6 +20,33 @@ void Summary::merge(const Summary& other) {
   files_ += other.files_;
   node_hours_ += other.node_hours_;
   for (const auto& [id, n] : other.per_job_logs_) per_job_logs_[id] += n;
+}
+
+void Summary::save(util::ByteWriter& w) const {
+  w.u64(logs_);
+  w.u64(files_);
+  w.f64(node_hours_);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted(per_job_logs_.begin(),
+                                                              per_job_logs_.end());
+  std::sort(sorted.begin(), sorted.end());
+  w.u64(sorted.size());
+  for (const auto& [id, n] : sorted) {
+    w.u64(id);
+    w.u64(n);
+  }
+}
+
+void Summary::load(util::ByteReader& r) {
+  logs_ = r.u64();
+  files_ = r.u64();
+  node_hours_ = r.f64();
+  const std::uint64_t n_jobs = r.u64();
+  per_job_logs_.clear();
+  per_job_logs_.reserve(static_cast<std::size_t>(n_jobs));
+  for (std::uint64_t i = 0; i < n_jobs; ++i) {
+    const std::uint64_t id = r.u64();
+    per_job_logs_[id] = r.u64();
+  }
 }
 
 std::uint64_t Summary::min_logs_per_job() const {

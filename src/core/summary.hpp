@@ -7,12 +7,22 @@
 
 #include "core/dataset.hpp"
 
+namespace mlio::util {
+class ByteReader;
+class ByteWriter;
+}  // namespace mlio::util
+
 namespace mlio::core {
 
 class Summary {
  public:
   void add_log(const darshan::JobRecord& job, const std::vector<FileSummary>& files);
   void merge(const Summary& other);
+
+  /// Canonical serialization (per-job map emitted in sorted key order) —
+  /// identical state always produces identical bytes.
+  void save(util::ByteWriter& w) const;
+  void load(util::ByteReader& r);
 
   std::uint64_t logs() const { return logs_; }
   std::uint64_t jobs() const { return per_job_logs_.size(); }

@@ -1,6 +1,8 @@
 #include "util/byte_io.hpp"
 
 #include <bit>
+#include <cstdio>
+#include <system_error>
 
 namespace mlio::util {
 
@@ -68,6 +70,38 @@ std::span<const std::byte> ByteReader::bytes(std::size_t n) {
   auto out = data_.subspan(pos_, n);
   pos_ += n;
   return out;
+}
+
+std::vector<std::byte> read_file_bytes(const std::filesystem::path& path) {
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) throw IoError("cannot open " + path.string());
+  std::vector<std::byte> data;
+  std::byte buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) throw IoError("read failed for " + path.string());
+  return data;
+}
+
+void write_file_atomic(const std::filesystem::path& path, std::span<const std::byte> data) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  std::FILE* f = std::fopen(tmp.string().c_str(), "wb");
+  if (f == nullptr) throw IoError("cannot create " + tmp.string());
+  const std::size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != data.size() || !flushed) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    throw IoError("write failed for " + tmp.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) throw IoError("rename " + tmp.string() + " -> " + path.string() + ": " + ec.message());
 }
 
 }  // namespace mlio::util

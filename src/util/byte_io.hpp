@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <span>
 #include <string>
 #include <string_view>
@@ -63,5 +64,14 @@ class ByteReader {
   std::span<const std::byte> data_;
   std::size_t pos_ = 0;
 };
+
+/// Read an entire file into memory.  Throws IoError when the file cannot be
+/// opened or read.
+std::vector<std::byte> read_file_bytes(const std::filesystem::path& path);
+
+/// Write `data` to `path` atomically: the bytes land in a sibling temporary
+/// file which is then renamed over the target, so readers never observe a
+/// partial file (the archive manifest update protocol relies on this).
+void write_file_atomic(const std::filesystem::path& path, std::span<const std::byte> data);
 
 }  // namespace mlio::util

@@ -32,6 +32,12 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
 };
 
+/// Thrown when a filesystem operation fails (open/read/write/rename).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
 [[noreturn]] void assert_fail(const char* expr, std::source_location loc);
 
 }  // namespace mlio::util

@@ -1,5 +1,8 @@
 #include "util/histogram.hpp"
 
+#include <numeric>
+
+#include "util/byte_io.hpp"
 #include "util/error.hpp"
 
 namespace mlio::util {
@@ -14,6 +17,21 @@ void Histogram::add_to_bin(std::size_t bin, std::uint64_t weight) {
   MLIO_ASSERT(bin < counts_.size());
   counts_[bin] += weight;
   total_ += weight;
+}
+
+void Histogram::save(ByteWriter& w) const {
+  w.u64(counts_.size());
+  for (const std::uint64_t c : counts_) w.u64(c);
+  w.u64(total_);
+}
+
+void Histogram::load(ByteReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != counts_.size()) throw FormatError("Histogram: bin count mismatch");
+  for (auto& c : counts_) c = r.u64();
+  total_ = r.u64();
+  const std::uint64_t sum = std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+  if (sum != total_) throw FormatError("Histogram: total does not match bin sum");
 }
 
 void Histogram::merge(const Histogram& other) {

@@ -9,6 +9,9 @@
 
 namespace mlio::util {
 
+class ByteReader;
+class ByteWriter;
+
 /// Counting histogram over a BinSpec.  Mergeable (for parallel accumulation)
 /// and convertible to a CDF in percent.  Counts are 64-bit; `add` may carry a
 /// weight so the same type serves both "number of calls" and "bytes moved".
@@ -22,6 +25,13 @@ class Histogram {
   void add_to_bin(std::size_t bin, std::uint64_t weight = 1);
 
   void merge(const Histogram& other);
+
+  /// Serialize the counts.  The BinSpec itself is not stored (specs are
+  /// static presets owned by the enclosing accumulator); `load` restores
+  /// into a histogram already constructed over the same spec and throws
+  /// FormatError on a bin-count or total mismatch.
+  void save(ByteWriter& w) const;
+  void load(ByteReader& r);
 
   std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
   std::uint64_t total() const { return total_; }

@@ -13,6 +13,9 @@
 
 namespace mlio::util {
 
+class ByteReader;
+class ByteWriter;
+
 /// splitmix64 step — used for seeding and cheap hashing.
 constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   state += 0x9e3779b97f4a7c15ull;
@@ -56,6 +59,12 @@ class Rng {
   double lognormal(double mu, double sigma);
   /// Bernoulli.
   bool chance(double p);
+
+  /// Serialize / restore the exact generator position (4 state words) —
+  /// part of the Analysis snapshot round-trip guarantee: a restored
+  /// reservoir sampler continues its stream bit-identically.
+  void save(ByteWriter& w) const;
+  void load(ByteReader& r);
 
  private:
   std::uint64_t s_[4];

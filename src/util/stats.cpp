@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/byte_io.hpp"
 #include "util/error.hpp"
 
 namespace mlio::util {
@@ -35,6 +36,22 @@ void RunningStats::merge(const RunningStats& other) {
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   n_ += other.n_;
+}
+
+void RunningStats::save(ByteWriter& w) const {
+  w.u64(n_);
+  w.f64(mean_);
+  w.f64(m2_);
+  w.f64(min_);
+  w.f64(max_);
+}
+
+void RunningStats::load(ByteReader& r) {
+  n_ = r.u64();
+  mean_ = r.f64();
+  m2_ = r.f64();
+  min_ = r.f64();
+  max_ = r.f64();
 }
 
 double RunningStats::variance() const {
@@ -91,6 +108,33 @@ void ReservoirQuantiles::merge(const ReservoirQuantiles& other) {
   }
   // n_ now over-counts by construction of the weighting; correct it exactly.
   n_ = n_ - weight * other.sample_.size() + other.n_;
+}
+
+void ReservoirQuantiles::save(ByteWriter& w) const {
+  w.u64(capacity_);
+  rng_.save(w);
+  w.u64(n_);
+  w.f64(min_);
+  w.f64(max_);
+  w.u64(sample_.size());
+  for (const double x : sample_) w.f64(x);
+}
+
+void ReservoirQuantiles::load(ByteReader& r) {
+  const std::uint64_t capacity = r.u64();
+  if (capacity == 0) throw FormatError("ReservoirQuantiles: zero capacity");
+  capacity_ = static_cast<std::size_t>(capacity);
+  rng_.load(r);
+  n_ = r.u64();
+  min_ = r.f64();
+  max_ = r.f64();
+  const std::uint64_t sample_size = r.u64();
+  if (sample_size > capacity || sample_size > n_) {
+    throw FormatError("ReservoirQuantiles: sample larger than capacity or count");
+  }
+  sample_.clear();
+  sample_.reserve(static_cast<std::size_t>(sample_size));
+  for (std::uint64_t i = 0; i < sample_size; ++i) sample_.push_back(r.f64());
 }
 
 double ReservoirQuantiles::quantile(double q) const {

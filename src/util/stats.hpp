@@ -14,11 +14,18 @@
 
 namespace mlio::util {
 
+class ByteReader;
+class ByteWriter;
+
 /// Welford running moments plus min/max.  Mergeable.
 class RunningStats {
  public:
   void add(double x);
   void merge(const RunningStats& other);
+
+  /// Exact state round-trip (load(save(x)) == x bit-for-bit).
+  void save(ByteWriter& w) const;
+  void load(ByteReader& r);
 
   std::uint64_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
@@ -49,6 +56,15 @@ class ReservoirQuantiles {
 
   void add(double x);
   void merge(const ReservoirQuantiles& other);
+
+  /// Exact state round-trip: capacity, counts, min/max, the full reservoir
+  /// sample, and the Rng position all survive, so a restored sampler is
+  /// indistinguishable from the original — adds and merges continue
+  /// bit-identically.  Part of the Analysis snapshot fidelity guarantee.
+  void save(ByteWriter& w) const;
+  /// Throws FormatError on a structurally invalid payload (e.g. a sample
+  /// larger than its capacity or than the observation count).
+  void load(ByteReader& r);
 
   std::uint64_t count() const { return n_; }
   bool empty() const { return n_ == 0; }

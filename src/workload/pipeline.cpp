@@ -156,4 +156,54 @@ PipelineResult run_pipeline(const WorkloadGenerator& gen, const PipelineOptions&
   return result;
 }
 
+void serialize_logs(const WorkloadGenerator& gen, Stratum stratum, std::uint64_t job_lo,
+                    std::uint64_t job_hi, const SerializeOptions& opts,
+                    const SerializedLogSink& sink) {
+  if (job_hi <= job_lo) return;
+  const sim::Machine& machine = machine_for(gen.profile());
+  const sim::JobExecutor executor(machine);
+  const std::uint64_t n = job_hi - job_lo;
+  const std::uint64_t block =
+      opts.block_jobs != 0 ? opts.block_jobs : auto_block_size(n);
+  const std::uint64_t n_blocks = (n + block - 1) / block;
+
+  // Each block buffers its framed logs (bytes + per-log sizes and job
+  // records); blocks are drained to the sink in index order afterwards, so
+  // delivery order equals generation order regardless of scheduling.
+  struct BlockBuffer {
+    std::vector<std::byte> bytes;
+    std::vector<std::size_t> sizes;
+    std::vector<darshan::JobRecord> jobs;
+  };
+  std::vector<BlockBuffer> blocks(n_blocks);
+
+  util::ThreadPool pool(opts.threads);
+  std::vector<WorkerScratch> scratch(std::max(1u, pool.thread_count()));
+  pool.parallel_for_dynamic(
+      0, n, block, [&](std::uint64_t b, std::uint64_t lo, std::uint64_t hi, unsigned w) {
+        BlockBuffer& buf = blocks[b];
+        WorkerScratch& ws = scratch[w];
+        const auto emit = [&](const sim::JobSpec& spec) {
+          executor.execute_into(spec, ws.log);
+          const auto frame = darshan::write_log_bytes_into(ws.log, ws.io, opts.write_options);
+          buf.bytes.insert(buf.bytes.end(), frame.begin(), frame.end());
+          buf.sizes.push_back(frame.size());
+          buf.jobs.push_back(ws.log.job);
+        };
+        if (stratum == Stratum::kBulk) {
+          gen.generate_bulk_range(job_lo + lo, job_lo + hi, emit);
+        } else {
+          gen.generate_huge_range(job_lo + lo, job_lo + hi, emit);
+        }
+      });
+
+  for (const BlockBuffer& buf : blocks) {
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < buf.sizes.size(); ++i) {
+      sink(buf.jobs[i], std::span<const std::byte>(buf.bytes.data() + offset, buf.sizes[i]));
+      offset += buf.sizes[i];
+    }
+  }
+}
+
 }  // namespace mlio::wl

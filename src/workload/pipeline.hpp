@@ -10,6 +10,8 @@
 // (DESIGN.md §4); both strata run through the same scheduler.
 #pragma once
 
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "core/analysis.hpp"
@@ -78,5 +80,29 @@ struct PipelineResult {
 const sim::Machine& machine_for(const SystemProfile& profile);
 
 PipelineResult run_pipeline(const WorkloadGenerator& gen, const PipelineOptions& opts = {});
+
+/// Which generator stratum serialize_logs draws from.
+enum class Stratum { kBulk, kHuge };
+
+struct SerializeOptions {
+  unsigned threads = 0;            ///< 0 = hardware concurrency
+  std::uint64_t block_jobs = 0;    ///< 0 = auto (same rule as run_pipeline)
+  darshan::WriteOptions write_options;
+};
+
+/// One serialized log: the framed on-disk bytes plus its job record (the
+/// archive sink uses the job id for its per-partition index).  The frame
+/// span is only valid for the duration of the callback.
+using SerializedLogSink =
+    std::function<void(const darshan::JobRecord& job, std::span<const std::byte> frame)>;
+
+/// Archive-sink mode of the pipeline: generate jobs [job_lo, job_hi) of a
+/// stratum, execute and serialize every log in parallel (per-worker scratch
+/// reuse, block-ordered buffering), then deliver the frames to `sink` on the
+/// calling thread in exact generation order.  The whole batch is buffered in
+/// memory before delivery, so callers should ingest in bounded batches.
+void serialize_logs(const WorkloadGenerator& gen, Stratum stratum, std::uint64_t job_lo,
+                    std::uint64_t job_hi, const SerializeOptions& opts,
+                    const SerializedLogSink& sink);
 
 }  // namespace mlio::wl

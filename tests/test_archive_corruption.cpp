@@ -1,0 +1,187 @@
+// Corruption robustness: a damaged archive must never be silently wrong.
+// Truncated segments, bit-flipped manifests, and stale snapshot generations
+// must each fail `verify` and either throw FormatError or fall back to a
+// rescan — never return corrupted analysis results.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "archive/archive.hpp"
+#include "archive/ingest.hpp"
+#include "archive/query.hpp"
+#include "core/snapshot.hpp"
+#include "util/byte_io.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workload/pipeline.hpp"
+
+namespace mlio::archive {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ArchiveCorruption : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "mlio_archive_corruption" /
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_.parent_path());
+
+    wl::GeneratorConfig cfg;
+    cfg.seed = 23;
+    cfg.n_jobs = 16;
+    cfg.logs_per_job_scale = 0.2;
+    cfg.files_per_log_scale = 0.2;
+    const wl::WorkloadGenerator gen(wl::SystemProfile::summit_2020(), cfg);
+    Archive ar = Archive::create(dir_);
+    IngestOptions iopts;
+    iopts.batches = 2;
+    iopts.include_huge = false;
+    iopts.write_snapshots = true;
+    ingest_generated(ar, gen, iopts);
+    clean_state_ = core::write_snapshot_bytes(query_archive(ar).analysis, 0);
+    ASSERT_TRUE(ar.verify(true).ok());
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Path of the file for partition `i` (0-based) with the given extension.
+  fs::path part_file(std::size_t i, const std::string& ext) {
+    Archive ar = Archive::open(dir_);
+    const std::uint64_t id = ar.manifest().partitions.at(i).id;
+    char name[32];
+    std::snprintf(name, sizeof name, "p%06llu.%s", static_cast<unsigned long long>(id),
+                  ext.c_str());
+    return dir_ / name;
+  }
+
+  static void flip_byte(const fs::path& path, std::size_t pos) {
+    std::vector<std::byte> bytes = util::read_file_bytes(path);
+    ASSERT_LT(pos, bytes.size());
+    bytes[pos] ^= std::byte{0x41};
+    util::write_file_atomic(path, bytes);
+  }
+
+  static void truncate_file(const fs::path& path, std::size_t drop) {
+    std::vector<std::byte> bytes = util::read_file_bytes(path);
+    ASSERT_LT(drop, bytes.size());
+    bytes.resize(bytes.size() - drop);
+    util::write_file_atomic(path, bytes);
+  }
+
+  fs::path dir_;
+  std::vector<std::byte> clean_state_;
+};
+
+TEST_F(ArchiveCorruption, TruncatedSegmentFailsVerifyAndScan) {
+  truncate_file(part_file(0, "seg"), 5);
+  Archive ar = Archive::open(dir_);
+  const Archive::VerifyReport rep = ar.verify(false);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_FALSE(rep.issues.empty());
+
+  // The snapshot is still valid, so a query legitimately serves the cache...
+  const QueryResult cached = query_archive(ar);
+  EXPECT_EQ(cached.stats.snapshot_hits, 2u);
+  EXPECT_EQ(core::write_snapshot_bytes(cached.analysis, 0), clean_state_);
+
+  // ...but a forced rescan of the damaged partition must throw, not return
+  // a partial analysis.
+  fs::remove(part_file(0, "snap"));
+  Archive reopened = Archive::open(dir_);
+  EXPECT_THROW(query_archive(reopened), util::FormatError);
+}
+
+TEST_F(ArchiveCorruption, BitFlippedManifestFailsOpen) {
+  const fs::path manifest = dir_ / "manifest.bin";
+  const std::vector<std::byte> bytes = util::read_file_bytes(manifest);
+  util::Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto corrupted = bytes;
+    const auto pos = static_cast<std::size_t>(rng.uniform_u64(0, corrupted.size() - 1));
+    corrupted[pos] ^= static_cast<std::byte>(rng.uniform_u64(1, 255));
+    util::write_file_atomic(manifest, corrupted);
+    try {
+      Archive ar = Archive::open(dir_);
+      // CRC collision or a flip in ignorable bits: whatever opened must
+      // still verify clean or report issues — never crash.
+      ar.verify(false);
+    } catch (const util::FormatError&) {
+      // expected for nearly every flip
+    }
+  }
+  util::write_file_atomic(manifest, bytes);
+  EXPECT_TRUE(Archive::open(dir_).verify(true).ok());
+}
+
+TEST_F(ArchiveCorruption, BitFlippedSegmentBodyIsNeverSilentlyWrong) {
+  // Flip a byte in the middle of a log frame: segment CRC catches it on both
+  // verify and rescan.
+  const fs::path seg = part_file(1, "seg");
+  flip_byte(seg, util::read_file_bytes(seg).size() / 2);
+  Archive ar = Archive::open(dir_);
+  EXPECT_FALSE(ar.verify(true).ok());
+
+  fs::remove(part_file(1, "snap"));
+  Archive reopened = Archive::open(dir_);
+  EXPECT_THROW(query_archive(reopened), util::FormatError);
+}
+
+TEST_F(ArchiveCorruption, CorruptSnapshotFallsBackToRescan) {
+  flip_byte(part_file(0, "snap"), 20);
+  Archive ar = Archive::open(dir_);
+
+  // verify reports the bad snapshot as an issue...
+  const Archive::VerifyReport rep = ar.verify(false);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.snapshots_valid, 1u);
+
+  // ...and the query transparently rescans that partition, reproducing the
+  // clean result bit for bit (and healing the cache).
+  const QueryResult q = query_archive(ar);
+  EXPECT_EQ(q.stats.snapshot_hits, 1u);
+  EXPECT_EQ(q.stats.partitions_scanned, 1u);
+  EXPECT_EQ(q.stats.snapshots_written, 1u);
+  EXPECT_EQ(core::write_snapshot_bytes(q.analysis, 0), clean_state_);
+
+  Archive healed = Archive::open(dir_);
+  EXPECT_TRUE(healed.verify(true).ok());
+  const QueryResult warm = query_archive(healed);
+  EXPECT_EQ(warm.stats.partitions_scanned, 0u);
+}
+
+TEST_F(ArchiveCorruption, StaleSnapshotGenerationTriggersRescan) {
+  // Forge the one state a crash could leave after a future data-rewriting
+  // operation: the manifest says the partition's data changed (bumped
+  // data_generation) but the snapshot was taken at the old generation.
+  {
+    Archive ar = Archive::open(dir_);
+    Manifest m = ar.manifest();
+    m.generation += 1;
+    m.partitions.at(0).data_generation = m.generation;
+    util::write_file_atomic(dir_ / "manifest.bin", write_manifest_bytes(m));
+  }
+
+  Archive ar = Archive::open(dir_);
+  const Archive::VerifyReport rep = ar.verify(false);
+  EXPECT_FALSE(rep.ok());  // stale snapshots are reportable issues
+  EXPECT_EQ(rep.snapshots_stale, 1u);
+  EXPECT_EQ(rep.snapshots_valid, 1u);
+
+  // The query must not trust the stale shard: partition 0 is rescanned.
+  const QueryResult q = query_archive(ar);
+  EXPECT_EQ(q.stats.snapshot_hits, 1u);
+  EXPECT_EQ(q.stats.partitions_scanned, 1u);
+  // Same data, same cuts — the rescan reproduces the clean bits.
+  EXPECT_EQ(core::write_snapshot_bytes(q.analysis, 0), clean_state_);
+}
+
+TEST_F(ArchiveCorruption, MissingIndexFailsVerify) {
+  fs::remove(part_file(0, "idx"));
+  Archive ar = Archive::open(dir_);
+  EXPECT_FALSE(ar.verify(false).ok());
+}
+
+}  // namespace
+}  // namespace mlio::archive

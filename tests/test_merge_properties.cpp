@@ -1,0 +1,185 @@
+// Property tests for core::Analysis::merge — the algebra the archive's
+// incremental queries stand on (DESIGN.md §6):
+//   1. merging an empty shard is the identity, in either direction;
+//   2. with FIXED cut points, the shard-order fold is a pure function of
+//      the log stream — reproducible bit for bit, snapshot round-trips
+//      included, and equal to the sequential accumulator in the one-shard
+//      case;
+//   3. every integer census is invariant under the choice of cuts (only
+//      double-precision sums are grouping-sensitive, which is why the
+//      archive pins its cuts instead of claiming full cut-invariance).
+// These extend the PR-1 pipeline determinism pins from "blocks of jobs" to
+// arbitrary contiguous partitions of the decoded log sequence.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/snapshot.hpp"
+#include "darshan/log_format.hpp"
+#include "workload/pipeline.hpp"
+
+namespace mlio::core {
+namespace {
+
+std::vector<darshan::LogData> sample_logs(std::uint64_t n_jobs, std::uint64_t seed) {
+  wl::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.n_jobs = n_jobs;
+  cfg.logs_per_job_scale = 0.2;
+  cfg.files_per_log_scale = 0.2;
+  const wl::WorkloadGenerator gen(wl::SystemProfile::summit_2020(), cfg);
+  std::vector<darshan::LogData> logs;
+  wl::serialize_logs(gen, wl::Stratum::kBulk, 0, n_jobs, {},
+                     [&](const darshan::JobRecord&, std::span<const std::byte> frame) {
+                       logs.push_back(darshan::read_log_bytes(frame));
+                     });
+  return logs;
+}
+
+Analysis analyze(const std::vector<darshan::LogData>& logs, std::size_t lo, std::size_t hi) {
+  Analysis a;
+  for (std::size_t i = lo; i < hi; ++i) a.add(logs[i]);
+  return a;
+}
+
+/// Canonical state bytes — stronger than fingerprint equality.
+std::vector<std::byte> state(const Analysis& a) { return write_snapshot_bytes(a, 0); }
+
+TEST(MergeProperties, EmptyShardIsRightIdentity) {
+  const auto logs = sample_logs(20, 5);
+  Analysis a = analyze(logs, 0, logs.size());
+  const std::vector<std::byte> before = state(a);
+  a.merge(Analysis{});
+  EXPECT_EQ(state(a), before);
+}
+
+TEST(MergeProperties, EmptyShardIsLeftIdentity) {
+  const auto logs = sample_logs(20, 5);
+  const Analysis a = analyze(logs, 0, logs.size());
+  Analysis empty;
+  empty.merge(a);
+  EXPECT_EQ(state(empty), state(a));
+}
+
+TEST(MergeProperties, EmptyMergedWithEmptyStaysEmpty) {
+  Analysis a;
+  a.merge(Analysis{});
+  EXPECT_EQ(state(a), state(Analysis{}));
+  EXPECT_EQ(a.summary().logs(), 0u);
+}
+
+TEST(MergeProperties, SingleShardFoldEqualsSequential) {
+  // Folding one sequential shard into an empty accumulator reproduces the
+  // single-accumulator bits exactly — the degenerate case every multi-shard
+  // contract builds on.
+  const auto logs = sample_logs(40, 13);
+  ASSERT_GE(logs.size(), 8u);
+  const std::vector<std::byte> sequential = state(analyze(logs, 0, logs.size()));
+  Analysis folded;
+  folded.merge(analyze(logs, 0, logs.size()));
+  EXPECT_EQ(state(folded), sequential);
+}
+
+TEST(MergeProperties, FixedCutsFoldIsReproducible) {
+  // The archive's determinism contract (DESIGN.md §6): for a FIXED set of
+  // cut points, the shard-order fold is a pure function of the log stream —
+  // bit-identical across repeated evaluations and regardless of whether a
+  // shard came straight from an accumulator or through a snapshot
+  // round-trip (cache hit vs rescan).
+  const auto logs = sample_logs(40, 13);
+  ASSERT_GE(logs.size(), 8u);
+
+  for (const std::size_t shards : {2u, 3u, 5u, 8u}) {
+    auto fold = [&](bool via_snapshot) {
+      Analysis merged;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t lo = logs.size() * s / shards;
+        const std::size_t hi = logs.size() * (s + 1) / shards;
+        Analysis shard = analyze(logs, lo, hi);
+        if (via_snapshot && s % 2 == 0) {
+          shard = read_snapshot_bytes(write_snapshot_bytes(shard, 0));
+        }
+        merged.merge(shard);
+      }
+      return state(merged);
+    };
+    const std::vector<std::byte> direct = fold(false);
+    EXPECT_EQ(fold(false), direct) << "shards=" << shards;
+    EXPECT_EQ(fold(true), direct) << "shards=" << shards;
+  }
+}
+
+TEST(MergeProperties, IntegerCensusesAreGroupingInvariant) {
+  // Every counting statistic — log/job/file censuses, interface counts,
+  // exclusivity classes, histogram mass — must not depend on how the stream
+  // was cut at all.  (Double-precision sums may differ in the last bits
+  // across DIFFERENT cuts; that is exactly why the archive pins its cuts —
+  // see DESIGN.md §6.)
+  const auto logs = sample_logs(30, 21);
+  ASSERT_GE(logs.size(), 10u);
+  const Analysis sequential = analyze(logs, 0, logs.size());
+
+  const std::size_t cut_sets[][4] = {
+      {1, 2, logs.size() / 2, logs.size() - 1},
+      {logs.size() / 3, logs.size() / 2, 0, 0},
+  };
+  for (const auto& cuts : cut_sets) {
+    Analysis merged;
+    std::size_t lo = 0;
+    for (const std::size_t cut : cuts) {
+      if (cut <= lo || cut > logs.size()) continue;
+      merged.merge(analyze(logs, lo, cut));
+      lo = cut;
+    }
+    merged.merge(analyze(logs, lo, logs.size()));
+
+    EXPECT_EQ(merged.summary().logs(), sequential.summary().logs());
+    EXPECT_EQ(merged.summary().jobs(), sequential.summary().jobs());
+    EXPECT_EQ(merged.summary().files(), sequential.summary().files());
+    EXPECT_EQ(merged.performance().observations(), sequential.performance().observations());
+    for (std::size_t li = 0; li < kLayerCount; ++li) {
+      const auto layer = static_cast<Layer>(li);
+      EXPECT_EQ(merged.access().layer(layer).files, sequential.access().layer(layer).files);
+      EXPECT_EQ(merged.interfaces().counts(layer).posix,
+                sequential.interfaces().counts(layer).posix);
+      EXPECT_EQ(merged.interfaces().counts(layer).stdio,
+                sequential.interfaces().counts(layer).stdio);
+    }
+    const auto ex = merged.layers().job_exclusivity();
+    const auto ex_seq = sequential.layers().job_exclusivity();
+    EXPECT_EQ(ex.pfs_only, ex_seq.pfs_only);
+    EXPECT_EQ(ex.insys_only, ex_seq.insys_only);
+    EXPECT_EQ(ex.both, ex_seq.both);
+    EXPECT_NEAR(merged.summary().node_hours(), sequential.summary().node_hours(),
+                1e-9 * (1.0 + sequential.summary().node_hours()));
+  }
+}
+
+TEST(MergeProperties, MergeIsAssociativeOverOrderedShards) {
+  // (A ∘ B) ∘ C == A ∘ (B ∘ C) for adjacent shards — the query engine may
+  // fold cached and rebuilt shards at different times.
+  const auto logs = sample_logs(30, 34);
+  ASSERT_GE(logs.size(), 6u);
+  const std::size_t third = logs.size() / 3;
+  const Analysis a = analyze(logs, 0, third);
+  const Analysis b = analyze(logs, third, 2 * third);
+  const Analysis c = analyze(logs, 2 * third, logs.size());
+
+  Analysis left;
+  left.merge(a);
+  left.merge(b);
+  left.merge(c);
+
+  Analysis bc;
+  bc.merge(b);
+  bc.merge(c);
+  Analysis right;
+  right.merge(a);
+  right.merge(bc);
+
+  EXPECT_EQ(state(left), state(right));
+}
+
+}  // namespace
+}  // namespace mlio::core
