@@ -11,6 +11,7 @@
 // contract); the JSON records the fingerprint comparison alongside the
 // speedup so a caching regression is visible as either wrong bits or a
 // missing win.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -156,14 +157,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(f, "{\n");
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  const unsigned eff_threads = args.threads != 0 ? args.threads : std::max(1u, host_cpus);
   std::fprintf(f,
                "  \"config\": {\"system\": \"Cori\", \"jobs\": %llu, \"seed\": %llu, "
                "\"batches\": %llu, \"logs_scale\": %g, \"files_scale\": %g, "
-               "\"compress\": %s, \"include_huge\": true, \"host_cpus\": %u},\n",
+               "\"compress\": %s, \"include_huge\": true, \"host_cpus\": %u, "
+               "\"threads\": %u, \"oversubscribed\": %s},\n",
                static_cast<unsigned long long>(args.jobs),
                static_cast<unsigned long long>(args.seed),
                static_cast<unsigned long long>(args.batches), args.logs_scale, args.files_scale,
-               args.compress ? "true" : "false", std::thread::hardware_concurrency());
+               args.compress ? "true" : "false", host_cpus, eff_threads,
+               eff_threads > host_cpus ? "true" : "false");
   std::fprintf(f, "  \"reps\": [\n");
   for (std::size_t i = 0; i < reps.size(); ++i) {
     const Rep& r = reps[i];

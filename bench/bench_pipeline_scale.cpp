@@ -170,22 +170,32 @@ void write_json(const ScaleArgs& a, const std::vector<RunResult>& runs, double s
                a.logs_scale, a.files_scale, a.roundtrip ? "true" : "false",
                a.compress ? "true" : "false", a.zlib_level,
                std::thread::hardware_concurrency());
+  const unsigned host_cpus = std::thread::hardware_concurrency();
   std::fprintf(f, "  \"runs\": [\n");
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const auto& s = runs[i].stats;
     std::fprintf(f,
-                 "    {\"mode\": \"%s\", \"threads\": %u, \"jobs\": %llu, \"logs\": %llu,\n"
-                 "     \"jobs_per_s\": %.2f, \"logs_per_s\": %.2f, \"simulated_bytes_per_s\": %.3e,\n"
+                 "    {\"mode\": \"%s\", \"threads\": %u, \"oversubscribed\": %s, "
+                 "\"jobs\": %llu, \"logs\": %llu,\n"
+                 "     \"jobs_per_s\": %.2f, \"logs_per_s\": %.2f, \"opens_per_s\": %.2f, "
+                 "\"simulated_bytes_per_s\": %.3e,\n"
                  "     \"total_s\": %.4f, \"bulk_s\": %.4f, \"huge_s\": %.4f, \"merge_s\": %.4f,\n"
                  "     \"block_jobs\": %llu, \"bulk_blocks\": %llu, \"huge_blocks\": %llu,\n"
+                 "     \"exec\": {\"files\": %llu, \"segments\": %llu, \"rank_rows\": %llu, "
+                 "\"opens\": %llu},\n"
                  "     \"worker_blocks\": [",
-                 runs[i].mode.c_str(), s.threads, static_cast<unsigned long long>(s.jobs),
+                 runs[i].mode.c_str(), s.threads, s.threads > host_cpus ? "true" : "false",
+                 static_cast<unsigned long long>(s.jobs),
                  static_cast<unsigned long long>(s.logs), s.jobs_per_second(),
-                 s.logs_per_second(), s.simulated_bytes_per_second(), s.total_seconds,
-                 s.bulk_seconds, s.huge_seconds, s.merge_seconds,
+                 s.logs_per_second(), s.opens_per_second(), s.simulated_bytes_per_second(),
+                 s.total_seconds, s.bulk_seconds, s.huge_seconds, s.merge_seconds,
                  static_cast<unsigned long long>(s.block_jobs),
                  static_cast<unsigned long long>(s.bulk_blocks),
-                 static_cast<unsigned long long>(s.huge_blocks));
+                 static_cast<unsigned long long>(s.huge_blocks),
+                 static_cast<unsigned long long>(s.exec.files),
+                 static_cast<unsigned long long>(s.exec.segments),
+                 static_cast<unsigned long long>(s.exec.rank_rows),
+                 static_cast<unsigned long long>(s.exec.opens));
     for (std::size_t w = 0; w < s.worker_blocks.size(); ++w) {
       std::fprintf(f, "%s%llu", w != 0 ? ", " : "",
                    static_cast<unsigned long long>(s.worker_blocks[w]));

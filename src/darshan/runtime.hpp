@@ -13,6 +13,7 @@
 // counters).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -30,6 +31,27 @@ struct FileHandle {
   ModuleId module = ModuleId::kPosix;
 };
 
+/// One I/O segment fanned out over a contiguous run of rank rows — the bulk
+/// alternative to a per-rank open_file/record_reads/record_meta loop.  The
+/// segment's bytes split as `per_rank_bytes` per row, with the leading
+/// `n_plus_one` rows carrying one extra byte (the remainder fan-out of
+/// bytes = n_ranks * per_rank_bytes + n_plus_one).  Rows are ranks
+/// rank0 .. rank0 + n_ranks - 1; a pre-reduced shared record is one row with
+/// rank0 == kSharedRank.  Rows whose byte count is zero are skipped entirely
+/// (no open, no record) unless they are the segment's only row.
+struct RankSegment {
+  std::int32_t rank0 = 0;
+  std::uint32_t n_ranks = 1;
+  std::uint32_t n_plus_one = 0;
+  std::uint64_t per_rank_bytes = 0;
+  std::uint64_t op_size = 1;     ///< per-call request size (0 treated as 1)
+  double start = 0;              ///< segment start, relative seconds
+  double elapsed = 0;            ///< modeled transfer time of the whole segment
+  bool sequential = true;
+  std::uint64_t meta_ops = 0;    ///< per-row metadata ops (0: none)
+  double meta_elapsed = 0;       ///< per-row metadata seconds
+};
+
 struct RuntimeOptions {
   /// Capture DXT traces for POSIX and MPI-IO (never STDIO, as in real
   /// Darshan).  Off by default — DXT was disabled on both study systems.
@@ -37,6 +59,12 @@ struct RuntimeOptions {
   /// Cap on traced events per (file, module) batch, mirroring DXT's bounded
   /// trace buffers.
   std::uint32_t dxt_events_per_batch = 16;
+  /// Replicate the seed's finalize exactly (hash-map grouping, a fresh
+  /// allocation per shared record, and a full-record output sort) instead of
+  /// the key-sorted single pass.  Byte-identical output, slower: the
+  /// executor's per-rank baseline sets this so bench_executor compares the
+  /// overhauled hot path against the true pre-PR cost, not a hybrid.
+  bool seed_compat_finalize = false;
 };
 
 class Runtime {
@@ -44,9 +72,16 @@ class Runtime {
   /// `job.start_time/end_time` may be filled later via finalize().
   Runtime(JobRecord job, std::vector<MountEntry> mounts, const RuntimeOptions& opts = {});
 
+  /// Intern a path: hash it and register its name once.  Subsequent events
+  /// reference the returned id with no further hashing or allocation; the
+  /// returned id equals hash_record_id(path).
+  std::uint64_t intern_path(std::string_view path);
+
   /// Register a file open by `rank` at time `t` (relative seconds).
   /// Re-opening is fine: OPENS increments, the earliest open timestamp wins.
   FileHandle open_file(ModuleId module, std::int32_t rank, std::string_view path, double t);
+  /// Same, for a path already interned via intern_path.
+  FileHandle open_file(ModuleId module, std::int32_t rank, std::uint64_t path_id, double t);
 
   /// Record `n_ops` read operations of `op_size` bytes each by `rank`,
   /// spanning [start, start+elapsed] seconds.  `sequential` marks the batch
@@ -59,6 +94,18 @@ class Runtime {
   /// Metadata time (stat/seek/sync) attributed to `rank`.
   void record_meta(const FileHandle& h, std::int32_t rank, std::uint64_t n_ops, double elapsed);
 
+  /// Bulk fan-out of one read segment over a rank range (see RankSegment):
+  /// every emitted row opens the file at seg.start, transfers its byte share
+  /// split into op_size ops plus a tail op, and charges seg.meta_ops metadata
+  /// operations.  Byte-identical to the equivalent per-rank
+  /// open_file/record_reads/record_meta sequence, but the (module, file,
+  /// rank) row is resolved at most once, the request-size bin and both op
+  /// splits (per_rank and per_rank+1) are computed once, and counter deltas
+  /// shared by all rows are built once and applied per row.
+  void record_reads_ranks(ModuleId module, std::uint64_t path_id, const RankSegment& seg);
+  /// Same for writes.
+  void record_writes_ranks(ModuleId module, std::uint64_t path_id, const RankSegment& seg);
+
   /// Attach a Lustre geometry record for `path` (stripe settings the file was
   /// created with); rank is irrelevant for geometry and stored as -1.
   void record_lustre(std::string_view path, std::int64_t stripe_size, std::int64_t stripe_width,
@@ -69,6 +116,12 @@ class Runtime {
   void record_ssd(std::string_view path, std::uint64_t rewrite_bytes,
                   std::uint64_t seq_write_bytes, std::uint64_t random_write_bytes,
                   std::uint64_t static_bytes, std::uint64_t dynamic_bytes, double waf);
+
+  /// Harvest the spent records of a recycled scratch log (emptying it): new
+  /// records drain the harvested pool and reuse its counter buffers instead
+  /// of allocating.  Call once, before reporting events, with the same
+  /// LogData later passed to finalize_into.
+  void adopt_scratch(LogData& scratch);
 
   /// Number of live (pre-reduction) records — for tests.
   std::size_t live_records() const { return records_.size(); }
@@ -93,10 +146,38 @@ class Runtime {
   };
 
   FileRecord& fetch(ModuleId module, std::uint64_t record_id, std::int32_t rank);
+  std::size_t fetch_index(ModuleId module, std::uint64_t record_id, std::int32_t rank);
+  /// Fresh zeroed record, drawing buffers from the recycling pool when
+  /// possible.
+  FileRecord new_record(std::uint64_t record_id, std::int32_t rank, ModuleId module);
   static void reduce_into(FileRecord& shared, const FileRecord& rank_rec);
+  /// Key-sorted single-pass record grouping/reduction (the hot path).
+  void finalize_records_sorted(LogData& log);
+  /// The seed's record grouping/reduction, kept verbatim for the
+  /// seed_compat_finalize baseline (see RuntimeOptions).
+  void finalize_records_seed(LogData& log);
 
   void trace_batch(const FileHandle& h, std::int32_t rank, DxtOp op, std::uint64_t op_size,
                    std::uint64_t n_ops, double start, double elapsed);
+
+  void record_ranks(ModuleId module, std::uint64_t path_id, const RankSegment& seg,
+                    bool is_read);
+
+  /// Memoized record indices for the rank rows of one (module, file): the
+  /// executor emits many segments against the same rank range (read mix,
+  /// write mix, MPI-IO→POSIX mirror), so after the first segment the fan-out
+  /// does no hash-map lookups at all.  Two entries cover the worst case per
+  /// file (primary module + POSIX mirror); rows are resolved lazily so a
+  /// skipped (zero-byte) rank never creates a record.
+  struct RankRowCache {
+    std::uint64_t record_id = 0;
+    std::int32_t rank0 = 0;
+    std::uint8_t module = 0xff;
+    std::vector<std::size_t> rows;
+  };
+  static constexpr std::size_t kNoRow = static_cast<std::size_t>(-1);
+  std::vector<std::size_t>& rank_rows(ModuleId module, std::uint64_t record_id,
+                                      std::int32_t rank0, std::uint32_t n_ranks);
 
   JobRecord job_;
   std::vector<MountEntry> mounts_;
@@ -106,8 +187,21 @@ class Runtime {
   std::unordered_map<std::uint64_t, DxtRecord> dxt_;
   std::unordered_map<std::uint64_t, std::uint64_t> dxt_offsets_;
   std::unordered_map<std::uint64_t, std::string> names_;
+  /// Compact sort handle used by finalize_into so ordering shuffles 16-byte
+  /// keys instead of whole FileRecords.
+  struct SortKey {
+    std::uint64_t record_id;
+    std::uint32_t idx;
+    std::int32_t rank;
+    std::uint8_t module;
+  };
+
   std::unordered_map<Key, std::size_t, KeyHash> index_;
   std::vector<FileRecord> records_;
+  std::vector<FileRecord> pool_;   ///< spent records awaiting buffer reuse
+  std::vector<SortKey> order_;     ///< finalize sort scratch
+  std::array<RankRowCache, 2> row_cache_;
+  std::size_t row_cache_victim_ = 0;
 };
 
 }  // namespace mlio::darshan

@@ -12,6 +12,14 @@
 namespace mlio::sim {
 
 struct ExecutorConfig {
+  /// How per-rank I/O is reported into the runtime.  kBatched is the
+  /// production hot path: the path is interned once per file, both op splits
+  /// are precomputed, and one bulk Runtime call fans the segment out over
+  /// all rank rows.  kPerRank preserves the seed's per-rank
+  /// open_file/record_reads loop as a measurable baseline (bench_executor)
+  /// and a differential-test oracle.  Both modes produce bit-identical logs.
+  enum class Emission { kBatched, kPerRank };
+
   /// Shared files of jobs with at most this many ranks are recorded per rank
   /// (exercising the runtime's shared-record reduction); larger jobs record
   /// the pre-aggregated rank -1 record directly, as an optimization with
@@ -24,6 +32,26 @@ struct ExecutorConfig {
   bool enable_dxt = false;
   /// Emit Recommendation-4 SSDEXT records for files on flash-backed layers.
   bool enable_ssd_ext = false;
+  Emission emission = Emission::kBatched;
+};
+
+/// Hot-path telemetry accumulated across execute_into calls — how much
+/// record-keeping the executed jobs induced (the denominator of every
+/// opens/s / rows/s throughput number in bench_executor and the pipeline).
+struct ExecStats {
+  std::uint64_t jobs = 0;       ///< execute_into calls
+  std::uint64_t files = 0;      ///< FileAccessSpec entries executed
+  std::uint64_t segments = 0;   ///< I/O segments emitted (rank fan-outs)
+  std::uint64_t rank_rows = 0;  ///< per-rank record rows touched (primary module)
+  std::uint64_t opens = 0;      ///< file opens recorded (incl. MPI-IO→POSIX mirrors)
+
+  void merge(const ExecStats& o) {
+    jobs += o.jobs;
+    files += o.files;
+    segments += o.segments;
+    rank_rows += o.rank_rows;
+    opens += o.opens;
+  }
 };
 
 /// What staging the job's DataWarp directives would move, and how long.
@@ -43,8 +71,10 @@ class JobExecutor {
 
   /// Same, but fills `out` in place, recycling its vectors' capacity.  The
   /// pipeline threads one scratch LogData per worker through this to avoid
-  /// per-job allocation churn.
-  void execute_into(const JobSpec& spec, darshan::LogData& out) const;
+  /// per-job allocation churn.  `stats`, when non-null, accumulates hot-path
+  /// telemetry (not thread-safe: callers keep one per worker).
+  void execute_into(const JobSpec& spec, darshan::LogData& out,
+                    ExecStats* stats = nullptr) const;
 
   /// Estimate the PFS<->BB staging cost of the job's directives (runs outside
   /// the job's Darshan window, as DataWarp stages before start / after exit).

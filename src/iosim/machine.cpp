@@ -34,6 +34,21 @@ Machine::Machine(std::string name, std::uint32_t compute_nodes, double node_link
   if (!has_pfs || !has_in_system) {
     throw util::ConfigError("Machine: need one PFS and one in-system layer");
   }
+
+  // Resolve every per-layer fact the hot path needs exactly once: the
+  // executor consumes these instead of scanning layer pointers, calling the
+  // virtual perf(), or dynamic_casting per file.
+  facts_.resize(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    LayerFacts& f = facts_[i];
+    f.layer = layers_[i].get();
+    f.index = i;
+    f.kind = f.layer->kind();
+    f.perf = f.layer->perf();
+    f.lustre = dynamic_cast<const LustreLayer*>(f.layer);
+    f.node_local = dynamic_cast<const NodeLocalLayer*>(f.layer);
+    f.burst_buffer = dynamic_cast<const BurstBufferLayer*>(f.layer);
+  }
 }
 
 Machine Machine::summit() {
@@ -106,17 +121,29 @@ const StorageLayer& Machine::in_system() const {
 }
 
 const StorageLayer* Machine::layer_for_path(std::string_view path) const {
-  const StorageLayer* best = nullptr;
+  const LayerFacts* f = facts_for_path(path);
+  return f != nullptr ? f->layer : nullptr;
+}
+
+const LayerFacts* Machine::facts_for_path(std::string_view path) const {
+  const LayerFacts* best = nullptr;
   std::size_t best_len = 0;
-  for (const auto& l : layers_) {
-    const auto& prefix = l->mount_prefix();
+  for (const LayerFacts& f : facts_) {
+    const auto& prefix = f.layer->mount_prefix();
     if (path.size() >= prefix.size() && path.substr(0, prefix.size()) == prefix &&
         prefix.size() > best_len) {
-      best = l.get();
+      best = &f;
       best_len = prefix.size();
     }
   }
   return best;
+}
+
+std::size_t Machine::layer_index(const StorageLayer* l) const {
+  for (const LayerFacts& f : facts_) {
+    if (f.layer == l) return f.index;
+  }
+  throw util::ConfigError("Machine: layer not owned by this machine");
 }
 
 std::vector<darshan::MountEntry> Machine::mounts() const {

@@ -13,6 +13,25 @@
 
 namespace mlio::sim {
 
+class BurstBufferLayer;
+class LustreLayer;
+class NodeLocalLayer;
+
+/// Immutable per-layer facts resolved once at machine construction, so the
+/// executor's per-file hot path does no layer-pointer scans, dynamic_casts,
+/// or virtual perf() calls: the layer index (for per-job contention tables),
+/// the hoisted performance envelope, and the concrete-type views (non-null
+/// exactly when the layer is of that type).
+struct LayerFacts {
+  const StorageLayer* layer = nullptr;
+  std::size_t index = 0;
+  LayerKind kind = LayerKind::kParallelFs;
+  LayerPerf perf;
+  const LustreLayer* lustre = nullptr;
+  const NodeLocalLayer* node_local = nullptr;
+  const BurstBufferLayer* burst_buffer = nullptr;
+};
+
 class Machine {
  public:
   Machine(std::string name, std::uint32_t compute_nodes, double node_link_bw,
@@ -38,9 +57,14 @@ class Machine {
   const StorageLayer& in_system() const;
   /// Longest-prefix mount match; nullptr when no layer holds the path.
   const StorageLayer* layer_for_path(std::string_view path) const;
+  /// Same match, returning the precomputed facts row for the layer.
+  const LayerFacts* facts_for_path(std::string_view path) const;
 
   std::size_t layer_count() const { return layers_.size(); }
   const StorageLayer& layer(std::size_t i) const { return *layers_.at(i); }
+  const LayerFacts& facts(std::size_t i) const { return facts_.at(i); }
+  /// Index of a layer owned by this machine (the inverse of layer(i)).
+  std::size_t layer_index(const StorageLayer* l) const;
 
   /// Mount table recorded into every Darshan log of this machine.
   std::vector<darshan::MountEntry> mounts() const;
@@ -50,6 +74,7 @@ class Machine {
   std::uint32_t compute_nodes_;
   double node_link_bw_;
   std::vector<std::unique_ptr<StorageLayer>> layers_;
+  std::vector<LayerFacts> facts_;
   PerfModel model_;
 };
 

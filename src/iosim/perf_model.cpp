@@ -57,9 +57,12 @@ double PerfModel::stream_bandwidth(const AccessRequest& req, const LayerPerf& pe
   // The extra user-space copy caps STDIO streams.
   if (req.iface == Interface::kStdio) bw = std::min(bw, cfg_.stdio_copy_bw);
 
-  // Node-local write amplification slows the device-bound path.
+  // Node-local write amplification slows the device-bound path.  A request
+  // carrying precomputed facts has the concrete view already resolved.
   if (!read) {
-    if (const auto* nvme = dynamic_cast<const NodeLocalLayer*>(req.layer)) {
+    const NodeLocalLayer* nvme =
+        req.perf != nullptr ? req.node_local : dynamic_cast<const NodeLocalLayer*>(req.layer);
+    if (nvme != nullptr) {
       const double waf = nvme->write_amplification(req.op_size, req.sequential, req.rewrites);
       if (req.iface != Interface::kStdio || req.total_bytes > perf.write_cache_bytes) {
         bw /= waf;
@@ -71,7 +74,12 @@ double PerfModel::stream_bandwidth(const AccessRequest& req, const LayerPerf& pe
 
 double PerfModel::aggregate_bandwidth(const AccessRequest& req) const {
   MLIO_ASSERT(req.layer != nullptr);
+  if (req.perf != nullptr) return aggregate_bandwidth(req, *req.perf);
   const LayerPerf perf = req.layer->perf();
+  return aggregate_bandwidth(req, perf);
+}
+
+double PerfModel::aggregate_bandwidth(const AccessRequest& req, const LayerPerf& perf) const {
   const bool read = req.dir == Direction::kRead;
 
   // STDIO is a single serial stream per file (no per-rank parallel FILE*
@@ -114,8 +122,10 @@ double PerfModel::aggregate_bandwidth(const AccessRequest& req) const {
 }
 
 double PerfModel::elapsed_seconds(const AccessRequest& req, util::Rng& rng) const {
-  const double agg = aggregate_bandwidth(req);
-  const LayerPerf perf = req.layer->perf();
+  MLIO_ASSERT(req.layer != nullptr);
+  const LayerPerf perf_storage = req.perf != nullptr ? LayerPerf{} : req.layer->perf();
+  const LayerPerf& perf = req.perf != nullptr ? *req.perf : perf_storage;
+  const double agg = aggregate_bandwidth(req, perf);
   const std::uint32_t streams =
       req.iface == Interface::kStdio ? 1 : std::max<std::uint32_t>(1, req.streams);
   const double sync =

@@ -33,6 +33,8 @@
 
 namespace mlio::sim {
 
+class NodeLocalLayer;
+
 struct PerfModelConfig {
   std::uint64_t stdio_buffer_bytes = 8 * 1024;       ///< libc stream buffer
   std::uint64_t stdio_readahead_bytes = 128 * 1024;  ///< kernel readahead window
@@ -65,6 +67,14 @@ struct AccessRequest {
   std::uint32_t rewrites = 0;     ///< full overwrites (node-local WAF input)
   double contention = 1.0;        ///< (0,1] share of the layer peak available
   double node_link_bw = 12.5e9;   ///< per-compute-node injection bandwidth
+
+  /// Precomputed layer facts (Machine::facts_for_path).  When `perf` is set
+  /// the model reads the envelope through it instead of the virtual
+  /// layer->perf(), and trusts `node_local` as the already-resolved concrete
+  /// view (nullptr = not a node-local layer), skipping the per-op
+  /// dynamic_cast.  Leave both null to fall back to the virtual calls.
+  const LayerPerf* perf = nullptr;
+  const NodeLocalLayer* node_local = nullptr;
 };
 
 class PerfModel {
@@ -83,6 +93,7 @@ class PerfModel {
  private:
   /// Effective bandwidth of a single client stream.
   double stream_bandwidth(const AccessRequest& req, const LayerPerf& perf) const;
+  double aggregate_bandwidth(const AccessRequest& req, const LayerPerf& perf) const;
 
   PerfModelConfig cfg_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <vector>
 
 #include "util/error.hpp"
@@ -34,6 +35,7 @@ std::uint64_t auto_block_size(std::uint64_t n) {
 struct WorkerScratch {
   darshan::LogData log;
   darshan::LogIoBuffers io;
+  sim::ExecStats exec;
 };
 
 }  // namespace
@@ -71,8 +73,13 @@ PipelineResult run_pipeline(const WorkloadGenerator& gen, const PipelineOptions&
   // static chunks construct their own (one per contiguous block run).
   std::vector<WorkerScratch> scratch(std::max(1u, pool.thread_count()));
 
+  // Static chunks keep chunk-local scratch; their exec telemetry folds into
+  // this total under a lock (one acquisition per chunk, off the hot path).
+  std::mutex exec_mu;
+  sim::ExecStats static_exec;
+
   auto consume = [&](core::Analysis& into, WorkerScratch& ws, const sim::JobSpec& spec) {
-    executor.execute_into(spec, ws.log);
+    executor.execute_into(spec, ws.log, &ws.exec);
     if (opts.roundtrip_logs) {
       const auto bytes = darshan::write_log_bytes_into(ws.log, ws.io, opts.write_options);
       darshan::read_log_bytes_into(bytes, ws.io, ws.log);
@@ -112,6 +119,8 @@ PipelineResult run_pipeline(const WorkloadGenerator& gen, const PipelineOptions&
               const std::uint64_t hi = std::min(n, lo + block);
               generate(lo, hi, [&](const sim::JobSpec& spec) { consume(shards[b], ws, spec); });
             }
+            const std::lock_guard<std::mutex> lock(exec_mu);
+            static_exec.merge(ws.exec);
           });
     }
     const auto t_merge = SteadyClock::now();
@@ -150,6 +159,8 @@ PipelineResult run_pipeline(const WorkloadGenerator& gen, const PipelineOptions&
     stats.huge_seconds = seconds_since(t_huge) - (stats.merge_seconds - merge_before);
   }
 
+  for (const WorkerScratch& ws : scratch) stats.exec.merge(ws.exec);
+  stats.exec.merge(static_exec);
   stats.logs = result.bulk.summary().logs() + result.huge.summary().logs();
   stats.simulated_bytes = result.bulk.total_bytes() + result.huge.total_bytes();
   stats.total_seconds = seconds_since(t_start);

@@ -51,6 +51,9 @@ struct PipelineStats {
   std::uint64_t jobs = 0;         ///< bulk + hero jobs executed
   std::uint64_t logs = 0;         ///< Darshan logs produced and analyzed
   double simulated_bytes = 0;     ///< total traffic moved through the models
+  /// Executor hot-path telemetry summed over every job (segments emitted,
+  /// per-rank rows touched, opens recorded — see sim::ExecStats).
+  sim::ExecStats exec;
 
   double bulk_seconds = 0;        ///< bulk generate+simulate+analyze wall time
   double huge_seconds = 0;        ///< huge stratum wall time
@@ -65,6 +68,7 @@ struct PipelineStats {
   double jobs_per_second() const { return total_seconds > 0 ? static_cast<double>(jobs) / total_seconds : 0; }
   double logs_per_second() const { return total_seconds > 0 ? static_cast<double>(logs) / total_seconds : 0; }
   double simulated_bytes_per_second() const { return total_seconds > 0 ? simulated_bytes / total_seconds : 0; }
+  double opens_per_second() const { return total_seconds > 0 ? static_cast<double>(exec.opens) / total_seconds : 0; }
 };
 
 struct PipelineResult {

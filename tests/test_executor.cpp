@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+
 #include "darshan/counters.hpp"
+#include "darshan/log_format.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
+#include "workload/generator.hpp"
+#include "workload/pipeline.hpp"
 
 namespace mlio::sim {
 namespace {
@@ -195,6 +200,79 @@ TEST(Executor, EmptyDirectivesReportZero) {
   const StagingReport rep = ex.estimate_staging(base_spec());
   EXPECT_EQ(rep.bytes_in + rep.bytes_out, 0u);
   EXPECT_DOUBLE_EQ(rep.seconds_in + rep.seconds_out, 0.0);
+}
+
+// --- Golden digests -------------------------------------------------------
+//
+// Hash the serialized (uncompressed) log stream of a fixed (system, seed,
+// jobs) matrix.  The digests below were pinned on the pre-refactor executor;
+// any hot-path restructuring (path interning, batched rank emission, layer
+// tables) must keep every byte of every generated log identical, so these
+// values must never change without an explicit format/population bump.
+// The name map serializes in insertion order, so the digests additionally
+// pin the first-touch order of file paths.
+
+std::uint64_t fnv1a(std::span<const std::byte> bytes, std::uint64_t h) {
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t population_digest(const wl::SystemProfile& profile, std::uint64_t seed,
+                                std::uint64_t jobs, const ExecutorConfig& cfg = {}) {
+  wl::GeneratorConfig gc;
+  gc.seed = seed;
+  gc.n_jobs = jobs;
+  gc.logs_per_job_scale = 0.25;
+  gc.files_per_log_scale = 0.25;
+  const wl::WorkloadGenerator gen(profile, gc);
+  const JobExecutor ex(wl::machine_for(profile), cfg);
+  darshan::WriteOptions wopts;
+  wopts.compress = false;
+  darshan::LogData log;
+  darshan::LogIoBuffers io;
+  std::uint64_t h = 1469598103934665603ull;
+  gen.generate_bulk_range(0, jobs, [&](const JobSpec& spec) {
+    ex.execute_into(spec, log);
+    h = fnv1a(darshan::write_log_bytes_into(log, io, wopts), h);
+  });
+  return h;
+}
+
+TEST(Executor, GoldenDigestSummit) {
+  EXPECT_EQ(population_digest(wl::SystemProfile::summit_2020(), 42, 12), 16000429662034926591ull);
+}
+
+TEST(Executor, GoldenDigestCori) {
+  EXPECT_EQ(population_digest(wl::SystemProfile::cori_2019(), 42, 12), 11797263441408983634ull);
+}
+
+TEST(Executor, GoldenDigestSecondSeed) {
+  EXPECT_EQ(population_digest(wl::SystemProfile::summit_2020(), 7, 5), 4330737685399424862ull);
+  EXPECT_EQ(population_digest(wl::SystemProfile::cori_2019(), 7, 5), 14172711066723879781ull);
+}
+
+TEST(Executor, GoldenDigestPerRankBaseline) {
+  // The per-rank emission baseline (seed hot path: per-rank loops, per-access
+  // perf resolution, seed finalize) must produce the exact bytes the batched
+  // path does — pinned to the same golden digests.
+  ExecutorConfig cfg;
+  cfg.emission = ExecutorConfig::Emission::kPerRank;
+  EXPECT_EQ(population_digest(wl::SystemProfile::summit_2020(), 42, 12, cfg),
+            16000429662034926591ull);
+  EXPECT_EQ(population_digest(wl::SystemProfile::cori_2019(), 42, 12, cfg),
+            11797263441408983634ull);
+}
+
+TEST(Executor, GoldenDigestWithExtensions) {
+  // DXT traces and SSDEXT records ride the same hot path; pin them too.
+  ExecutorConfig cfg;
+  cfg.enable_dxt = true;
+  cfg.enable_ssd_ext = true;
+  EXPECT_EQ(population_digest(wl::SystemProfile::summit_2020(), 1234, 6, cfg), 8480845263817154199ull);
+  EXPECT_EQ(population_digest(wl::SystemProfile::cori_2019(), 1234, 6, cfg), 12078485423183031340ull);
 }
 
 TEST(Executor, InvalidSpecThrows) {

@@ -176,6 +176,107 @@ TEST(Runtime, ZeroOpBatchesAreIgnored) {
   EXPECT_EQ(log.records[0].c(posix::BYTES_READ), 0);
 }
 
+TEST(Runtime, InterningSamePathAcrossModulesAndRanks) {
+  // nprocs 8 but only ranks 0/1 touch the file: partial access, no collapse.
+  Runtime rt(make_job(8), mounts());
+  const std::uint64_t id = rt.intern_path("/gpfs/alpine/shared.h5");
+  EXPECT_EQ(id, hash_record_id("/gpfs/alpine/shared.h5"));
+  EXPECT_EQ(rt.intern_path("/gpfs/alpine/shared.h5"), id);  // idempotent
+
+  const auto hp0 = rt.open_file(ModuleId::kPosix, 0, id, 0.0);
+  const auto hm0 = rt.open_file(ModuleId::kMpiIo, 0, id, 0.0);
+  const auto hp1 = rt.open_file(ModuleId::kPosix, 1, "/gpfs/alpine/shared.h5", 0.0);
+  EXPECT_EQ(hp0.record_id, id);
+  EXPECT_EQ(hm0.record_id, id);
+  EXPECT_EQ(hp1.record_id, id);
+
+  // Same path, three distinct (module, rank) records...
+  EXPECT_EQ(rt.live_records(), 3u);
+  const LogData log = rt.finalize(0, 1);
+  ASSERT_EQ(log.records.size(), 3u);
+  for (const FileRecord& r : log.records) EXPECT_EQ(r.record_id, id);
+  // ...but the name was interned exactly once.
+  ASSERT_EQ(log.names.size(), 1u);
+  EXPECT_EQ(log.path_of(id), "/gpfs/alpine/shared.h5");
+}
+
+TEST(Runtime, InternAloneRegistersNoRecord) {
+  Runtime rt(make_job(1), mounts());
+  rt.intern_path("/gpfs/alpine/never-touched.bin");
+  EXPECT_EQ(rt.live_records(), 0u);
+}
+
+TEST(Runtime, HandleReuseAcrossReadWriteSegments) {
+  Runtime rt(make_job(1), mounts());
+  const auto h = rt.open_file(ModuleId::kPosix, 0, "/gpfs/alpine/rw.dat", 0.0);
+  rt.record_reads(h, 0, 4096, 4, 0.0, 0.5);
+  rt.record_writes(h, 0, 4096, 2, 0.5, 0.25);
+  rt.record_meta(h, 0, 1, 0.01);
+  // Re-opening the same (module, path) yields the same handle; the record is
+  // shared across the read and write segments and only OPENS advances.
+  const auto h2 = rt.open_file(ModuleId::kPosix, 0, "/gpfs/alpine/rw.dat", 1.0);
+  EXPECT_EQ(h2.record_id, h.record_id);
+  EXPECT_EQ(h2.module, h.module);
+  EXPECT_EQ(rt.live_records(), 1u);
+  rt.record_writes(h2, 0, 8192, 1, 1.0, 0.1);
+
+  const LogData log = rt.finalize(0, 2);
+  ASSERT_EQ(log.records.size(), 1u);
+  const FileRecord& r = log.records[0];
+  EXPECT_EQ(r.c(posix::OPENS), 2);
+  EXPECT_EQ(r.c(posix::READS), 4);
+  EXPECT_EQ(r.c(posix::WRITES), 3);
+  EXPECT_DOUBLE_EQ(r.f(posix::F_OPEN_START_TIMESTAMP), 0.0);  // earliest open wins
+}
+
+TEST(Runtime, SeedCompatFinalizeIsIdentical) {
+  // The seed-faithful grouping finalize (used by the per-rank benchmark
+  // baseline) must emit byte-identical logs to the key-sorted hot path.
+  auto build = [](bool seed_compat) {
+    RuntimeOptions opts;
+    opts.seed_compat_finalize = seed_compat;
+    Runtime rt(make_job(4), mounts(), opts);
+    for (int f = 0; f < 12; ++f) {
+      const std::string path = "/gpfs/alpine/sc" + std::to_string(f);
+      // Shared collapse for even files (all 4 ranks), partial for odd.
+      const std::int32_t touched = f % 2 == 0 ? 4 : 2;
+      for (std::int32_t rank = 0; rank < touched; ++rank) {
+        const auto h = rt.open_file(ModuleId::kPosix, rank, path, 0.1 * rank);
+        rt.record_reads(h, rank, 4096, 3, 0.1 * rank, 0.2);
+        rt.record_writes(h, rank, 1024, 2, 0.5 + 0.1 * rank, 0.1);
+      }
+    }
+    rt.record_lustre("/gpfs/alpine/sc0", 1 << 20, 4, 0, 1, 4);
+    return rt.finalize(50, 60);
+  };
+  EXPECT_TRUE(build(false) == build(true));
+}
+
+TEST(Runtime, AdoptScratchKeepsOutputIdentical) {
+  auto drive = [](Runtime& rt) {
+    for (int f = 0; f < 6; ++f) {
+      const std::string path = "/gpfs/alpine/re" + std::to_string(f);
+      for (std::int32_t rank = 0; rank < 2; ++rank) {
+        const auto h = rt.open_file(ModuleId::kPosix, rank, path, 0.0);
+        rt.record_reads(h, rank, 2048, 5, 0.0, 0.3);
+      }
+    }
+  };
+  Runtime fresh(make_job(2), mounts());
+  drive(fresh);
+  const LogData ref = fresh.finalize(0, 1);
+
+  // Populate a scratch log, then recycle its buffers through a second run.
+  Runtime warm(make_job(2), mounts());
+  drive(warm);
+  LogData scratch = warm.finalize(0, 1);
+  Runtime recycled(make_job(2), mounts());
+  recycled.adopt_scratch(scratch);
+  drive(recycled);
+  recycled.finalize_into(0, 1, scratch);
+  EXPECT_TRUE(scratch == ref);
+}
+
 TEST(Runtime, DeterministicRecordOrder) {
   auto build = [] {
     Runtime rt(make_job(4), mounts());
