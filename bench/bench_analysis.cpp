@@ -1,0 +1,334 @@
+// Analysis ingest hot-path driver: measures the parse→summarize→accumulate
+// chain in isolation (single thread, frames pre-serialized) and writes the
+// numbers to BENCH_analysis.json so the per-log analyze cost is tracked
+// across PRs — the consumer-side twin of bench_executor.
+//
+//   seed    — the pre-overhaul read path: fresh std::string + hash-map node
+//             per name (ReadOptions::seed_compat_parse), per-log Partial
+//             hash map + fresh output vector in summarize
+//             (AnalyzeScratch::seed_compat_summarize), O(mounts) prefix scan
+//             per file.
+//   scratch — the production path: names filled into the flat arena table,
+//             sort-key run-scan summarize into recycled vectors, memoized
+//             longest-prefix mount table.
+//
+// Both modes must produce bit-identical Analysis fingerprints (checked, and
+// divergence fails the run — the same contract bench_executor enforces with
+// frame digests).  Frames are uncompressed so zlib does not mask the paths
+// under test.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "darshan/log_format.hpp"
+#include "iosim/executor.hpp"
+#include "workload/generator.hpp"
+#include "workload/pipeline.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counting: replace the global unaligned new/delete with a
+// counting passthrough (same hook as bench_executor).  The aligned overloads
+// stay at their defaults.
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace mlio;
+using SteadyClock = std::chrono::steady_clock;
+
+struct BenchArgs {
+  std::uint64_t jobs = 300;
+  std::uint64_t seed = 42;
+  double logs_scale = 0.25;
+  double files_scale = 0.25;
+  unsigned reps = 5;
+  std::string out = "BENCH_analysis.json";
+};
+
+BenchArgs parse(int argc, char** argv) {
+  BenchArgs a;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--jobs")) a.jobs = std::strtoull(next("--jobs"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--seed")) a.seed = std::strtoull(next("--seed"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--logs-scale")) a.logs_scale = std::strtod(next("--logs-scale"), nullptr);
+    else if (!std::strcmp(argv[i], "--files-scale")) a.files_scale = std::strtod(next("--files-scale"), nullptr);
+    else if (!std::strcmp(argv[i], "--reps")) a.reps = static_cast<unsigned>(std::strtoul(next("--reps"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--out")) a.out = next("--out");
+    else if (!std::strcmp(argv[i], "--help")) {
+      std::printf("usage: %s [--jobs N] [--seed S] [--logs-scale X] [--files-scale X]\n"
+                  "          [--reps R] [--out FILE]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+/// One system's pre-serialized log population (uncompressed frames,
+/// back-to-back in one buffer — the segment layout a cold archive scan sees).
+struct Frames {
+  std::vector<std::byte> bytes;
+  std::vector<std::size_t> sizes;
+};
+
+Frames build_frames(const wl::SystemProfile& profile, const BenchArgs& a) {
+  wl::GeneratorConfig cfg;
+  cfg.seed = a.seed;
+  cfg.n_jobs = a.jobs;
+  cfg.logs_per_job_scale = a.logs_scale;
+  cfg.files_per_log_scale = a.files_scale;
+  const wl::WorkloadGenerator gen(profile, cfg);
+  const sim::JobExecutor executor(wl::machine_for(profile));
+  const darshan::WriteOptions wopts{false, 0};
+
+  Frames frames;
+  darshan::LogData log;
+  darshan::LogIoBuffers io;
+  gen.generate_bulk_range(0, a.jobs, [&](const sim::JobSpec& spec) {
+    executor.execute_into(spec, log);
+    const auto frame = darshan::write_log_bytes_into(log, io, wopts);
+    frames.bytes.insert(frames.bytes.end(), frame.begin(), frame.end());
+    frames.sizes.push_back(frame.size());
+  });
+  return frames;
+}
+
+/// One measured ingest-mode run over one system's frames.
+struct ModeResult {
+  std::string mode;
+  double total_s = -1;       ///< best-rep wall time for the whole ingest loop
+  double parse_s = 0;        ///< best-rep frame-decode seconds
+  double summarize_s = 0;    ///< best-rep summarize seconds
+  double accumulate_s = 0;   ///< best-rep accumulator-feed seconds
+  std::uint64_t allocs = 0;       ///< heap allocations during the best rep
+  std::uint64_t alloc_bytes = 0;  ///< bytes requested during the best rep
+  std::uint64_t fingerprint = 0;  ///< Analysis fingerprint (identical across reps)
+  std::uint64_t logs = 0;
+  std::uint64_t files = 0;
+
+  double logs_per_s() const {
+    return total_s > 0 ? static_cast<double>(logs) / total_s : 0;
+  }
+  double files_per_s() const {
+    return total_s > 0 ? static_cast<double>(files) / total_s : 0;
+  }
+};
+
+/// One ingest mode's scratch state and best-so-far result.  Both lanes are
+/// driven rep-by-rep in alternation so the two modes sample the same host
+/// conditions (the same fair-interleave scheme bench_executor uses).
+struct ModeLane {
+  darshan::ReadOptions ropts;
+  darshan::LogData log;
+  darshan::LogIoBuffers io;
+  core::AnalyzeScratch analyze;
+  core::AnalyzePhases phases;
+  ModeResult best;
+
+  explicit ModeLane(bool seed_mode) {
+    best.mode = seed_mode ? "seed" : "scratch";
+    ropts.seed_compat_parse = seed_mode;
+    analyze.seed_compat_summarize = seed_mode;
+    analyze.phases = &phases;
+  }
+
+  void run_rep(const Frames& frames, bool measured) {
+    // The Analysis is constructed outside the measured window: its
+    // histograms and reservoirs are setup cost, not per-log ingest cost,
+    // and both modes would pay it identically.
+    core::Analysis analysis;
+    phases = {};
+    double parse_s = 0;
+    const std::uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+    const std::uint64_t bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
+    const auto t0 = SteadyClock::now();
+    std::size_t offset = 0;
+    for (const std::size_t size : frames.sizes) {
+      const std::span<const std::byte> frame(frames.bytes.data() + offset, size);
+      offset += size;
+      const auto p0 = SteadyClock::now();
+      darshan::read_log_bytes_into(frame, io, log, ropts);
+      parse_s += std::chrono::duration<double>(SteadyClock::now() - p0).count();
+      analysis.add(log, analyze);
+    }
+    const double total = std::chrono::duration<double>(SteadyClock::now() - t0).count();
+    const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs0;
+    const std::uint64_t alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
+    if (!measured) return;
+
+    best.fingerprint = analysis.fingerprint();  // deterministic across reps
+    best.logs = frames.sizes.size();
+    best.files = analysis.summary().files();
+    if (best.total_s < 0 || total < best.total_s) {
+      best.total_s = total;
+      best.parse_s = parse_s;
+      best.summarize_s = phases.summarize_seconds;
+      best.accumulate_s = phases.accumulate_seconds;
+      best.allocs = allocs;
+      best.alloc_bytes = alloc_bytes;
+    }
+  }
+};
+
+struct SystemResult {
+  std::string system;
+  std::uint64_t jobs = 0;
+  double build_s = 0;  ///< generate+execute+serialize the frame set (shared)
+  ModeResult seed;
+  ModeResult scratch;
+  bool fingerprints_identical = false;
+  double speedup = 0;
+};
+
+SystemResult run_system(const wl::SystemProfile& profile, const BenchArgs& a) {
+  SystemResult r;
+  r.system = profile.system;
+  r.jobs = a.jobs;
+  std::fprintf(stderr, "[%s] building %llu-job frame set (seed %llu)...\n",
+               profile.system.c_str(), static_cast<unsigned long long>(a.jobs),
+               static_cast<unsigned long long>(a.seed));
+  const auto t0 = SteadyClock::now();
+  const Frames frames = build_frames(profile, a);
+  r.build_s = std::chrono::duration<double>(SteadyClock::now() - t0).count();
+
+  ModeLane seed(true);
+  ModeLane scratch(false);
+  // Warm-up pass: fault in the frames and size every scratch buffer.
+  seed.run_rep(frames, false);
+  scratch.run_rep(frames, false);
+  for (unsigned rep = 0; rep < std::max(1u, a.reps); ++rep) {
+    seed.run_rep(frames, true);
+    scratch.run_rep(frames, true);
+  }
+  r.seed = seed.best;
+  r.scratch = scratch.best;
+  r.fingerprints_identical = r.seed.fingerprint == r.scratch.fingerprint;
+  const double base = r.seed.logs_per_s();
+  r.speedup = base > 0 ? r.scratch.logs_per_s() / base : 0;
+  return r;
+}
+
+void print_mode(const ModeResult& m) {
+  const double logs = m.logs > 0 ? static_cast<double>(m.logs) : 1;
+  std::printf("%-9s %10.1f %12.1f %9.0f %9.0f %9.0f %10.1f\n", m.mode.c_str(), m.logs_per_s(),
+              m.files_per_s(), 1e9 * m.parse_s / logs, 1e9 * m.summarize_s / logs,
+              1e9 * m.accumulate_s / logs, static_cast<double>(m.allocs) / logs);
+}
+
+void write_mode_json(std::FILE* f, const ModeResult& m, bool last) {
+  const double logs = m.logs > 0 ? static_cast<double>(m.logs) : 1;
+  std::fprintf(
+      f,
+      "      {\"mode\": \"%s\", \"logs_per_s\": %.2f, \"files_per_s\": %.2f,\n"
+      "       \"phase_ns\": {\"parse_per_log\": %.0f, \"summarize_per_log\": %.0f, "
+      "\"accumulate_per_log\": %.0f},\n"
+      "       \"total_s\": %.6f, \"parse_s\": %.6f, \"summarize_s\": %.6f, "
+      "\"accumulate_s\": %.6f,\n"
+      "       \"allocs_per_log\": %.2f, \"alloc_bytes_per_log\": %.0f,\n"
+      "       \"logs\": %llu, \"files\": %llu, \"fingerprint\": %llu}%s\n",
+      m.mode.c_str(), m.logs_per_s(), m.files_per_s(), 1e9 * m.parse_s / logs,
+      1e9 * m.summarize_s / logs, 1e9 * m.accumulate_s / logs, m.total_s, m.parse_s,
+      m.summarize_s, m.accumulate_s, static_cast<double>(m.allocs) / logs,
+      static_cast<double>(m.alloc_bytes) / logs, static_cast<unsigned long long>(m.logs),
+      static_cast<unsigned long long>(m.files), static_cast<unsigned long long>(m.fingerprint),
+      last ? "" : ",");
+}
+
+void write_json(const BenchArgs& a, const std::vector<SystemResult>& systems, double min_speedup,
+                bool all_identical) {
+  std::FILE* f = std::fopen(a.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", a.out.c_str());
+    std::exit(1);
+  }
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"config\": {\"jobs\": %llu, \"seed\": %llu, \"logs_scale\": %g, "
+               "\"files_scale\": %g, \"reps\": %u, \"threads\": 1, \"host_cpus\": %u, "
+               "\"compressed_frames\": false},\n",
+               static_cast<unsigned long long>(a.jobs), static_cast<unsigned long long>(a.seed),
+               a.logs_scale, a.files_scale, a.reps, host_cpus);
+  std::fprintf(f, "  \"systems\": [\n");
+  for (std::size_t i = 0; i < systems.size(); ++i) {
+    const SystemResult& s = systems[i];
+    std::fprintf(f, "    {\"system\": \"%s\", \"jobs\": %llu, \"build_s\": %.6f,\n",
+                 s.system.c_str(), static_cast<unsigned long long>(s.jobs), s.build_s);
+    std::fprintf(f, "     \"runs\": [\n");
+    write_mode_json(f, s.seed, false);
+    write_mode_json(f, s.scratch, true);
+    std::fprintf(f, "     ],\n");
+    std::fprintf(f,
+                 "     \"speedup_scratch_vs_seed\": %.3f, \"fingerprints_identical\": %s}%s\n",
+                 s.speedup, s.fingerprints_identical ? "true" : "false",
+                 i + 1 < systems.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"min_speedup\": %.3f,\n", min_speedup);
+  std::fprintf(f, "  \"speedup_target\": 1.5,\n");
+  std::fprintf(f, "  \"speedup_target_met\": %s,\n", min_speedup >= 1.5 ? "true" : "false");
+  std::fprintf(f, "  \"fingerprints_identical\": %s\n", all_identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchArgs args = parse(argc, argv);
+
+  std::vector<SystemResult> systems;
+  systems.push_back(run_system(wl::SystemProfile::summit_2020(), args));
+  systems.push_back(run_system(wl::SystemProfile::cori_2019(), args));
+
+  double min_speedup = 0;
+  bool all_identical = true;
+  for (const SystemResult& s : systems) {
+    std::printf("\n[%s]\n", s.system.c_str());
+    std::printf("%-9s %10s %12s %9s %9s %9s %10s\n", "mode", "logs/s", "files/s", "parse",
+                "summ", "accum", "allocs/log");
+    print_mode(s.seed);
+    print_mode(s.scratch);
+    std::printf("speedup: %.2fx, fingerprints identical: %s\n", s.speedup,
+                s.fingerprints_identical ? "yes" : "NO — RESULTS DIVERGED");
+    if (min_speedup == 0 || s.speedup < min_speedup) min_speedup = s.speedup;
+    all_identical = all_identical && s.fingerprints_identical;
+  }
+
+  write_json(args, systems, min_speedup, all_identical);
+  std::printf("wrote %s (min speedup %.2fx, target 1.5x)\n", args.out.c_str(), min_speedup);
+  return all_identical ? 0 : 1;
+}

@@ -5,6 +5,10 @@
 //   ingest — generate the population and append it as --batches partitions
 //            (+ the huge stratum) through the pipeline's archive-sink mode.
 //   cold   — first query: every partition shard rebuilt from its segment.
+//            The rebuild cost is split into parse/summarize/accumulate phase
+//            seconds (CPU seconds summed across workers, so they can exceed
+//            the scan wall time) — the same phase axes bench_analysis tracks
+//            single-threaded.
 //   warm   — second query: every shard served from the snapshot cache.
 //
 // cold and warm must agree bit for bit (the archive's determinism
@@ -176,13 +180,15 @@ int main(int argc, char** argv) {
         f,
         "    {\"ingest_s\": %.4f, \"ingest_logs_per_s\": %.2f, \"partitions\": %llu,\n"
         "     \"segment_bytes\": %llu, \"cold_query_s\": %.4f, \"cold_scan_s\": %.4f,\n"
+        "     \"cold_phase_s\": {\"parse\": %.4f, \"summarize\": %.4f, \"accumulate\": %.4f},\n"
         "     \"cold_merge_s\": %.4f, \"warm_query_s\": %.4f, \"warm_snapshot_hits\": %llu,\n"
         "     \"logs\": %llu}%s\n",
         r.ingest.seconds,
         r.ingest.seconds > 0 ? static_cast<double>(r.ingest.logs) / r.ingest.seconds : 0.0,
         static_cast<unsigned long long>(r.ingest.partitions),
         static_cast<unsigned long long>(r.ingest.bytes), r.cold.total_seconds,
-        r.cold.scan_seconds, r.cold.merge_seconds, r.warm.total_seconds,
+        r.cold.scan_seconds, r.cold.parse_seconds, r.cold.summarize_seconds,
+        r.cold.accumulate_seconds, r.cold.merge_seconds, r.warm.total_seconds,
         static_cast<unsigned long long>(r.warm.snapshot_hits),
         static_cast<unsigned long long>(r.ingest.logs), i + 1 < reps.size() ? "," : "");
   }

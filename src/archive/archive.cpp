@@ -1,6 +1,7 @@
 #include "archive/archive.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <system_error>
 
@@ -142,23 +143,31 @@ PartitionInfo Archive::PartitionWriter::seal() {
 
 void Archive::scan_partition(const PartitionInfo& p,
                              const std::function<void(const darshan::LogData&)>& fn) const {
+  ScanScratch scratch;
+  scan_partition(p, fn, scratch);
+}
+
+void Archive::scan_partition(const PartitionInfo& p,
+                             const std::function<void(const darshan::LogData&)>& fn,
+                             ScanScratch& scratch) const {
   const std::vector<std::byte> bytes = checked_segment(segment_path(p.id), p);
   const std::vector<IndexEntry> entries =
       read_index_bytes(util::read_file_bytes(index_path(p.id)), p.id);
   if (entries.size() != p.log_count) {
     throw util::FormatError("index of partition " + std::to_string(p.id) + ": count mismatch");
   }
-  darshan::LogData log;
-  darshan::LogIoBuffers io;
+  using clock = std::chrono::steady_clock;
   for (const IndexEntry& e : entries) {
     if (e.offset < kSegmentHeaderBytes || e.offset + e.size > bytes.size()) {
       throw util::FormatError("index of partition " + std::to_string(p.id) +
                               ": entry out of segment bounds");
     }
+    const auto t0 = clock::now();
     darshan::read_log_bytes_into(
         std::span<const std::byte>(bytes.data() + e.offset, static_cast<std::size_t>(e.size)),
-        io, log);
-    fn(log);
+        scratch.io, scratch.log);
+    scratch.parse_seconds += std::chrono::duration<double>(clock::now() - t0).count();
+    fn(scratch.log);
   }
 }
 

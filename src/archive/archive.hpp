@@ -72,11 +72,24 @@ class Archive {
   };
   PartitionWriter begin_partition();
 
+  /// Reusable decode state for scan_partition: the LogData and codec buffers
+  /// persist across frames (and across partitions when the caller keeps the
+  /// scratch), so a cold shard rebuild parses with no per-log allocation.
+  /// `parse_seconds` accumulates wall-clock spent inside the frame decoder.
+  struct ScanScratch {
+    darshan::LogData log;
+    darshan::LogIoBuffers io;
+    double parse_seconds = 0;
+  };
+
   /// Replay a partition's logs in ingest order.  Verifies the segment file's
   /// CRC and the index before the first callback; throws FormatError on any
   /// corruption (a truncated or bit-flipped segment never yields logs).
   void scan_partition(const PartitionInfo& p,
                       const std::function<void(const darshan::LogData&)>& fn) const;
+  /// Scratch-reused variant; the callback sees scratch.log.
+  void scan_partition(const PartitionInfo& p, const std::function<void(const darshan::LogData&)>& fn,
+                      ScanScratch& scratch) const;
 
   /// Load the partition's cached analysis shard, or nullopt when the
   /// snapshot is missing, corrupt (CRC/parse), or stale

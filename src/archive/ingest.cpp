@@ -18,6 +18,7 @@ void ingest_range(Archive& archive, const wl::WorkloadGenerator& gen, wl::Stratu
   core::Analysis shard;
   darshan::LogData decoded;
   darshan::LogIoBuffers io;
+  core::AnalyzeScratch analyze;
 
   wl::SerializeOptions sopts;
   sopts.threads = opts.threads;
@@ -29,7 +30,7 @@ void ingest_range(Archive& archive, const wl::WorkloadGenerator& gen, wl::Stratu
                        stats.bytes += frame.size();
                        if (opts.write_snapshots) {
                          darshan::read_log_bytes_into(frame, io, decoded);
-                         shard.add(decoded);
+                         shard.add(decoded, analyze);
                        }
                      });
 

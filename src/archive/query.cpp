@@ -46,19 +46,30 @@ QueryResult query_archive(Archive& archive, const QueryOptions& opts) {
     std::exception_ptr first_error;
     std::mutex error_mu;
     util::ThreadPool pool(opts.threads);
+    // Per-worker decode/summarize scratch, indexed by the dense worker slot:
+    // a cold rebuild parses, summarizes, and accumulates with no per-log
+    // allocation once each worker's buffers are warm.
+    std::vector<Archive::ScanScratch> scan_scratch(pool.thread_count());
+    std::vector<core::AnalyzePhases> phases(pool.thread_count());
+    std::vector<core::AnalyzeScratch> analyze_scratch(pool.thread_count());
+    for (unsigned i = 0; i < pool.thread_count(); ++i) {
+      analyze_scratch[i].phases = &phases[i];
+    }
     pool.parallel_for_dynamic(
         0, rebuild.size(), 1,
         [&](std::uint64_t b, std::uint64_t lo, std::uint64_t hi, unsigned w) {
           (void)b;
-          (void)w;
           for (std::uint64_t r = lo; r < hi; ++r) {
             const std::size_t slot = rebuild[static_cast<std::size_t>(r)];
             try {
               core::Analysis shard;
-              archive.scan_partition(partitions[slot], [&](const darshan::LogData& log) {
-                shard.add(log);
-                scanned[static_cast<std::size_t>(r)] += 1;
-              });
+              archive.scan_partition(
+                  partitions[slot],
+                  [&](const darshan::LogData& log) {
+                    shard.add(log, analyze_scratch[w]);
+                    scanned[static_cast<std::size_t>(r)] += 1;
+                  },
+                  scan_scratch[w]);
               shards[slot] = std::move(shard);
             } catch (...) {
               const std::scoped_lock lock(error_mu);
@@ -69,6 +80,11 @@ QueryResult query_archive(Archive& archive, const QueryOptions& opts) {
     if (first_error) std::rethrow_exception(first_error);
     stats.partitions_scanned = rebuild.size();
     for (const std::uint64_t n : scanned) stats.logs_scanned += n;
+    for (const auto& s : scan_scratch) stats.parse_seconds += s.parse_seconds;
+    for (const auto& p : phases) {
+      stats.summarize_seconds += p.summarize_seconds;
+      stats.accumulate_seconds += p.accumulate_seconds;
+    }
   }
   stats.scan_seconds = seconds_since(t0);
 

@@ -37,6 +37,12 @@ struct QueryStats {
   double scan_seconds = 0;   ///< snapshot loads + parallel rebuilds
   double merge_seconds = 0;  ///< partition-ordered shard merging
   double total_seconds = 0;
+  /// Per-phase cost of the cold rebuilds, summed across workers — CPU
+  /// seconds, not wall clock, so with N threads the sum can exceed
+  /// scan_seconds.  All zero when every shard came from a snapshot.
+  double parse_seconds = 0;       ///< frame decode (inflate + body parse)
+  double summarize_seconds = 0;   ///< records -> FileSummary reduction
+  double accumulate_seconds = 0;  ///< feeding the Analysis accumulators
 };
 
 struct QueryResult {

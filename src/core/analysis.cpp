@@ -1,6 +1,7 @@
 #include "core/analysis.hpp"
 
 #include <bit>
+#include <chrono>
 #include <string_view>
 
 #include "util/byte_io.hpp"
@@ -32,14 +33,43 @@ struct Digest {
 
 }  // namespace
 
+void Analysis::accumulate(const darshan::JobRecord& job, const std::vector<FileSummary>& files) {
+  summary_.add_log(job, files);
+  layers_.add_log(job, files);
+  interfaces_.add_log(job, files);
+  for (const FileSummary& f : files) {
+    access_.add(job, f);
+    performance_.add(f);
+  }
+}
+
 void Analysis::add(const darshan::LogData& log) {
   const std::vector<FileSummary> files = summarize_log(log, &unattributed_);
-  summary_.add_log(log.job, files);
-  layers_.add_log(log.job, files);
-  interfaces_.add_log(log.job, files);
-  for (const FileSummary& f : files) {
-    access_.add(log.job, f);
-    performance_.add(f);
+  accumulate(log.job, files);
+}
+
+void Analysis::add(const darshan::LogData& log, AnalyzeScratch& scratch) {
+  using clock = std::chrono::steady_clock;
+  const bool timed = scratch.phases != nullptr;
+  const auto t0 = timed ? clock::now() : clock::time_point{};
+
+  // The seed-compat branch is the measured baseline, not a fallback: it pays
+  // the per-log hash map and fresh output vector the scratch path removes.
+  const std::vector<FileSummary>* files = nullptr;
+  std::vector<FileSummary> seed_files;
+  if (scratch.seed_compat_summarize) {
+    seed_files = summarize_log(log, &unattributed_);
+    files = &seed_files;
+  } else {
+    files = &summarize_log(log, scratch.summarize, &unattributed_);
+  }
+
+  const auto t1 = timed ? clock::now() : clock::time_point{};
+  accumulate(log.job, *files);
+  if (timed) {
+    const auto t2 = clock::now();
+    scratch.phases->summarize_seconds += std::chrono::duration<double>(t1 - t0).count();
+    scratch.phases->accumulate_seconds += std::chrono::duration<double>(t2 - t1).count();
   }
 }
 

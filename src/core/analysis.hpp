@@ -6,6 +6,7 @@
 #pragma once
 
 #include "core/access_patterns.hpp"
+#include "core/dataset.hpp"
 #include "core/interface_usage.hpp"
 #include "core/layer_usage.hpp"
 #include "core/performance.hpp"
@@ -18,10 +19,30 @@ class ByteWriter;
 
 namespace mlio::core {
 
+/// Optional per-phase wall-clock accounting for the scratch ingest path.
+/// Timing costs two clock reads per log, so it is off unless a consumer
+/// (query_archive, bench_analysis) points the scratch at one of these.
+struct AnalyzePhases {
+  double summarize_seconds = 0;
+  double accumulate_seconds = 0;
+};
+
+/// Per-worker state for the allocation-free Analysis::add overload.
+struct AnalyzeScratch {
+  SummarizeScratch summarize;
+  /// Route summarization through the seed's allocating path (per-log hash
+  /// map + fresh output vector) — the honest baseline for bench_analysis.
+  bool seed_compat_summarize = false;
+  AnalyzePhases* phases = nullptr;  ///< non-owning; null disables timing
+};
+
 class Analysis {
  public:
   /// Consume one log (summarizes it once and feeds every accumulator).
   void add(const darshan::LogData& log);
+  /// Scratch-reused variant: zero steady-state allocations per log, results
+  /// bit-identical to the plain overload (same fingerprint).
+  void add(const darshan::LogData& log, AnalyzeScratch& scratch);
   void merge(const Analysis& other);
 
   /// Full-fidelity state serialization: every accumulator — counts,
@@ -57,6 +78,8 @@ class Analysis {
   double total_bytes() const;
 
  private:
+  void accumulate(const darshan::JobRecord& job, const std::vector<FileSummary>& files);
+
   Summary summary_;
   AccessPatterns access_;
   LayerUsage layers_;

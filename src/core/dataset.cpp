@@ -49,12 +49,142 @@ struct Partial {
   std::array<std::uint64_t, 10> req_write{};
 };
 
-}  // namespace
-
-std::vector<FileSummary> summarize_log(const LogData& log, std::uint64_t* unattributed) {
+// Fold one record into a partial.  Shared by the allocating and the
+// scratch-reused summarize paths: identical operations in identical per-id
+// order is what makes their float sums bit-identical.
+void accumulate_record(Partial& p, const FileRecord& rec) {
   namespace pc = darshan::posix;
   namespace sc = darshan::stdio;
+  switch (rec.module) {
+    case ModuleId::kPosix:
+      p.used_posix = true;
+      p.posix_read += static_cast<std::uint64_t>(std::max<std::int64_t>(
+          0, rec.counters[pc::BYTES_READ]));
+      p.posix_written += static_cast<std::uint64_t>(std::max<std::int64_t>(
+          0, rec.counters[pc::BYTES_WRITTEN]));
+      p.posix_rt += rec.fcounters[pc::F_READ_TIME];
+      p.posix_wt += rec.fcounters[pc::F_WRITE_TIME];
+      for (std::size_t b = 0; b < 10; ++b) {
+        p.req_read[b] += static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, rec.counters[pc::SIZE_READ_0_100 + b]));
+        p.req_write[b] += static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, rec.counters[pc::SIZE_WRITE_0_100 + b]));
+      }
+      if (rec.rank == darshan::kSharedRank) p.posix_shared = &rec;
+      break;
+    case ModuleId::kMpiIo:
+      p.used_mpiio = true;
+      break;
+    case ModuleId::kStdio:
+      p.used_stdio = true;
+      p.stdio_read += static_cast<std::uint64_t>(std::max<std::int64_t>(
+          0, rec.counters[sc::BYTES_READ]));
+      p.stdio_written += static_cast<std::uint64_t>(std::max<std::int64_t>(
+          0, rec.counters[sc::BYTES_WRITTEN]));
+      p.stdio_rt += rec.fcounters[sc::F_READ_TIME];
+      p.stdio_wt += rec.fcounters[sc::F_WRITE_TIME];
+      if (rec.rank == darshan::kSharedRank) p.stdio_shared = &rec;
+      break;
+    case ModuleId::kLustre:
+    case ModuleId::kSsdExt:
+      break;
+  }
+}
 
+// §3.1 rule: POSIX counters when the file used POSIX/MPI-IO; STDIO counters
+// for STDIO-managed files.
+FileSummary make_summary(std::uint64_t rid, Layer layer, std::string_view path,
+                         const Partial& p) {
+  FileSummary s;
+  s.record_id = rid;
+  s.layer = layer;
+  s.path = path;
+  s.used_posix = p.used_posix;
+  s.used_mpiio = p.used_mpiio;
+  s.used_stdio = p.used_stdio;
+  const bool posix_managed = p.used_posix || p.used_mpiio;
+  if (posix_managed) {
+    s.data_iface = DataInterface::kPosix;
+    s.bytes_read = p.posix_read;
+    s.bytes_written = p.posix_written;
+    s.read_time = p.posix_rt;
+    s.write_time = p.posix_wt;
+    s.shared = p.posix_shared != nullptr;
+    s.req_read = p.req_read;
+    s.req_write = p.req_write;
+  } else {
+    s.data_iface = DataInterface::kStdio;
+    s.bytes_read = p.stdio_read;
+    s.bytes_written = p.stdio_written;
+    s.read_time = p.stdio_rt;
+    s.write_time = p.stdio_wt;
+    s.shared = p.stdio_shared != nullptr;
+  }
+  return s;
+}
+
+}  // namespace
+
+void MountTable::ensure(const std::vector<darshan::MountEntry>& mounts) {
+  // FNV-1a over the entries, with separators so ("a","b") != ("ab","").
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::string_view s) {
+    h ^= s.size();
+    h *= 0x100000001b3ull;
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+  };
+  h ^= mounts.size();
+  h *= 0x100000001b3ull;
+  for (const auto& m : mounts) {
+    mix(m.prefix);
+    mix(m.fs_type);
+  }
+  if (valid_ && h == key_ && source_ == mounts) return;  // memo hit
+
+  source_ = mounts;
+  key_ = h;
+  valid_ = true;
+
+  // Rebuild sorted entries, reusing string capacity where possible.
+  entries_.resize(std::min(entries_.size(), mounts.size()));
+  entries_.reserve(mounts.size());
+  for (std::size_t i = 0; i < mounts.size(); ++i) {
+    if (i == entries_.size()) entries_.emplace_back();
+    entries_[i].prefix.assign(mounts[i].prefix);
+    const auto layer = layer_for_fs(mounts[i].fs_type);
+    entries_[i].layer = layer ? static_cast<std::int8_t>(*layer) : std::int8_t{-1};
+  }
+  // (length desc, source index desc): the first prefix match during resolve
+  // is then exactly the mount the seed's `>= best_len` scan selected —
+  // longest match, ties broken toward the later table entry.
+  std::vector<std::uint32_t> order(entries_.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::uint32_t a, std::uint32_t b) {
+    if (entries_[a].prefix.size() != entries_[b].prefix.size()) {
+      return entries_[a].prefix.size() > entries_[b].prefix.size();
+    }
+    return a > b;
+  });
+  std::vector<PrefixEntry> sorted;
+  sorted.reserve(entries_.size());
+  for (const std::uint32_t i : order) sorted.push_back(std::move(entries_[i]));
+  entries_ = std::move(sorted);
+}
+
+std::optional<Layer> MountTable::resolve(std::string_view path) const {
+  for (const auto& e : entries_) {
+    if (path.size() >= e.prefix.size() && path.substr(0, e.prefix.size()) == e.prefix) {
+      if (e.layer < 0) return std::nullopt;  // unknown fs type shadows shorter mounts
+      return static_cast<Layer>(e.layer);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<FileSummary> summarize_log(const LogData& log, std::uint64_t* unattributed) {
   std::unordered_map<std::uint64_t, Partial> partials;
   partials.reserve(log.records.size());
 
@@ -62,41 +192,7 @@ std::vector<FileSummary> summarize_log(const LogData& log, std::uint64_t* unattr
     if (rec.module == ModuleId::kLustre || rec.module == ModuleId::kSsdExt) {
       continue;  // geometry / extension records carry no data-transfer stats
     }
-    Partial& p = partials[rec.record_id];
-    switch (rec.module) {
-      case ModuleId::kPosix:
-        p.used_posix = true;
-        p.posix_read += static_cast<std::uint64_t>(std::max<std::int64_t>(
-            0, rec.counters[pc::BYTES_READ]));
-        p.posix_written += static_cast<std::uint64_t>(std::max<std::int64_t>(
-            0, rec.counters[pc::BYTES_WRITTEN]));
-        p.posix_rt += rec.fcounters[pc::F_READ_TIME];
-        p.posix_wt += rec.fcounters[pc::F_WRITE_TIME];
-        for (std::size_t b = 0; b < 10; ++b) {
-          p.req_read[b] += static_cast<std::uint64_t>(
-              std::max<std::int64_t>(0, rec.counters[pc::SIZE_READ_0_100 + b]));
-          p.req_write[b] += static_cast<std::uint64_t>(
-              std::max<std::int64_t>(0, rec.counters[pc::SIZE_WRITE_0_100 + b]));
-        }
-        if (rec.rank == darshan::kSharedRank) p.posix_shared = &rec;
-        break;
-      case ModuleId::kMpiIo:
-        p.used_mpiio = true;
-        break;
-      case ModuleId::kStdio:
-        p.used_stdio = true;
-        p.stdio_read += static_cast<std::uint64_t>(std::max<std::int64_t>(
-            0, rec.counters[sc::BYTES_READ]));
-        p.stdio_written += static_cast<std::uint64_t>(std::max<std::int64_t>(
-            0, rec.counters[sc::BYTES_WRITTEN]));
-        p.stdio_rt += rec.fcounters[sc::F_READ_TIME];
-        p.stdio_wt += rec.fcounters[sc::F_WRITE_TIME];
-        if (rec.rank == darshan::kSharedRank) p.stdio_shared = &rec;
-        break;
-      case ModuleId::kLustre:
-      case ModuleId::kSsdExt:
-        break;
-    }
+    accumulate_record(partials[rec.record_id], rec);
   }
 
   std::vector<FileSummary> out;
@@ -108,41 +204,59 @@ std::vector<FileSummary> summarize_log(const LogData& log, std::uint64_t* unattr
       if (unattributed != nullptr) ++*unattributed;
       continue;
     }
-
-    FileSummary s;
-    s.record_id = rid;
-    s.layer = *layer;
-    s.path = path;
-    s.used_posix = p.used_posix;
-    s.used_mpiio = p.used_mpiio;
-    s.used_stdio = p.used_stdio;
-
-    // §3.1 rule: POSIX counters when the file used POSIX/MPI-IO; STDIO
-    // counters for STDIO-managed files.
-    const bool posix_managed = p.used_posix || p.used_mpiio;
-    if (posix_managed) {
-      s.data_iface = DataInterface::kPosix;
-      s.bytes_read = p.posix_read;
-      s.bytes_written = p.posix_written;
-      s.read_time = p.posix_rt;
-      s.write_time = p.posix_wt;
-      s.shared = p.posix_shared != nullptr;
-      s.req_read = p.req_read;
-      s.req_write = p.req_write;
-    } else {
-      s.data_iface = DataInterface::kStdio;
-      s.bytes_read = p.stdio_read;
-      s.bytes_written = p.stdio_written;
-      s.read_time = p.stdio_rt;
-      s.write_time = p.stdio_wt;
-      s.shared = p.stdio_shared != nullptr;
-    }
-    out.push_back(s);
+    out.push_back(make_summary(rid, *layer, path, p));
   }
 
   // Deterministic order regardless of hash-map iteration.
   std::sort(out.begin(), out.end(),
             [](const FileSummary& a, const FileSummary& b) { return a.record_id < b.record_id; });
+  return out;
+}
+
+const std::vector<FileSummary>& summarize_log(const LogData& log, SummarizeScratch& scratch,
+                                              std::uint64_t* unattributed) {
+  scratch.mounts.ensure(log.mounts);
+
+  // Compact sort keys instead of a per-log hash map of ~200-byte Partials.
+  // The (record_id, stream index) sort makes every record id a contiguous
+  // run, with records inside a run in stream order — the same per-id
+  // accumulation order the hash map saw, so float sums are bit-identical.
+  auto& keys = scratch.keys;
+  keys.clear();
+  keys.reserve(log.records.size());
+  for (std::size_t i = 0; i < log.records.size(); ++i) {
+    const FileRecord& rec = log.records[i];
+    if (rec.module == ModuleId::kLustre || rec.module == ModuleId::kSsdExt) continue;
+    keys.push_back({rec.record_id, static_cast<std::uint32_t>(i)});
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const SummarizeScratch::SumKey& a, const SummarizeScratch::SumKey& b) {
+              if (a.record_id != b.record_id) return a.record_id < b.record_id;
+              return a.idx < b.idx;
+            });
+
+  auto& out = scratch.files;
+  out.clear();
+
+  std::size_t i = 0;
+  while (i < keys.size()) {
+    const std::uint64_t rid = keys[i].record_id;
+    Partial p;
+    do {
+      accumulate_record(p, log.records[keys[i].idx]);
+      ++i;
+    } while (i < keys.size() && keys[i].record_id == rid);
+
+    const std::string_view path = log.path_of(rid);
+    const auto layer = scratch.mounts.resolve(path);
+    if (!layer) {
+      if (unattributed != nullptr) ++*unattributed;
+      continue;
+    }
+    out.push_back(make_summary(rid, *layer, path, p));
+  }
+  // Runs were visited in ascending record_id order, so `out` is already in
+  // the allocating overload's sorted order.
   return out;
 }
 

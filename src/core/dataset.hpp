@@ -14,6 +14,8 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -56,9 +58,60 @@ struct FileSummary {
   std::string_view path;  ///< borrowed from the LogData name map
 };
 
+/// Precomputed longest-prefix mount → layer table, memoized across logs:
+/// every log from one system carries the identical mount list, so `ensure`
+/// rebuilds only when the list actually changes (keyed by an FNV hash of the
+/// entries, verified by full comparison against a stored copy on hit, so a
+/// hash collision degrades to a rebuild, never a wrong answer).
+///
+/// `resolve` replicates the seed scan's semantics exactly: entries are kept
+/// sorted by (prefix length desc, source index desc) and the first prefix
+/// match wins — the same mount the seed's `>= best_len` last-match-wins scan
+/// chose.  Mounts with unknown fs types stay in the table as "no layer"
+/// markers, because they shadow shorter known mounts.
+class MountTable {
+ public:
+  /// Make the table reflect `mounts`; cheap no-op when unchanged.
+  void ensure(const std::vector<darshan::MountEntry>& mounts);
+  std::optional<Layer> resolve(std::string_view path) const;
+
+ private:
+  struct PrefixEntry {
+    std::string prefix;
+    std::int8_t layer;  ///< Layer value, or -1 for unknown fs type
+  };
+  std::vector<PrefixEntry> entries_;          ///< (length desc, source index desc)
+  std::vector<darshan::MountEntry> source_;   ///< copy for collision-safe hit check
+  std::uint64_t key_ = 0;
+  bool valid_ = false;
+};
+
+/// Reusable state for the allocation-free summarize_log overload.  One
+/// instance per worker thread; everything (sort keys, output summaries, the
+/// memoized mount table) is grown once and recycled across logs.
+struct SummarizeScratch {
+  struct SumKey {
+    std::uint64_t record_id;
+    std::uint32_t idx;  ///< index into log.records — ties keep stream order
+  };
+  std::vector<SumKey> keys;
+  std::vector<FileSummary> files;  ///< recycled output of the last summarize
+  MountTable mounts;
+};
+
 /// Summarize a log.  Files whose path matches no mount entry are dropped and
 /// counted in `unattributed` (pass nullptr to ignore).
 std::vector<FileSummary> summarize_log(const darshan::LogData& log,
                                        std::uint64_t* unattributed = nullptr);
+
+/// Scratch-reused variant: reduces records via a compact sort-key array and
+/// a contiguous-run scan instead of a per-log hash map, resolves layers
+/// through the memoized mount table, and recycles the output vector.  The
+/// returned reference aliases `scratch.files` and is valid until the next
+/// summarize into the same scratch.  Bit-identical results to the allocating
+/// overload (same per-id accumulation order, so float sums match exactly).
+const std::vector<FileSummary>& summarize_log(const darshan::LogData& log,
+                                              SummarizeScratch& scratch,
+                                              std::uint64_t* unattributed = nullptr);
 
 }  // namespace mlio::core

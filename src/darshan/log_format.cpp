@@ -1,8 +1,12 @@
 #include "darshan/log_format.hpp"
 
+#include <algorithm>
 #include <array>
+#include <bit>
+#include <cstring>
 #include <fstream>
-#include <map>
+#include <string>
+#include <unordered_map>
 
 #include "util/byte_io.hpp"
 #include "util/compress.hpp"
@@ -49,7 +53,27 @@ JobRecord read_job(ByteReader& r) {
   return job;
 }
 
-void write_body(ByteWriter& w, const LogData& log) {
+// Reuse variant: keeps job.exe's string capacity across logs.  The metadata
+// map still pays its node allocations — typically one entry per log, noise
+// next to the per-name and per-summary allocations this PR removes.
+void read_job_into(ByteReader& r, JobRecord& job) {
+  job.job_id = r.u64();
+  job.user_id = r.u32();
+  job.nprocs = r.u32();
+  job.nnodes = r.u32();
+  job.start_time = r.i64();
+  job.end_time = r.i64();
+  job.exe.assign(r.str_view());
+  job.metadata.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string k = r.str();
+    std::string v = r.str();
+    job.metadata.emplace(std::move(k), std::move(v));
+  }
+}
+
+void write_body(ByteWriter& w, const LogData& log, LogIoBuffers& io) {
   write_job(w, log.job);
 
   w.u32(static_cast<std::uint32_t>(log.mounts.size()));
@@ -65,11 +89,24 @@ void write_body(ByteWriter& w, const LogData& log) {
   }
 
   // Group records by module, preserving relative order within a module.
-  std::map<ModuleId, std::vector<const FileRecord*>> by_module;
-  for (const auto& rec : log.records) by_module[rec.module].push_back(&rec);
+  // Fixed array buckets in numeric ModuleId order — identical iteration
+  // order to the std::map this replaces, so the emitted bytes are unchanged
+  // (the golden digests in test_executor pin this).
+  auto& by_module = io.module_buckets;
+  for (auto& bucket : by_module) bucket.clear();
+  for (const auto& rec : log.records) {
+    by_module[static_cast<std::size_t>(rec.module)].push_back(&rec);
+  }
 
-  w.u32(static_cast<std::uint32_t>(by_module.size()));
-  for (const auto& [mod, recs] : by_module) {
+  std::uint32_t n_regions = 0;
+  for (const auto& bucket : by_module) {
+    if (!bucket.empty()) ++n_regions;
+  }
+  w.u32(n_regions);
+  for (std::size_t mi = 0; mi < by_module.size(); ++mi) {
+    const auto& recs = by_module[mi];
+    if (recs.empty()) continue;
+    const auto mod = static_cast<ModuleId>(mi);
     w.u8(static_cast<std::uint8_t>(mod));
     w.u32(static_cast<std::uint32_t>(counter_count(mod)));
     w.u32(static_cast<std::uint32_t>(fcounter_count(mod)));
@@ -102,32 +139,68 @@ void write_body(ByteWriter& w, const LogData& log) {
 
 // Parse a body into `log`, recycling its vectors.  log.records is reused
 // element-wise so each record's counter storage survives across logs —
-// the dominant allocation in the pipeline's roundtrip path.
-void read_body_into(ByteReader& r, LogData& log) {
-  log.job = read_job(r);
+// previously the dominant allocation in the pipeline's roundtrip path; the
+// name arena and mount string reuse below remove the rest.
+void read_body_into(ByteReader& r, LogData& log, LogIoBuffers& io, const ReadOptions& opts) {
+  if (opts.seed_compat_parse) {
+    log.job = read_job(r);
+  } else {
+    read_job_into(r, log.job);
+  }
 
   const std::uint32_t n_mounts = r.u32();
   if (n_mounts > r.remaining()) throw FormatError("mount count exceeds body size");
-  log.mounts.clear();
-  log.mounts.reserve(n_mounts);
-  for (std::uint32_t i = 0; i < n_mounts; ++i) {
-    MountEntry m;
-    m.prefix = r.str();
-    m.fs_type = r.str();
-    log.mounts.push_back(std::move(m));
+  if (opts.seed_compat_parse) {
+    log.mounts.clear();
+    log.mounts.reserve(n_mounts);
+    for (std::uint32_t i = 0; i < n_mounts; ++i) {
+      MountEntry m;
+      m.prefix = r.str();
+      m.fs_type = r.str();
+      log.mounts.push_back(std::move(m));
+    }
+  } else {
+    // Reuse existing entries' string capacity: logs from one system carry the
+    // identical mount table, so after the first log this allocates nothing.
+    log.mounts.resize(std::min<std::size_t>(n_mounts, log.mounts.size()));
+    log.mounts.reserve(n_mounts);
+    for (std::uint32_t i = 0; i < n_mounts; ++i) {
+      if (i == log.mounts.size()) log.mounts.emplace_back();
+      MountEntry& m = log.mounts[i];
+      m.prefix.assign(r.str_view());
+      m.fs_type.assign(r.str_view());
+    }
   }
 
   const std::uint32_t n_names = r.u32();
   if (n_names > r.remaining()) throw FormatError("name count exceeds body size");
-  log.names.clear();
-  log.names.reserve(n_names);
-  for (std::uint32_t i = 0; i < n_names; ++i) {
-    const std::uint64_t id = r.u64();
-    log.names.emplace(id, r.str());
+  if (opts.seed_compat_parse) {
+    // The seed's parse path: a fresh std::string and a hash-map node per
+    // name, then copied into the table in the map's iteration order.  The
+    // copy is the honest-baseline tax of keeping one LogData layout; it is
+    // two orders of magnitude cheaper than the allocations it mimics.
+    std::unordered_map<std::uint64_t, std::string> seed_names;
+    seed_names.reserve(n_names);
+    for (std::uint32_t i = 0; i < n_names; ++i) {
+      const std::uint64_t id = r.u64();
+      seed_names.emplace(id, r.str());
+    }
+    log.names.clear();
+    log.names.reserve(seed_names.size());
+    for (const auto& [id, path] : seed_names) log.names.add(id, path);
+  } else {
+    log.names.clear();
+    log.names.reserve(n_names);
+    for (std::uint32_t i = 0; i < n_names; ++i) {
+      const std::uint64_t id = r.u64();
+      log.names.add(id, r.str_view());
+    }
   }
+  log.names.seal();
 
   std::size_t used = 0;
   const std::uint32_t n_regions = r.u32();
+  if (n_regions > r.remaining()) throw FormatError("region count exceeds body size");
   for (std::uint32_t reg = 0; reg < n_regions; ++reg) {
     const std::uint8_t mod_raw = r.u8();
     if (mod_raw >= kModuleCount) throw FormatError("unknown module id in log");
@@ -138,13 +211,19 @@ void read_body_into(ByteReader& r, LogData& log) {
       throw FormatError("counter layout mismatch for module " + std::string(module_name(mod)));
     }
     const std::uint32_t n_records = r.u32();
+    if (n_records > r.remaining()) throw FormatError("record count exceeds body size");
     for (std::uint32_t i = 0; i < n_records; ++i) {
       // Sequence the reads explicitly: function-argument evaluation order is
       // unspecified, and these must happen in stream order.
       const std::uint64_t record_id = r.u64();
       const auto rank = static_cast<std::int32_t>(r.u32());
       if (used == log.records.size()) {
-        log.records.emplace_back(record_id, rank, mod);
+        if (!opts.seed_compat_parse && !io.record_pool.empty()) {
+          log.records.push_back(std::move(io.record_pool.back()));
+          io.record_pool.pop_back();
+        } else {
+          log.records.emplace_back(record_id, rank, mod);
+        }
       }
       FileRecord& rec = log.records[used];
       ++used;
@@ -153,11 +232,28 @@ void read_body_into(ByteReader& r, LogData& log) {
       rec.module = mod;
       rec.counters.resize(n_counters);
       rec.fcounters.resize(n_fcounters);
-      for (auto& c : rec.counters) c = r.i64();
-      for (auto& f : rec.fcounters) f = r.f64();
+      if (!opts.seed_compat_parse && std::endian::native == std::endian::little) {
+        // Bulk decode: the on-disk and in-memory layouts agree on LE hosts,
+        // so the whole counter block moves with one bounds check + memcpy
+        // instead of a call per counter — the hottest loop of a cold scan.
+        const auto cb = r.bytes(std::size_t{8} * n_counters);
+        std::memcpy(rec.counters.data(), cb.data(), cb.size());
+        const auto fb = r.bytes(std::size_t{8} * n_fcounters);
+        std::memcpy(rec.fcounters.data(), fb.data(), fb.size());
+      } else {
+        for (auto& c : rec.counters) c = r.i64();
+        for (auto& f : rec.fcounters) f = r.f64();
+      }
     }
   }
-  log.records.resize(used);
+  if (opts.seed_compat_parse) {
+    log.records.resize(used);  // destroys the tail, as the seed did
+  } else {
+    while (log.records.size() > used) {
+      io.record_pool.push_back(std::move(log.records.back()));
+      log.records.pop_back();
+    }
+  }
 
   const std::uint32_t n_dxt = r.u32();
   if (n_dxt > r.remaining()) throw FormatError("DXT count exceeds body size");
@@ -191,7 +287,7 @@ void read_body_into(ByteReader& r, LogData& log) {
 std::span<const std::byte> write_log_bytes_into(const LogData& log, LogIoBuffers& io,
                                                 const WriteOptions& opts) {
   io.body.clear();
-  write_body(io.body, log);
+  write_body(io.body, log, io);
   const auto body_bytes = io.body.view();
 
   io.frame.clear();
@@ -227,7 +323,8 @@ void write_log_file(const LogData& log, const std::filesystem::path& path,
   if (!f) throw util::Error("write failed: " + path.string());
 }
 
-void read_log_bytes_into(std::span<const std::byte> data, LogIoBuffers& io, LogData& out) {
+void read_log_bytes_into(std::span<const std::byte> data, LogIoBuffers& io, LogData& out,
+                         const ReadOptions& opts) {
   ByteReader header(data);
   if (header.u32() != kLogMagic) throw FormatError("bad magic");
   const std::uint16_t version = header.u16();
@@ -258,7 +355,7 @@ void read_log_bytes_into(std::span<const std::byte> data, LogIoBuffers& io, LogD
   if (util::crc32(body) != crc) throw FormatError("body CRC mismatch");
 
   ByteReader r(body);
-  read_body_into(r, out);
+  read_body_into(r, out, io, opts);
   if (!r.at_end()) throw FormatError("trailing bytes in log body");
 }
 

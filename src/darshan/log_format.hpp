@@ -19,6 +19,7 @@
 // compactness, not random access.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <filesystem>
 #include <span>
@@ -39,6 +40,16 @@ struct WriteOptions {
   int zlib_level = 6;
 };
 
+struct ReadOptions {
+  /// Route the decode through the seed's parse path: fresh std::string +
+  /// hash-map node per name, fresh mount entries, per-counter decode calls,
+  /// and tail-record destruction — instead of arena fills, in-place capacity
+  /// reuse, bulk counter memcpy, and the record husk pool.  The result is
+  /// identical; this exists so bench_analysis can measure an honest
+  /// pre-overhaul baseline, mirroring Emission::kPerRank on the write side.
+  bool seed_compat_parse = false;
+};
+
 /// Scratch buffers for the allocation-free codec entry points below.  One
 /// instance per worker thread: every buffer (body, framed output, compressed
 /// payload, zlib stream state) is grown once and reused across logs.
@@ -49,6 +60,15 @@ struct LogIoBuffers {
   std::vector<std::byte> unpacked;   ///< decompressed body (read path)
   util::Deflater deflater;
   util::Inflater inflater;
+  /// Per-module record buckets for write_body's region grouping (numeric
+  /// ModuleId order equals the old std::map order, so emitted bytes are
+  /// unchanged); reused across logs.
+  std::array<std::vector<const FileRecord*>, kModuleCount> module_buckets;
+  /// Husk pool for read_body_into: when a parsed log has fewer records than
+  /// the previous one, the tail records (and their counter storage) park
+  /// here instead of being destroyed, so record counts varying across logs
+  /// cost moves, not allocations.  Bounded by the largest log seen.
+  std::vector<FileRecord> record_pool;
 };
 
 /// Serialize a log to bytes / a file.
@@ -70,6 +90,7 @@ LogData read_log_file(const std::filesystem::path& path);
 /// (including each record's counter storage) instead of reallocating.  `out`
 /// may be the very LogData that produced `data` via write_log_bytes_into —
 /// the source is fully framed into `io` before parsing begins.
-void read_log_bytes_into(std::span<const std::byte> data, LogIoBuffers& io, LogData& out);
+void read_log_bytes_into(std::span<const std::byte> data, LogIoBuffers& io, LogData& out,
+                         const ReadOptions& opts = {});
 
 }  // namespace mlio::darshan

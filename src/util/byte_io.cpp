@@ -32,35 +32,18 @@ void ByteWriter::bytes(std::span<const std::byte> data) {
   buf_.insert(buf_.end(), data.begin(), data.end());
 }
 
-std::uint8_t ByteReader::u8() {
-  need(1);
-  return std::to_integer<std::uint8_t>(data_[pos_++]);
-}
-
-std::uint16_t ByteReader::u16() {
-  std::uint16_t v = u8();
-  v = static_cast<std::uint16_t>(v | (static_cast<std::uint16_t>(u8()) << 8));
-  return v;
-}
-
-std::uint32_t ByteReader::u32() {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
-  return v;
-}
-
-std::uint64_t ByteReader::u64() {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
-  return v;
-}
-
-double ByteReader::f64() { return std::bit_cast<double>(u64()); }
-
 std::string ByteReader::str() {
   const std::uint32_t n = u32();
   need(n);
   std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::string_view ByteReader::str_view() {
+  const std::uint32_t n = u32();
+  need(n);
+  const std::string_view s(reinterpret_cast<const char*>(data_.data() + pos_), n);
   pos_ += n;
   return s;
 }

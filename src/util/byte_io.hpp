@@ -4,6 +4,7 @@
 // portable anyway).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -40,17 +41,30 @@ class ByteWriter {
 };
 
 /// Sequential reader over a byte span; throws FormatError on underrun.
+///
+/// The integer reads are defined inline: the log decoder calls them once per
+/// counter, so an out-of-line byte-at-a-time loop was the single largest
+/// cost in a cold archive scan.  On little-endian hosts they compile to one
+/// bounds check plus an unaligned load; the shift fallback keeps the format
+/// portable.
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
 
-  std::uint8_t u8();
-  std::uint16_t u16();
-  std::uint32_t u32();
-  std::uint64_t u64();
+  std::uint8_t u8() {
+    need(1);
+    return std::to_integer<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t u16() { return fixed<std::uint16_t>(); }
+  std::uint32_t u32() { return fixed<std::uint32_t>(); }
+  std::uint64_t u64() { return fixed<std::uint64_t>(); }
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-  double f64();
+  double f64() { return std::bit_cast<double>(u64()); }
   std::string str();
+  /// Length-prefixed string as a view into the underlying buffer — no copy,
+  /// no allocation.  Valid only while the buffer passed to the constructor
+  /// lives (the log codec's arena fill relies on this).
+  std::string_view str_view();
   /// Read exactly n raw bytes.
   std::span<const std::byte> bytes(std::size_t n);
 
@@ -61,6 +75,24 @@ class ByteReader {
   void need(std::size_t n) const {
     if (data_.size() - pos_ < n) throw FormatError("unexpected end of data");
   }
+
+  template <typename T>
+  T fixed() {
+    need(sizeof(T));
+    T v;
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    } else {
+      v = 0;
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        v = static_cast<T>(v | (static_cast<T>(std::to_integer<std::uint8_t>(data_[pos_ + i]))
+                                << (8 * i)));
+      }
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
   std::span<const std::byte> data_;
   std::size_t pos_ = 0;
 };

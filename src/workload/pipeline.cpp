@@ -36,6 +36,7 @@ struct WorkerScratch {
   darshan::LogData log;
   darshan::LogIoBuffers io;
   sim::ExecStats exec;
+  core::AnalyzeScratch analyze;
 };
 
 }  // namespace
@@ -84,7 +85,7 @@ PipelineResult run_pipeline(const WorkloadGenerator& gen, const PipelineOptions&
       const auto bytes = darshan::write_log_bytes_into(ws.log, ws.io, opts.write_options);
       darshan::read_log_bytes_into(bytes, ws.io, ws.log);
     }
-    into.add(ws.log);
+    into.add(ws.log, ws.analyze);
   };
 
   // Run one stratum of `n` jobs in blocks of `block` through the configured

@@ -52,7 +52,7 @@ TEST(Record, ConstructorSizesCounterVectors) {
 
 TEST(Record, LogDataPathLookup) {
   LogData log;
-  log.names[42] = "/mnt/bb/file";
+  log.names.add(42, "/mnt/bb/file");
   EXPECT_EQ(log.path_of(42), "/mnt/bb/file");
   EXPECT_TRUE(log.path_of(43).empty());
 }
@@ -61,7 +61,7 @@ TEST(Record, EqualityCoversAllFields) {
   LogData a;
   a.job.job_id = 1;
   a.mounts.push_back({"/gpfs", "gpfs"});
-  a.names[1] = "/gpfs/x";
+  a.names.add(1, "/gpfs/x");
   a.records.emplace_back(1, 0, ModuleId::kPosix);
   LogData b = a;
   EXPECT_TRUE(a == b);

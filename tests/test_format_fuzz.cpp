@@ -5,6 +5,8 @@
 
 #include "darshan/log_format.hpp"
 #include "darshan/runtime.hpp"
+#include "util/byte_io.hpp"
+#include "util/compress.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -77,6 +79,90 @@ TEST_P(FormatFuzz, GarbageInputThrows) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FormatFuzz, ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+// ---------------------------------------------------------------------------
+// Hostile counts.  A log whose header fields pass CRC but whose element
+// counts promise more data than the body holds must fail cleanly before any
+// proportional reserve() — a crafted 40-byte file must not make the reader
+// attempt a 4-billion-element allocation.
+
+// Minimal valid body prefix: empty job, no mounts, no names.
+util::ByteWriter minimal_body_prefix() {
+  util::ByteWriter w;
+  w.u64(1);  // job_id
+  w.u32(0);  // user_id
+  w.u32(1);  // nprocs
+  w.u32(1);  // nnodes
+  w.i64(0);  // start_time
+  w.i64(1);  // end_time
+  w.str(""); // exe
+  w.u32(0);  // metadata count
+  w.u32(0);  // mount count
+  w.u32(0);  // name count
+  return w;
+}
+
+// Wrap a body in a valid uncompressed frame (correct magic/version/CRC), so
+// the parse reaches the body and the count guards are what rejects it.
+std::vector<std::byte> frame_body(std::span<const std::byte> body) {
+  util::ByteWriter f;
+  f.u32(kLogMagic);
+  f.u16(kLogVersion);
+  f.u16(0);  // uncompressed
+  f.u32(util::crc32(body));
+  f.u64(body.size());
+  f.u64(body.size());
+  f.bytes(body);
+  return f.take();
+}
+
+TEST(FormatHostileCounts, OversizedRegionCountThrows) {
+  auto w = minimal_body_prefix();
+  w.u32(0xffffffffu);  // region count far beyond the remaining bytes
+  const auto framed = frame_body(w.view());
+  EXPECT_THROW((void)read_log_bytes(framed), util::FormatError);
+}
+
+TEST(FormatHostileCounts, OversizedRecordCountThrows) {
+  auto w = minimal_body_prefix();
+  w.u32(1);  // one region
+  w.u8(static_cast<std::uint8_t>(ModuleId::kPosix));
+  w.u32(static_cast<std::uint32_t>(counter_count(ModuleId::kPosix)));
+  w.u32(static_cast<std::uint32_t>(fcounter_count(ModuleId::kPosix)));
+  w.u32(0xffffffffu);  // record count far beyond the remaining bytes
+  const auto framed = frame_body(w.view());
+  EXPECT_THROW((void)read_log_bytes(framed), util::FormatError);
+}
+
+TEST(FormatHostileCounts, OversizedNameAndMountCountsThrow) {
+  {
+    util::ByteWriter w;
+    w.u64(1); w.u32(0); w.u32(1); w.u32(1); w.i64(0); w.i64(1);
+    w.str(""); w.u32(0);
+    w.u32(0xffffffffu);  // mount count
+    EXPECT_THROW((void)read_log_bytes(frame_body(w.view())), util::FormatError);
+  }
+  {
+    util::ByteWriter w;
+    w.u64(1); w.u32(0); w.u32(1); w.u32(1); w.i64(0); w.i64(1);
+    w.str(""); w.u32(0);
+    w.u32(0);            // mounts
+    w.u32(0xffffffffu);  // name count
+    EXPECT_THROW((void)read_log_bytes(frame_body(w.view())), util::FormatError);
+  }
+}
+
+TEST(FormatHostileCounts, ValidEmptyBodyStillParses) {
+  // The guards must not reject legitimate small logs: the same minimal body
+  // with honest zero counts for regions and DXT parses fine.
+  auto w = minimal_body_prefix();
+  w.u32(0);  // regions
+  w.u32(0);  // dxt
+  const LogData log = read_log_bytes(frame_body(w.view()));
+  EXPECT_EQ(log.job.job_id, 1u);
+  EXPECT_TRUE(log.records.empty());
+  EXPECT_TRUE(log.names.empty());
+}
 
 }  // namespace
 }  // namespace mlio::darshan
