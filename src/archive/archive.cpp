@@ -32,9 +32,9 @@ void append_segment_header(std::vector<std::byte>& out, std::uint64_t partition_
 }
 
 /// Validate a segment file against its manifest entry and return its bytes.
-std::vector<std::byte> checked_segment(const std::filesystem::path& path,
+std::vector<std::byte> checked_segment(util::Vfs& vfs, const std::filesystem::path& path,
                                        const PartitionInfo& p) {
-  const std::vector<std::byte> bytes = util::read_file_bytes(path);
+  const std::vector<std::byte> bytes = vfs.read_file(path);
   if (bytes.size() != p.segment_bytes) {
     throw util::FormatError("segment " + path.string() + ": size mismatch (truncated?)");
   }
@@ -51,26 +51,26 @@ std::vector<std::byte> checked_segment(const std::filesystem::path& path,
 
 }  // namespace
 
-Archive::Archive(std::filesystem::path dir, Manifest manifest)
-    : dir_(std::move(dir)), manifest_(std::move(manifest)) {}
+Archive::Archive(std::filesystem::path dir, Manifest manifest, util::Vfs& vfs)
+    : dir_(std::move(dir)), manifest_(std::move(manifest)), vfs_(&vfs) {}
 
-Archive Archive::create(const std::filesystem::path& dir) {
-  if (std::filesystem::exists(dir / kManifestName)) {
+Archive Archive::create(const std::filesystem::path& dir, util::Vfs& vfs) {
+  if (vfs.exists(dir / kManifestName)) {
     throw util::ConfigError("archive already exists at " + dir.string());
   }
-  std::filesystem::create_directories(dir);
-  Archive a(dir, Manifest{});
+  vfs.create_directories(dir);
+  Archive a(dir, Manifest{}, vfs);
   a.write_manifest();
   return a;
 }
 
-Archive Archive::open(const std::filesystem::path& dir) {
-  return Archive(dir, read_manifest_bytes(util::read_file_bytes(dir / kManifestName)));
+Archive Archive::open(const std::filesystem::path& dir, util::Vfs& vfs) {
+  return Archive(dir, read_manifest_bytes(vfs.read_file(dir / kManifestName)), vfs);
 }
 
-Archive Archive::open_or_create(const std::filesystem::path& dir) {
-  if (std::filesystem::exists(dir / kManifestName)) return open(dir);
-  return create(dir);
+Archive Archive::open_or_create(const std::filesystem::path& dir, util::Vfs& vfs) {
+  if (vfs.exists(dir / kManifestName)) return open(dir, vfs);
+  return create(dir, vfs);
 }
 
 std::filesystem::path Archive::segment_path(std::uint64_t id) const {
@@ -85,7 +85,7 @@ std::filesystem::path Archive::snapshot_path(std::uint64_t id) const {
 
 void Archive::write_manifest() {
   manifest_.generation += 1;
-  util::write_file_atomic(dir_ / kManifestName, write_manifest_bytes(manifest_));
+  vfs_->write_file_atomic(dir_ / kManifestName, write_manifest_bytes(manifest_));
 }
 
 Archive::PartitionWriter::PartitionWriter(Archive& owner)
@@ -130,8 +130,8 @@ PartitionInfo Archive::PartitionWriter::seal() {
   p.segment_bytes = segment_.size();
   p.segment_crc = util::crc32(segment_);
 
-  util::write_file_atomic(a.segment_path(id_), segment_);
-  util::write_file_atomic(a.index_path(id_), write_index_bytes(id_, entries_));
+  a.vfs_->write_file_atomic(a.segment_path(id_), segment_);
+  a.vfs_->write_file_atomic(a.index_path(id_), write_index_bytes(id_, entries_));
   // Manifest last: until it lands, the new files are unreferenced garbage,
   // never a half-visible partition.
   a.manifest_.next_partition_id = id_ + 1;
@@ -150,9 +150,9 @@ void Archive::scan_partition(const PartitionInfo& p,
 void Archive::scan_partition(const PartitionInfo& p,
                              const std::function<void(const darshan::LogData&)>& fn,
                              ScanScratch& scratch) const {
-  const std::vector<std::byte> bytes = checked_segment(segment_path(p.id), p);
+  const std::vector<std::byte> bytes = checked_segment(*vfs_, segment_path(p.id), p);
   const std::vector<IndexEntry> entries =
-      read_index_bytes(util::read_file_bytes(index_path(p.id)), p.id);
+      read_index_bytes(vfs_->read_file(index_path(p.id)), p.id);
   if (entries.size() != p.log_count) {
     throw util::FormatError("index of partition " + std::to_string(p.id) + ": count mismatch");
   }
@@ -175,7 +175,7 @@ std::optional<core::Analysis> Archive::load_snapshot(const PartitionInfo& p) con
   if (!p.has_snapshot || p.snapshot_generation != p.data_generation) return std::nullopt;
   std::vector<std::byte> bytes;
   try {
-    bytes = util::read_file_bytes(snapshot_path(p.id));
+    bytes = vfs_->read_file(snapshot_path(p.id));
   } catch (const util::IoError&) {
     return std::nullopt;
   }
@@ -199,7 +199,7 @@ void Archive::store_snapshot(std::uint64_t partition_id, const core::Analysis& s
   }
   const std::vector<std::byte> bytes =
       core::write_snapshot_bytes(shard, it->data_generation, opts);
-  util::write_file_atomic(snapshot_path(partition_id), bytes);
+  vfs_->write_file_atomic(snapshot_path(partition_id), bytes);
   it->has_snapshot = true;
   it->snapshot_generation = it->data_generation;
   it->snapshot_crc = util::crc32(bytes);
@@ -232,9 +232,9 @@ std::size_t Archive::compact(std::uint64_t max_logs) {
     np.id = new_id;
     for (std::size_t k = i; k < j; ++k) {
       const PartitionInfo& src = parts[k];
-      const std::vector<std::byte> bytes = checked_segment(segment_path(src.id), src);
+      const std::vector<std::byte> bytes = checked_segment(*vfs_, segment_path(src.id), src);
       const std::vector<IndexEntry> src_entries =
-          read_index_bytes(util::read_file_bytes(index_path(src.id)), src.id);
+          read_index_bytes(vfs_->read_file(index_path(src.id)), src.id);
       for (const IndexEntry& e : src_entries) {
         if (e.offset < kSegmentHeaderBytes || e.offset + e.size > bytes.size()) {
           throw util::FormatError("compact: index entry out of segment bounds");
@@ -257,23 +257,32 @@ std::size_t Archive::compact(std::uint64_t max_logs) {
     np.segment_bytes = segment.size();
     np.segment_crc = util::crc32(segment);
     np.data_generation = manifest_.generation + 1;  // stamped by write_manifest below
-    util::write_file_atomic(segment_path(new_id), segment);
-    util::write_file_atomic(index_path(new_id), write_index_bytes(new_id, entries));
+    vfs_->write_file_atomic(segment_path(new_id), segment);
+    vfs_->write_file_atomic(index_path(new_id), write_index_bytes(new_id, entries));
     out.push_back(np);
     changed = true;
     i = j;
   }
+  gc_errors_.clear();
   if (!changed) return 0;
 
   const std::size_t removed = manifest_.partitions.size() - out.size();
   manifest_.partitions = std::move(out);
   write_manifest();
-  // Old files go only after the manifest no longer references them.
+  // Old files go only after the manifest no longer references them.  A
+  // failed removal is deliberately non-fatal — the compact is already
+  // durably committed and the leftovers are unreferenced garbage — but it
+  // is never silent: each failure is logged and kept in gc_errors().
   for (const std::uint64_t id : removed_ids) {
-    std::error_code ec;
-    std::filesystem::remove(segment_path(id), ec);
-    std::filesystem::remove(index_path(id), ec);
-    std::filesystem::remove(snapshot_path(id), ec);
+    for (const std::filesystem::path& path :
+         {segment_path(id), index_path(id), snapshot_path(id)}) {
+      try {
+        vfs_->remove(path);
+      } catch (const util::IoError& e) {
+        gc_errors_.emplace_back(e.what());
+        std::fprintf(stderr, "archive: compact gc: %s\n", e.what());
+      }
+    }
   }
   return removed;
 }
@@ -287,8 +296,8 @@ Archive::VerifyReport Archive::verify(bool deep) const {
     std::vector<IndexEntry> entries;
     bool data_ok = true;
     try {
-      bytes = checked_segment(segment_path(p.id), p);
-      entries = read_index_bytes(util::read_file_bytes(index_path(p.id)), p.id);
+      bytes = checked_segment(*vfs_, segment_path(p.id), p);
+      entries = read_index_bytes(vfs_->read_file(index_path(p.id)), p.id);
       if (entries.size() != p.log_count) throw util::FormatError(tag + ": index count mismatch");
       std::uint64_t prev_end = kSegmentHeaderBytes;
       for (const IndexEntry& e : entries) {

@@ -25,21 +25,27 @@
 #include "archive/manifest.hpp"
 #include "core/snapshot.hpp"
 #include "darshan/log_format.hpp"
+#include "util/vfs.hpp"
 
 namespace mlio::archive {
 
 class Archive {
  public:
   /// Create an empty archive (writes an empty manifest).  Throws ConfigError
-  /// when the directory already contains a manifest.
-  static Archive create(const std::filesystem::path& dir);
+  /// when the directory already contains a manifest.  Every file operation
+  /// of the archive flows through `vfs` (util/vfs.hpp) — the default is the
+  /// real filesystem; tests substitute a FaultVfs to inject crashes and
+  /// I/O faults.  The Vfs must outlive the Archive (not owned).
+  static Archive create(const std::filesystem::path& dir, util::Vfs& vfs = util::real_vfs());
   /// Open an existing archive.  Throws IoError when the manifest is missing,
   /// FormatError when it is corrupt.
-  static Archive open(const std::filesystem::path& dir);
-  static Archive open_or_create(const std::filesystem::path& dir);
+  static Archive open(const std::filesystem::path& dir, util::Vfs& vfs = util::real_vfs());
+  static Archive open_or_create(const std::filesystem::path& dir,
+                                util::Vfs& vfs = util::real_vfs());
 
   const std::filesystem::path& dir() const { return dir_; }
   const Manifest& manifest() const { return manifest_; }
+  util::Vfs& vfs() const { return *vfs_; }
 
   std::filesystem::path segment_path(std::uint64_t id) const;
   std::filesystem::path index_path(std::uint64_t id) const;
@@ -106,8 +112,15 @@ class Archive {
   /// `max_logs` into single partitions (raw frame copy, ingest order
   /// preserved).  Snapshots of merged partitions are dropped — the merge
   /// tree changed, so shards must be recomputed.  Returns the number of
-  /// partitions removed.
+  /// partitions removed.  Source files are deleted only after the merged
+  /// segments and the new manifest are durably committed; a deletion
+  /// failure is deliberately non-fatal (the files are unreferenced garbage
+  /// by then) — it is logged to stderr and recorded in `gc_errors()`.
   std::size_t compact(std::uint64_t max_logs);
+
+  /// Failed garbage-collection removals of the most recent compact() —
+  /// empty when every unreferenced file was deleted.
+  const std::vector<std::string>& gc_errors() const { return gc_errors_; }
 
   struct VerifyReport {
     std::vector<std::string> issues;  ///< empty == archive is sound
@@ -124,13 +137,15 @@ class Archive {
   VerifyReport verify(bool deep) const;
 
  private:
-  Archive(std::filesystem::path dir, Manifest manifest);
+  Archive(std::filesystem::path dir, Manifest manifest, util::Vfs& vfs);
 
   /// Bump the generation and atomically persist the manifest.
   void write_manifest();
 
   std::filesystem::path dir_;
   Manifest manifest_;
+  util::Vfs* vfs_;
+  std::vector<std::string> gc_errors_;
 };
 
 }  // namespace mlio::archive

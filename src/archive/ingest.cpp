@@ -2,8 +2,6 @@
 
 #include <chrono>
 
-#include "util/byte_io.hpp"
-
 namespace mlio::archive {
 
 namespace {
@@ -66,7 +64,7 @@ IngestStats ingest_log_files(Archive& archive, const std::vector<std::filesystem
   Archive::PartitionWriter writer = archive.begin_partition();
   core::Analysis shard;
   for (const std::filesystem::path& path : files) {
-    const std::vector<std::byte> frame = util::read_file_bytes(path);
+    const std::vector<std::byte> frame = archive.vfs().read_file(path);
     // Parse up front: corrupt files are rejected here instead of poisoning
     // every later scan of the partition.
     const darshan::LogData log = darshan::read_log_bytes(frame);

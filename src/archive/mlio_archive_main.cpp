@@ -9,13 +9,19 @@
 //   mlio_archive verify  --dir D [--deep]
 //   mlio_archive compact --dir D [--max-logs N]
 //
+// Every command also accepts `--fault-spec SPEC` (util/vfs.hpp grammar,
+// e.g. "seed=7;crash-at=12" or "short-write@2:*.seg"): the command then
+// runs against a deterministic fault-injecting filesystem — the same
+// machinery the crash-consistency tests use — which makes any failing
+// (seed, crash-index) pair reproducible from the shell.
+//
 // `query` prints the paper's Table 2/3/5/6 summaries over the whole archive
 // plus the cache telemetry (partitions scanned vs served from snapshots).
 // Exit status: 0 on success, 1 on a failed verify or corruption, 2 on usage
-// errors.
-#include <algorithm>
+// errors, 3 when a --fault-spec crash point fired.
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +30,7 @@
 #include "util/error.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
+#include "util/vfs.hpp"
 #include "workload/profile.hpp"
 
 namespace {
@@ -34,6 +41,7 @@ struct Args {
   std::string cmd;
   std::string dir;
   std::string from;
+  std::string fault_spec;
   std::string system = "Cori";
   std::uint64_t jobs = 600;
   std::uint64_t seed = 42;
@@ -60,7 +68,8 @@ struct Args {
       "           (or --from SRCDIR to ingest existing log files)\n"
       "  query:   --threads T --no-write-snapshots --csv\n"
       "  verify:  --deep\n"
-      "  compact: --max-logs N\n");
+      "  compact: --max-logs N\n"
+      "  all:     --fault-spec SPEC (deterministic fault injection; see util/vfs.hpp)\n");
   std::exit(rc);
 }
 
@@ -78,6 +87,7 @@ Args parse(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--dir")) a.dir = next("--dir");
     else if (!std::strcmp(argv[i], "--from")) a.from = next("--from");
+    else if (!std::strcmp(argv[i], "--fault-spec")) a.fault_spec = next("--fault-spec");
     else if (!std::strcmp(argv[i], "--system")) a.system = next("--system");
     else if (!std::strcmp(argv[i], "--jobs")) a.jobs = std::strtoull(next("--jobs"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--seed")) a.seed = std::strtoull(next("--seed"), nullptr, 10);
@@ -110,8 +120,8 @@ void emit(const Args& a, const util::Table& t) {
   std::printf("%s", (a.csv ? t.to_csv() : t.to_string()).c_str());
 }
 
-int cmd_ingest(const Args& a) {
-  archive::Archive ar = archive::Archive::open_or_create(a.dir);
+int cmd_ingest(const Args& a, util::Vfs& vfs) {
+  archive::Archive ar = archive::Archive::open_or_create(a.dir, vfs);
   archive::IngestOptions opts;
   opts.batches = a.batches;
   opts.include_huge = a.huge;
@@ -122,11 +132,7 @@ int cmd_ingest(const Args& a) {
 
   archive::IngestStats stats;
   if (!a.from.empty()) {
-    std::vector<std::filesystem::path> files;
-    for (const auto& entry : std::filesystem::directory_iterator(a.from)) {
-      if (entry.is_regular_file()) files.push_back(entry.path());
-    }
-    std::sort(files.begin(), files.end());
+    const std::vector<std::filesystem::path> files = vfs.list_dir(a.from);
     if (files.empty()) {
       std::fprintf(stderr, "no files in %s\n", a.from.c_str());
       return 1;
@@ -154,8 +160,8 @@ int cmd_ingest(const Args& a) {
   return 0;
 }
 
-int cmd_query(const Args& a) {
-  archive::Archive ar = archive::Archive::open(a.dir);
+int cmd_query(const Args& a, util::Vfs& vfs) {
+  archive::Archive ar = archive::Archive::open(a.dir, vfs);
   archive::QueryOptions opts;
   opts.threads = a.threads;
   opts.write_snapshots = a.write_snapshots;
@@ -222,8 +228,8 @@ int cmd_query(const Args& a) {
   return 0;
 }
 
-int cmd_verify(const Args& a) {
-  archive::Archive ar = archive::Archive::open(a.dir);
+int cmd_verify(const Args& a, util::Vfs& vfs) {
+  archive::Archive ar = archive::Archive::open(a.dir, vfs);
   const archive::Archive::VerifyReport rep = ar.verify(a.deep);
   std::printf("verified %llu partition(s): %llu log(s) checked, snapshots %llu valid / "
               "%llu stale / %llu missing\n",
@@ -237,12 +243,13 @@ int cmd_verify(const Args& a) {
   return rep.ok() ? 0 : 1;
 }
 
-int cmd_compact(const Args& a) {
-  archive::Archive ar = archive::Archive::open(a.dir);
+int cmd_compact(const Args& a, util::Vfs& vfs) {
+  archive::Archive ar = archive::Archive::open(a.dir, vfs);
   const std::size_t before = ar.manifest().partitions.size();
   const std::size_t removed = ar.compact(a.max_logs);
   std::printf("compacted %zu -> %zu partition(s) (threshold %llu logs)\n", before,
               before - removed, static_cast<unsigned long long>(a.max_logs));
+  for (const std::string& e : ar.gc_errors()) std::printf("GC WARNING: %s\n", e.c_str());
   return 0;
 }
 
@@ -250,11 +257,23 @@ int cmd_compact(const Args& a) {
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
+  // Default: the real filesystem, zero interposition beyond one virtual
+  // call per file op.  With --fault-spec, the same commands run against a
+  // deterministic FaultVfs instead.
+  std::optional<util::FaultVfs> fault_vfs;
+  util::Vfs* vfs = &util::real_vfs();
   try {
-    if (a.cmd == "ingest") return cmd_ingest(a);
-    if (a.cmd == "query") return cmd_query(a);
-    if (a.cmd == "verify") return cmd_verify(a);
-    if (a.cmd == "compact") return cmd_compact(a);
+    if (!a.fault_spec.empty()) {
+      fault_vfs.emplace(util::FaultPlan::parse(a.fault_spec));
+      vfs = &*fault_vfs;
+    }
+    if (a.cmd == "ingest") return cmd_ingest(a, *vfs);
+    if (a.cmd == "query") return cmd_query(a, *vfs);
+    if (a.cmd == "verify") return cmd_verify(a, *vfs);
+    if (a.cmd == "compact") return cmd_compact(a, *vfs);
+  } catch (const util::SimulatedCrash& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 3;
   } catch (const util::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

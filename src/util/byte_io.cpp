@@ -2,7 +2,8 @@
 
 #include <bit>
 #include <cstdio>
-#include <system_error>
+
+#include "util/vfs.hpp"
 
 namespace mlio::util {
 
@@ -71,20 +72,10 @@ std::vector<std::byte> read_file_bytes(const std::filesystem::path& path) {
 }
 
 void write_file_atomic(const std::filesystem::path& path, std::span<const std::byte> data) {
-  const std::filesystem::path tmp = path.string() + ".tmp";
-  std::FILE* f = std::fopen(tmp.string().c_str(), "wb");
-  if (f == nullptr) throw IoError("cannot create " + tmp.string());
-  const std::size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
-  const bool flushed = std::fflush(f) == 0;
-  std::fclose(f);
-  if (written != data.size() || !flushed) {
-    std::error_code ec;
-    std::filesystem::remove(tmp, ec);
-    throw IoError("write failed for " + tmp.string());
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) throw IoError("rename " + tmp.string() + " -> " + path.string() + ": " + ec.message());
+  // Durable variant of temp+rename (util/vfs.hpp): fsync the tmp file
+  // before the rename and the parent directory after it, surface the rename
+  // errno, and always clean up the tmp on failure.
+  real_vfs().write_file_atomic(path, data);
 }
 
 }  // namespace mlio::util

@@ -101,9 +101,13 @@ class ByteReader {
 /// opened or read.
 std::vector<std::byte> read_file_bytes(const std::filesystem::path& path);
 
-/// Write `data` to `path` atomically: the bytes land in a sibling temporary
-/// file which is then renamed over the target, so readers never observe a
-/// partial file (the archive manifest update protocol relies on this).
+/// Write `data` to `path` atomically and durably: the bytes land in a
+/// sibling temporary file which is fsynced and then renamed over the
+/// target, followed by an fsync of the parent directory — so readers never
+/// observe a partial file and a crash right after the call cannot tear the
+/// published bytes (the archive manifest update protocol relies on both).
+/// Convenience wrapper around Vfs::write_file_atomic on the real
+/// filesystem (util/vfs.hpp).
 void write_file_atomic(const std::filesystem::path& path, std::span<const std::byte> data);
 
 }  // namespace mlio::util

@@ -1,0 +1,613 @@
+#include "util/vfs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <system_error>
+
+#include "util/byte_io.hpp"
+#include "util/rng.hpp"
+
+namespace mlio::util {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// FNV-1a over the filename only: fault draws must not depend on where the
+/// test scratch directory happens to live, or replays in a fresh directory
+/// would diverge.
+std::uint64_t name_hash(const fs::path& path) {
+  const std::string name = path.filename().string();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Raw byte I/O for crash-simulation bookkeeping (rename revert); bypasses
+/// the op counter on purpose — a real crash does not execute code either.
+std::vector<std::byte> raw_read(const fs::path& path) {
+  return read_file_bytes(path);
+}
+
+void raw_write(const fs::path& path, std::span<const std::byte> data) {
+  std::FILE* f = std::fopen(path.string().c_str(), "wb");
+  if (f == nullptr) throw IoError("cannot create " + path.string());
+  const std::size_t n = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (n != data.size()) throw IoError("write failed for " + path.string());
+}
+
+std::optional<VfsOp> implied_op(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kShortWrite:
+    case FaultKind::kTornWrite:
+      return VfsOp::kWrite;
+    case FaultKind::kLostRename:
+      return VfsOp::kRename;
+    case FaultKind::kDropFsync:
+      return VfsOp::kFsync;
+    case FaultKind::kReadTruncate:
+    case FaultKind::kBitFlip:
+      return VfsOp::kRead;
+    case FaultKind::kFailOp:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view vfs_op_name(VfsOp op) {
+  switch (op) {
+    case VfsOp::kRead: return "read";
+    case VfsOp::kOpen: return "open";
+    case VfsOp::kWrite: return "write";
+    case VfsOp::kFsync: return "fsync";
+    case VfsOp::kRename: return "rename";
+    case VfsOp::kDirSync: return "dirsync";
+    case VfsOp::kExists: return "exists";
+    case VfsOp::kRemove: return "remove";
+    case VfsOp::kMkdirs: return "mkdirs";
+    case VfsOp::kList: return "list";
+  }
+  return "?";
+}
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFailOp: return "fail";
+    case FaultKind::kShortWrite: return "short-write";
+    case FaultKind::kTornWrite: return "torn-write";
+    case FaultKind::kLostRename: return "lost-rename";
+    case FaultKind::kDropFsync: return "drop-fsync";
+    case FaultKind::kReadTruncate: return "read-truncate";
+    case FaultKind::kBitFlip: return "bit-flip";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Composed atomic publish
+
+void Vfs::write_file_atomic(const fs::path& target, std::span<const std::byte> data) {
+  const fs::path tmp = target.string() + ".tmp";
+  WriteFile f = open_write(tmp);
+  try {
+    write(f, data);
+    fsync_file(f);
+  } catch (...) {
+    close_file(f);
+    try {
+      remove(tmp);
+    } catch (...) {
+      // Best-effort cleanup: the original error (or simulated crash) is the
+      // one the caller must see.
+    }
+    throw;
+  }
+  close_file(f);
+  try {
+    rename(tmp, target);
+  } catch (...) {
+    try {
+      remove(tmp);
+    } catch (...) {
+    }
+    throw;
+  }
+  const fs::path parent = target.parent_path();
+  sync_dir(parent.empty() ? fs::path(".") : parent);
+}
+
+// ---------------------------------------------------------------------------
+// RealVfs
+
+std::vector<std::byte> RealVfs::read_file(const fs::path& path) { return read_file_bytes(path); }
+
+bool RealVfs::exists(const fs::path& path) {
+  std::error_code ec;
+  const bool e = fs::exists(path, ec);
+  if (ec) throw IoError("exists " + path.string() + ": " + ec.message());
+  return e;
+}
+
+void RealVfs::create_directories(const fs::path& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) throw IoError("mkdirs " + path.string() + ": " + ec.message());
+}
+
+bool RealVfs::remove(const fs::path& path) {
+  std::error_code ec;
+  const bool removed = fs::remove(path, ec);
+  if (ec) throw IoError("remove " + path.string() + ": " + ec.message());
+  return removed;
+}
+
+std::vector<fs::path> RealVfs::list_dir(const fs::path& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) throw IoError("list " + dir.string() + ": " + ec.message());
+  std::vector<fs::path> out;
+  for (const fs::directory_entry& entry : it) {
+    if (entry.is_regular_file(ec) && !ec) out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Vfs::WriteFile RealVfs::open_write(const fs::path& tmp) {
+  const int fd = ::open(tmp.string().c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw IoError("cannot create " + tmp.string() + ": " + errno_text());
+  return WriteFile{fd, tmp};
+}
+
+void RealVfs::write(WriteFile& f, std::span<const std::byte> data) {
+  const std::byte* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(f.fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("write failed for " + f.path.string() + ": " + errno_text());
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void RealVfs::fsync_file(WriteFile& f) {
+  if (::fsync(f.fd) != 0) {
+    throw IoError("fsync failed for " + f.path.string() + ": " + errno_text());
+  }
+}
+
+void RealVfs::close_file(WriteFile& f) noexcept {
+  if (f.fd >= 0) {
+    ::close(f.fd);
+    f.fd = -1;
+  }
+}
+
+void RealVfs::rename(const fs::path& from, const fs::path& to) {
+  if (::rename(from.string().c_str(), to.string().c_str()) != 0) {
+    throw IoError("rename " + from.string() + " -> " + to.string() + ": " + errno_text());
+  }
+}
+
+void RealVfs::sync_dir(const fs::path& dir) {
+  const int fd = ::open(dir.string().c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw IoError("cannot open directory " + dir.string() + ": " + errno_text());
+  const bool ok = ::fsync(fd) == 0;
+  const std::string err = ok ? std::string() : errno_text();
+  ::close(fd);
+  if (!ok) throw IoError("fsync failed for directory " + dir.string() + ": " + err);
+}
+
+RealVfs& real_vfs() {
+  static RealVfs vfs;
+  return vfs;
+}
+
+// ---------------------------------------------------------------------------
+// Glob + plan parsing
+
+bool glob_match(std::string_view pattern, std::string_view name) {
+  // Iterative matcher with single-star backtracking.
+  std::size_t p = 0, n = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (n < name.size()) {
+    if (p < pattern.size() && (pattern[p] == '?' || pattern[p] == name[n])) {
+      ++p;
+      ++n;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = n;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      n = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  auto parse_u64 = [&](std::string_view s, const char* what) {
+    std::uint64_t v = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || ptr != s.data() + s.size()) {
+      throw ConfigError("fault spec: bad number for " + std::string(what) + ": '" +
+                        std::string(s) + "'");
+    }
+    return v;
+  };
+
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t end = std::min(spec.find_first_of(";,", pos), spec.size());
+    std::string_view item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+    while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+    if (item.empty()) {
+      if (end == spec.size()) break;
+      continue;
+    }
+
+    if (item.starts_with("seed=")) {
+      plan.seed = parse_u64(item.substr(5), "seed");
+    } else if (item.starts_with("crash-at=")) {
+      plan.crash_at = static_cast<std::int64_t>(parse_u64(item.substr(9), "crash-at"));
+    } else {
+      FaultRule rule;
+      std::string_view head = item;
+      if (const std::size_t colon = head.find(':'); colon != std::string_view::npos) {
+        rule.glob = std::string(head.substr(colon + 1));
+        head = head.substr(0, colon);
+        if (rule.glob.empty()) throw ConfigError("fault spec: empty glob in '" + std::string(item) + "'");
+      }
+      if (const std::size_t at = head.find('@'); at != std::string_view::npos) {
+        rule.nth = parse_u64(head.substr(at + 1), "@nth");
+        head = head.substr(0, at);
+      }
+
+      if (head == "short-write") rule.kind = FaultKind::kShortWrite;
+      else if (head == "torn-write") rule.kind = FaultKind::kTornWrite;
+      else if (head == "lost-rename") rule.kind = FaultKind::kLostRename;
+      else if (head == "drop-fsync") rule.kind = FaultKind::kDropFsync;
+      else if (head == "read-truncate") rule.kind = FaultKind::kReadTruncate;
+      else if (head == "bit-flip") rule.kind = FaultKind::kBitFlip;
+      else if (head == "fail") rule.kind = FaultKind::kFailOp;
+      else if (head.starts_with("fail-")) {
+        rule.kind = FaultKind::kFailOp;
+        const std::string_view op = head.substr(5);
+        bool found = false;
+        for (std::size_t i = 0; i < kVfsOpCount; ++i) {
+          if (op == vfs_op_name(static_cast<VfsOp>(i))) {
+            rule.op = static_cast<VfsOp>(i);
+            found = true;
+            break;
+          }
+        }
+        if (!found) throw ConfigError("fault spec: unknown op in '" + std::string(item) + "'");
+      } else {
+        throw ConfigError("fault spec: unknown fault kind in '" + std::string(item) + "'");
+      }
+      plan.rules.push_back(std::move(rule));
+    }
+    if (end == spec.size()) break;
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// FaultVfs
+
+FaultVfs::FaultVfs(FaultPlan plan) : plan_(std::move(plan)), rule_hits_(plan_.rules.size(), 0) {}
+
+std::uint64_t FaultVfs::op_count() const {
+  const std::scoped_lock lock(mu_);
+  return ops_;
+}
+
+bool FaultVfs::crashed() const {
+  const std::scoped_lock lock(mu_);
+  return crashed_;
+}
+
+std::uint64_t FaultVfs::draw(std::uint64_t op_index, const fs::path& path,
+                             std::uint64_t bound) const {
+  std::uint64_t state = plan_.seed ^ (op_index * 0x9e3779b97f4a7c15ull) ^ name_hash(path);
+  const std::uint64_t v = splitmix64(state);
+  return bound == ~0ull ? v : v % (bound + 1);
+}
+
+FaultVfs::Action FaultVfs::next_op(VfsOp op, const fs::path& path) {
+  const std::scoped_lock lock(mu_);
+  if (crashed_) {
+    throw SimulatedCrash(ops_, "process is dead (op " + std::string(vfs_op_name(op)) + " " +
+                                   path.filename().string() + " after crash)");
+  }
+  Action a;
+  a.index = ops_++;
+  a.crash = plan_.crash_at >= 0 && a.index == static_cast<std::uint64_t>(plan_.crash_at);
+  if (a.crash) return a;
+  const std::string name = path.filename().string();
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const FaultRule& r = plan_.rules[i];
+    const std::optional<VfsOp> want = r.op ? r.op : implied_op(r.kind);
+    if (want && *want != op) continue;
+    if (!glob_match(r.glob, name)) continue;
+    rule_hits_[i] += 1;
+    if (r.nth == 0 || rule_hits_[i] == r.nth) {
+      a.rule = &r;
+      break;
+    }
+  }
+  return a;
+}
+
+void FaultVfs::notify(const Action& a, VfsOp op, const fs::path& path) {
+  if (after_op) after_op(a.index, op, path);
+}
+
+void FaultVfs::crash(const Action& a, VfsOp op, const fs::path& path) {
+  const std::scoped_lock lock(mu_);
+  crashed_ = true;
+  // The page cache dies with the process: every file not yet fsynced keeps
+  // only a seed-derived prefix of its bytes.
+  for (const auto& [p, at_risk] : unsynced_) {
+    (void)at_risk;
+    std::error_code ec;
+    if (!fs::exists(p, ec) || ec) continue;
+    const std::uint64_t size = fs::file_size(p, ec);
+    if (ec) continue;
+    const std::uint64_t keep = draw(a.index, fs::path(p), size);
+    if (keep < size) fs::resize_file(p, keep, ec);
+  }
+  unsynced_.clear();
+  throw SimulatedCrash(a.index, std::string(vfs_op_name(op)) + " " + path.filename().string());
+}
+
+std::vector<std::byte> FaultVfs::read_file(const fs::path& path) {
+  const Action a = next_op(VfsOp::kRead, path);
+  if (a.crash) crash(a, VfsOp::kRead, path);
+  if (a.rule != nullptr) {
+    switch (a.rule->kind) {
+      case FaultKind::kFailOp:
+        throw IoError("simulated read failure for " + path.string());
+      case FaultKind::kReadTruncate: {
+        std::vector<std::byte> data = real_.read_file(path);
+        data.resize(draw(a.index, path, data.empty() ? 0 : data.size() - 1));
+        return data;
+      }
+      case FaultKind::kBitFlip: {
+        std::vector<std::byte> data = real_.read_file(path);
+        if (!data.empty()) {
+          const std::uint64_t bit = draw(a.index, path, data.size() * 8 - 1);
+          data[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+        }
+        return data;
+      }
+      default:
+        break;
+    }
+  }
+  std::vector<std::byte> data = real_.read_file(path);
+  notify(a, VfsOp::kRead, path);
+  return data;
+}
+
+bool FaultVfs::exists(const fs::path& path) {
+  const Action a = next_op(VfsOp::kExists, path);
+  if (a.crash) crash(a, VfsOp::kExists, path);
+  if (a.rule != nullptr) throw IoError("simulated exists failure for " + path.string());
+  const bool e = real_.exists(path);
+  notify(a, VfsOp::kExists, path);
+  return e;
+}
+
+void FaultVfs::create_directories(const fs::path& path) {
+  const Action a = next_op(VfsOp::kMkdirs, path);
+  if (a.crash) {
+    if (draw(a.index, path, 1) == 1) real_.create_directories(path);
+    crash(a, VfsOp::kMkdirs, path);
+  }
+  if (a.rule != nullptr) throw IoError("simulated mkdirs failure for " + path.string());
+  real_.create_directories(path);
+  notify(a, VfsOp::kMkdirs, path);
+}
+
+bool FaultVfs::remove(const fs::path& path) {
+  const Action a = next_op(VfsOp::kRemove, path);
+  if (a.crash) {
+    if (draw(a.index, path, 1) == 1) real_.remove(path);
+    crash(a, VfsOp::kRemove, path);
+  }
+  if (a.rule != nullptr) throw IoError("simulated remove failure for " + path.string());
+  const bool removed = real_.remove(path);
+  {
+    const std::scoped_lock lock(mu_);
+    unsynced_.erase(path.lexically_normal().string());
+  }
+  notify(a, VfsOp::kRemove, path);
+  return removed;
+}
+
+std::vector<fs::path> FaultVfs::list_dir(const fs::path& dir) {
+  const Action a = next_op(VfsOp::kList, dir);
+  if (a.crash) crash(a, VfsOp::kList, dir);
+  if (a.rule != nullptr) throw IoError("simulated list failure for " + dir.string());
+  std::vector<fs::path> out = real_.list_dir(dir);
+  notify(a, VfsOp::kList, dir);
+  return out;
+}
+
+Vfs::WriteFile FaultVfs::open_write(const fs::path& tmp) {
+  const Action a = next_op(VfsOp::kOpen, tmp);
+  if (a.crash) {
+    if (draw(a.index, tmp, 1) == 1) {
+      WriteFile f = real_.open_write(tmp);
+      real_.close_file(f);
+      const std::scoped_lock lock(mu_);
+      unsynced_.emplace(tmp.lexically_normal().string(), true);
+    }
+    crash(a, VfsOp::kOpen, tmp);
+  }
+  if (a.rule != nullptr) throw IoError("simulated open failure for " + tmp.string());
+  WriteFile f = real_.open_write(tmp);
+  {
+    const std::scoped_lock lock(mu_);
+    unsynced_.emplace(tmp.lexically_normal().string(), true);
+  }
+  notify(a, VfsOp::kOpen, tmp);
+  return f;
+}
+
+void FaultVfs::write(WriteFile& f, std::span<const std::byte> data) {
+  const Action a = next_op(VfsOp::kWrite, f.path);
+  if (a.crash) {
+    // The full write reaches the page cache; the crash sweep below tears it
+    // back to a seed-derived prefix (the file is still unsynced).
+    real_.write(f, data);
+    crash(a, VfsOp::kWrite, f.path);
+  }
+  if (a.rule != nullptr) {
+    switch (a.rule->kind) {
+      case FaultKind::kFailOp:
+        throw IoError("simulated write failure for " + f.path.string());
+      case FaultKind::kShortWrite: {
+        const std::uint64_t k = draw(a.index, f.path, data.empty() ? 0 : data.size() - 1);
+        real_.write(f, data.first(static_cast<std::size_t>(k)));
+        throw IoError("simulated ENOSPC: short write for " + f.path.string() + " (" +
+                      std::to_string(k) + "/" + std::to_string(data.size()) + " bytes)");
+      }
+      case FaultKind::kTornWrite: {
+        const std::uint64_t k = draw(a.index, f.path, data.empty() ? 0 : data.size() - 1);
+        real_.write(f, data.first(static_cast<std::size_t>(k)));
+        return;  // reported as success; CRCs must catch it downstream
+      }
+      default:
+        break;
+    }
+  }
+  real_.write(f, data);
+  notify(a, VfsOp::kWrite, f.path);
+}
+
+void FaultVfs::fsync_file(WriteFile& f) {
+  const Action a = next_op(VfsOp::kFsync, f.path);
+  if (a.crash) crash(a, VfsOp::kFsync, f.path);  // tear sweep handles the loss
+  if (a.rule != nullptr) {
+    if (a.rule->kind == FaultKind::kDropFsync) return;  // "success", data still at risk
+    throw IoError("simulated fsync failure for " + f.path.string());
+  }
+  real_.fsync_file(f);
+  {
+    const std::scoped_lock lock(mu_);
+    unsynced_.erase(f.path.lexically_normal().string());
+  }
+  notify(a, VfsOp::kFsync, f.path);
+}
+
+void FaultVfs::close_file(WriteFile& f) noexcept {
+  // Not a counted op: by protocol close runs after fsync, so there is no
+  // distinct post-crash state it could produce (and it must not throw).
+  real_.close_file(f);
+}
+
+void FaultVfs::rename(const fs::path& from, const fs::path& to) {
+  const Action a = next_op(VfsOp::kRename, to);
+  if (a.crash) {
+    if (draw(a.index, to, 1) == 1) {
+      real_.rename(from, to);
+      const std::scoped_lock lock(mu_);
+      const auto it = unsynced_.find(from.lexically_normal().string());
+      if (it != unsynced_.end()) {
+        unsynced_.erase(it);
+        unsynced_.emplace(to.lexically_normal().string(), true);
+      }
+    }
+    crash(a, VfsOp::kRename, to);
+  }
+  if (a.rule != nullptr) {
+    if (a.rule->kind == FaultKind::kLostRename) return;  // "success", nothing happened
+    throw IoError("simulated rename failure " + from.string() + " -> " + to.string());
+  }
+  if (plan_.crash_at >= 0) {
+    // Stash the pre-rename state: a crash at the following dirsync may roll
+    // this rename back (the directory entry never became durable).
+    const std::scoped_lock lock(mu_);
+    last_rename_.valid = true;
+    last_rename_.from = from;
+    last_rename_.to = to;
+    last_rename_.had_old = fs::exists(to);
+    last_rename_.old_bytes = last_rename_.had_old ? raw_read(to) : std::vector<std::byte>();
+  }
+  real_.rename(from, to);
+  {
+    const std::scoped_lock lock(mu_);
+    const auto it = unsynced_.find(from.lexically_normal().string());
+    if (it != unsynced_.end()) {
+      unsynced_.erase(it);
+      unsynced_.emplace(to.lexically_normal().string(), true);
+    }
+  }
+  notify(a, VfsOp::kRename, to);
+}
+
+void FaultVfs::sync_dir(const fs::path& dir) {
+  const Action a = next_op(VfsOp::kDirSync, dir);
+  if (a.crash) {
+    RenameUndo undo;
+    {
+      const std::scoped_lock lock(mu_);
+      undo = last_rename_;
+    }
+    if (undo.valid && draw(a.index, dir, 1) == 1) {
+      // The rename never became durable: the target reverts to its old
+      // bytes (or vanishes) and the tmp file reappears with the new bytes.
+      const std::vector<std::byte> new_bytes = raw_read(undo.to);
+      if (undo.had_old) {
+        raw_write(undo.to, undo.old_bytes);
+      } else {
+        std::error_code ec;
+        fs::remove(undo.to, ec);
+      }
+      raw_write(undo.from, new_bytes);
+      // Any at-risk marker follows the reverted bytes back to the tmp name:
+      // the old target bytes were durable and must not be torn.
+      const std::scoped_lock lock(mu_);
+      const auto it = unsynced_.find(undo.to.lexically_normal().string());
+      if (it != unsynced_.end()) {
+        unsynced_.erase(it);
+        unsynced_.emplace(undo.from.lexically_normal().string(), true);
+      }
+    }
+    crash(a, VfsOp::kDirSync, dir);
+  }
+  if (a.rule != nullptr) throw IoError("simulated dirsync failure for " + dir.string());
+  real_.sync_dir(dir);
+  {
+    const std::scoped_lock lock(mu_);
+    last_rename_.valid = false;
+  }
+  notify(a, VfsOp::kDirSync, dir);
+}
+
+}  // namespace mlio::util

@@ -1,0 +1,256 @@
+// Virtual-filesystem seam for the archive layer.
+//
+// Every file the archive touches flows through a `Vfs`: `RealVfs` is a
+// zero-cost passthrough to the host filesystem (one virtual call per
+// file-granularity operation — never per byte), and `FaultVfs` injects
+// deterministic, seed-driven faults so tests can prove the archive's
+// crash-consistency story instead of asserting it.
+//
+// The atomic-publish protocol is decomposed into independently failable
+// steps — open tmp, write, fsync, close, rename over target, fsync parent
+// directory — because that is exactly the granularity at which real crashes
+// and ENOSPC strike.  `Vfs::write_file_atomic` composes the steps with the
+// durability order the archive's manifest-last commit protocol requires:
+// the tmp file is fsynced *before* the rename (so a crash after the rename
+// can never expose a torn target) and the parent directory is fsynced
+// *after* (so the rename itself is durable), and the tmp is removed on any
+// failure.
+//
+// Fault model (`FaultVfs`):
+//
+//  * Scheduled faults: each `FaultRule` names a kind, an optional path glob
+//    (matched against the filename), and which matching op fires (`nth`,
+//    1-based; 0 = every match).  Kinds:
+//      kFailOp       op throws IoError (optionally only ops of one type)
+//      kShortWrite   ENOSPC: a seed-derived prefix lands, then IoError
+//      kTornWrite    a seed-derived prefix lands, success reported
+//      kLostRename   success reported, rename never happens
+//      kDropFsync    success reported, file stays at risk for crash tearing
+//      kReadTruncate read returns a seed-derived prefix
+//      kBitFlip      read returns the bytes with one seed-derived bit flipped
+//
+//  * Crash-point mode (`crash_at` >= 0): the Nth op applies exactly the
+//    bytes a real crash would — writes land in full but every file whose
+//    fsync has not completed is torn to a seed-derived length (the page
+//    cache is lost), a crashing rename lands or not by a seed coin, and a
+//    crash before the directory fsync may revert the preceding rename —
+//    then throws `SimulatedCrash`.  Afterwards the instance is dead: every
+//    further op rethrows, so a workload cannot keep mutating the "disk"
+//    past its own crash.  Given the same plan the whole run is
+//    bit-deterministic, so any failing (seed, crash-index) pair replays.
+//
+// Thread safety: RealVfs is stateless; FaultVfs serializes its bookkeeping
+// behind a mutex, so faults can be injected under the query engine's
+// parallel shard rebuild.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mlio::util {
+
+/// The operation vocabulary — one entry per injection point.
+enum class VfsOp : std::uint8_t {
+  kRead,     ///< whole-file read
+  kOpen,     ///< create/truncate the tmp file of an atomic write
+  kWrite,    ///< append payload bytes to an open tmp file
+  kFsync,    ///< flush an open tmp file to stable storage
+  kRename,   ///< publish tmp over target
+  kDirSync,  ///< fsync the parent directory after a rename
+  kExists,
+  kRemove,
+  kMkdirs,
+  kList,
+};
+constexpr std::size_t kVfsOpCount = 10;
+std::string_view vfs_op_name(VfsOp op);
+
+/// Thrown by FaultVfs at its crash point.  Deliberately NOT a util::Error:
+/// a simulated power cut must never be absorbed by ordinary error handling —
+/// only the crash harness catches it.
+class SimulatedCrash : public std::runtime_error {
+ public:
+  SimulatedCrash(std::uint64_t op_index, const std::string& what)
+      : std::runtime_error("simulated crash at op " + std::to_string(op_index) + ": " + what),
+        op_index_(op_index) {}
+  std::uint64_t op_index() const { return op_index_; }
+
+ private:
+  std::uint64_t op_index_;
+};
+
+/// Abstract filesystem.  File contents move as whole buffers; the archive
+/// formats are small enough that streaming would buy nothing and would blur
+/// the crash model.
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// Read an entire file.  Throws IoError when it cannot be opened or read.
+  virtual std::vector<std::byte> read_file(const std::filesystem::path& path) = 0;
+  virtual bool exists(const std::filesystem::path& path) = 0;
+  virtual void create_directories(const std::filesystem::path& path) = 0;
+  /// Remove a file; returns false when it did not exist.  Throws IoError on
+  /// an actual failure (permissions, I/O).
+  virtual bool remove(const std::filesystem::path& path) = 0;
+  /// Regular files directly inside `dir`, sorted by path (deterministic
+  /// ingest order for directory drops).
+  virtual std::vector<std::filesystem::path> list_dir(const std::filesystem::path& dir) = 0;
+
+  /// Open handle of an in-progress atomic write (the tmp file).
+  struct WriteFile {
+    int fd = -1;
+    std::filesystem::path path;
+  };
+  virtual WriteFile open_write(const std::filesystem::path& tmp) = 0;
+  virtual void write(WriteFile& f, std::span<const std::byte> data) = 0;
+  virtual void fsync_file(WriteFile& f) = 0;
+  /// Close never reports errors: by protocol it runs only after fsync, when
+  /// the data is already durable, so it is not an injection point.
+  virtual void close_file(WriteFile& f) noexcept = 0;
+  virtual void rename(const std::filesystem::path& from, const std::filesystem::path& to) = 0;
+  virtual void sync_dir(const std::filesystem::path& dir) = 0;
+
+  /// Durable atomic publish composed from the steps above:
+  /// open(tmp) -> write -> fsync -> close -> rename(tmp, target) ->
+  /// sync_dir(parent).  On failure the tmp file is removed (best effort)
+  /// and the error rethrown; the target is never left partial.
+  void write_file_atomic(const std::filesystem::path& target, std::span<const std::byte> data);
+};
+
+/// Host-filesystem passthrough (POSIX fd I/O underneath).
+class RealVfs final : public Vfs {
+ public:
+  std::vector<std::byte> read_file(const std::filesystem::path& path) override;
+  bool exists(const std::filesystem::path& path) override;
+  void create_directories(const std::filesystem::path& path) override;
+  bool remove(const std::filesystem::path& path) override;
+  std::vector<std::filesystem::path> list_dir(const std::filesystem::path& dir) override;
+  WriteFile open_write(const std::filesystem::path& tmp) override;
+  void write(WriteFile& f, std::span<const std::byte> data) override;
+  void fsync_file(WriteFile& f) override;
+  void close_file(WriteFile& f) noexcept override;
+  void rename(const std::filesystem::path& from, const std::filesystem::path& to) override;
+  void sync_dir(const std::filesystem::path& dir) override;
+};
+
+/// The process-wide passthrough instance (default for every archive).
+RealVfs& real_vfs();
+
+enum class FaultKind : std::uint8_t {
+  kFailOp,
+  kShortWrite,
+  kTornWrite,
+  kLostRename,
+  kDropFsync,
+  kReadTruncate,
+  kBitFlip,
+};
+std::string_view fault_kind_name(FaultKind kind);
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kFailOp;
+  /// Restrict kFailOp to one op type (other kinds imply their op).
+  std::optional<VfsOp> op;
+  /// Glob over the filename (`*`/`?`); "*" matches everything.
+  std::string glob = "*";
+  /// Fire on the nth op matching this rule (1-based); 0 = every match.
+  std::uint64_t nth = 1;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Global op index to crash at; -1 = no crash point.
+  std::int64_t crash_at = -1;
+  std::vector<FaultRule> rules;
+
+  /// Parse a plan from a compact spec, e.g.
+  ///   "seed=7;crash-at=12"
+  ///   "short-write@2:*.seg;fail-rename:manifest.bin;bit-flip@0:*.snap"
+  /// Items are ';' or ',' separated: `seed=N`, `crash-at=N`, or
+  /// `KIND[@NTH][:GLOB]` with KIND one of short-write, torn-write,
+  /// lost-rename, drop-fsync, read-truncate, bit-flip, fail, or
+  /// fail-<read|open|write|fsync|rename|dirsync|exists|remove|mkdirs|list>.
+  /// Throws ConfigError on a malformed spec.
+  static FaultPlan parse(std::string_view spec);
+};
+
+/// `*`/`?` glob, anchored at both ends.  Exposed for tests.
+bool glob_match(std::string_view pattern, std::string_view name);
+
+/// Deterministic fault-injecting filesystem over RealVfs.
+class FaultVfs final : public Vfs {
+ public:
+  explicit FaultVfs(FaultPlan plan = {});
+
+  /// Ops observed so far (file-granularity steps; close is not counted).
+  std::uint64_t op_count() const;
+  /// True once the crash point fired; every later op rethrows.
+  bool crashed() const;
+
+  /// Observer called after each op completes without fault or crash —
+  /// (global op index, op, path; for renames the *target* path).  The crash
+  /// harness uses it to snapshot committed states at manifest publishes.
+  /// Called outside the internal lock; must not call back into this Vfs.
+  std::function<void(std::uint64_t, VfsOp, const std::filesystem::path&)> after_op;
+
+  std::vector<std::byte> read_file(const std::filesystem::path& path) override;
+  bool exists(const std::filesystem::path& path) override;
+  void create_directories(const std::filesystem::path& path) override;
+  bool remove(const std::filesystem::path& path) override;
+  std::vector<std::filesystem::path> list_dir(const std::filesystem::path& dir) override;
+  WriteFile open_write(const std::filesystem::path& tmp) override;
+  void write(WriteFile& f, std::span<const std::byte> data) override;
+  void fsync_file(WriteFile& f) override;
+  void close_file(WriteFile& f) noexcept override;
+  void rename(const std::filesystem::path& from, const std::filesystem::path& to) override;
+  void sync_dir(const std::filesystem::path& dir) override;
+
+ private:
+  struct Action {
+    std::uint64_t index = 0;
+    bool crash = false;
+    const FaultRule* rule = nullptr;
+  };
+  /// Count the op, decide whether a crash or rule fires.  Throws
+  /// SimulatedCrash when the instance already crashed.
+  Action next_op(VfsOp op, const std::filesystem::path& path);
+  void notify(const Action& a, VfsOp op, const std::filesystem::path& path);
+  /// Apply the lost-page-cache tear to every unsynced file, mark the
+  /// instance dead, and throw SimulatedCrash.
+  [[noreturn]] void crash(const Action& a, VfsOp op, const std::filesystem::path& path);
+  /// Seed-derived value in [0, bound] for this (op index, path).
+  std::uint64_t draw(std::uint64_t op_index, const std::filesystem::path& path,
+                     std::uint64_t bound) const;
+
+  RealVfs real_;
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::uint64_t ops_ = 0;
+  bool crashed_ = false;
+  std::vector<std::uint64_t> rule_hits_;
+  /// Files whose bytes reached the OS but not stable storage: any of them
+  /// may be torn at the crash point.  Keyed by lexically-normal path string
+  /// (std::map: deterministic tear order).
+  std::map<std::string, bool> unsynced_;
+  /// Stash for crash-mode dirsync revert: the rename immediately preceding
+  /// a kDirSync crash may be rolled back to its pre-rename state.
+  struct RenameUndo {
+    bool valid = false;
+    std::filesystem::path from, to;
+    bool had_old = false;
+    std::vector<std::byte> old_bytes;
+  } last_rename_;
+};
+
+}  // namespace mlio::util

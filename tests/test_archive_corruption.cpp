@@ -183,5 +183,70 @@ TEST_F(ArchiveCorruption, MissingIndexFailsVerify) {
   EXPECT_FALSE(ar.verify(false).ok());
 }
 
+TEST_F(ArchiveCorruption, RandomMutationPropertySweep) {
+  // Property: for ANY single-file mutation (bit flip, truncation, garbage
+  // extension) of any archive file, open + verify + query either throws a
+  // typed util::Error or answers with exactly the clean bytes (a valid
+  // snapshot or a rescan legitimately masks damage elsewhere) — never a
+  // crash, never a silently different analysis.  Each iteration derives
+  // its Rng from (kBaseSeed, iter); a failure prints the pair to replay
+  // it in isolation.
+  constexpr std::uint64_t kBaseSeed = 20260806;
+  constexpr int kIters = 150;
+
+  std::vector<fs::path> files = {dir_ / "manifest.bin"};
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (const char* ext : {"seg", "idx", "snap"}) files.push_back(part_file(i, ext));
+  }
+  std::vector<std::vector<std::byte>> pristine;
+  pristine.reserve(files.size());
+  for (const fs::path& f : files) pristine.push_back(util::read_file_bytes(f));
+
+  for (int iter = 0; iter < kIters; ++iter) {
+    SCOPED_TRACE("replay with Rng::stream(" + std::to_string(kBaseSeed) + ", " +
+                 std::to_string(iter) + ")");
+    util::Rng rng = util::Rng::stream(kBaseSeed, static_cast<std::uint64_t>(iter));
+
+    const auto target = static_cast<std::size_t>(rng.uniform_u64(0, files.size() - 1));
+    std::vector<std::byte> bytes = pristine[target];
+    switch (rng.uniform_u64(0, 2)) {
+      case 0: {  // flip one random byte
+        const auto pos = static_cast<std::size_t>(rng.uniform_u64(0, bytes.size() - 1));
+        bytes[pos] ^= static_cast<std::byte>(rng.uniform_u64(1, 255));
+        break;
+      }
+      case 1: {  // truncate to a random prefix (possibly empty)
+        bytes.resize(static_cast<std::size_t>(rng.uniform_u64(0, bytes.size() - 1)));
+        break;
+      }
+      default: {  // append random garbage
+        const std::uint64_t extra = rng.uniform_u64(1, 64);
+        for (std::uint64_t i = 0; i < extra; ++i) {
+          bytes.push_back(static_cast<std::byte>(rng.uniform_u64(0, 255)));
+        }
+        break;
+      }
+    }
+    util::write_file_atomic(files[target], bytes);
+
+    try {
+      Archive ar = Archive::open(dir_);
+      ar.verify(true);  // must not crash; issues are fine
+      QueryOptions opts;
+      opts.write_snapshots = false;  // the probe must not heal the archive
+      const QueryResult q = query_archive(ar, opts);
+      EXPECT_EQ(core::write_snapshot_bytes(q.analysis, 0), clean_state_)
+          << "mutated " << files[target] << " changed the answer without an error";
+    } catch (const util::Error&) {
+      // FormatError / IoError are the contract for unmaskable damage.
+    }
+
+    util::write_file_atomic(files[target], pristine[target]);
+  }
+
+  // The restore discipline held: the archive ends the sweep pristine.
+  EXPECT_TRUE(Archive::open(dir_).verify(true).ok());
+}
+
 }  // namespace
 }  // namespace mlio::archive

@@ -1,0 +1,285 @@
+// The VFS seam itself: the durable atomic-publish step order, fault-rule
+// scheduling (kind/glob/nth), spec parsing, and the crash-point model —
+// every injected outcome must be bit-deterministic given the plan seed.
+#include "util/vfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "util/byte_io.hpp"
+#include "util/error.hpp"
+
+namespace mlio::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+class VfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "mlio_vfs" /
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+std::vector<std::byte> blob(std::size_t n, std::uint8_t tag) {
+  std::vector<std::byte> b(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = static_cast<std::byte>(tag + i % 200);
+  return b;
+}
+
+TEST(Glob, Basics) {
+  EXPECT_TRUE(glob_match("*", "anything.bin"));
+  EXPECT_TRUE(glob_match("*.seg", "p000001.seg"));
+  EXPECT_FALSE(glob_match("*.seg", "p000001.idx"));
+  EXPECT_TRUE(glob_match("p??????.snap", "p000042.snap"));
+  EXPECT_FALSE(glob_match("p??????.snap", "p42.snap"));
+  EXPECT_TRUE(glob_match("manifest.bin", "manifest.bin"));
+  EXPECT_FALSE(glob_match("manifest.bin", "manifest.bin.tmp"));
+  EXPECT_TRUE(glob_match("manifest.bin*", "manifest.bin.tmp"));
+  EXPECT_TRUE(glob_match("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(glob_match("a*b*c", "aXXcYYb"));
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+}
+
+TEST(FaultPlan, ParsesFullSpec) {
+  const FaultPlan p = FaultPlan::parse(
+      "seed=9; crash-at=42; short-write@2:*.seg; fail-rename:manifest.bin; bit-flip@0:*.snap");
+  EXPECT_EQ(p.seed, 9u);
+  EXPECT_EQ(p.crash_at, 42);
+  ASSERT_EQ(p.rules.size(), 3u);
+  EXPECT_EQ(p.rules[0].kind, FaultKind::kShortWrite);
+  EXPECT_EQ(p.rules[0].nth, 2u);
+  EXPECT_EQ(p.rules[0].glob, "*.seg");
+  EXPECT_EQ(p.rules[1].kind, FaultKind::kFailOp);
+  ASSERT_TRUE(p.rules[1].op.has_value());
+  EXPECT_EQ(*p.rules[1].op, VfsOp::kRename);
+  EXPECT_EQ(p.rules[1].nth, 1u);  // default: first match
+  EXPECT_EQ(p.rules[2].kind, FaultKind::kBitFlip);
+  EXPECT_EQ(p.rules[2].nth, 0u);  // every match
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("seed=abc"), ConfigError);
+  EXPECT_THROW(FaultPlan::parse("crash-at="), ConfigError);
+  EXPECT_THROW(FaultPlan::parse("explode-disk"), ConfigError);
+  EXPECT_THROW(FaultPlan::parse("fail-frobnicate:*.seg"), ConfigError);
+  EXPECT_THROW(FaultPlan::parse("short-write@x"), ConfigError);
+  EXPECT_THROW(FaultPlan::parse("bit-flip:"), ConfigError);
+}
+
+TEST_F(VfsTest, AtomicWriteStepOrderAndDurability) {
+  FaultVfs vfs;
+  std::vector<VfsOp> steps;
+  vfs.after_op = [&](std::uint64_t, VfsOp op, const fs::path&) { steps.push_back(op); };
+
+  const fs::path target = dir_ / "x.bin";
+  const auto payload = blob(300, 1);
+  vfs.write_file_atomic(target, payload);
+
+  // The exact durability order the manifest protocol needs: tmp is synced
+  // before the publish rename, the directory after it.
+  const std::vector<VfsOp> want = {VfsOp::kOpen, VfsOp::kWrite, VfsOp::kFsync, VfsOp::kRename,
+                                   VfsOp::kDirSync};
+  EXPECT_EQ(steps, want);
+  EXPECT_EQ(vfs.op_count(), want.size());
+  EXPECT_EQ(read_file_bytes(target), payload);
+  EXPECT_FALSE(fs::exists(dir_ / "x.bin.tmp"));
+}
+
+TEST_F(VfsTest, ShortWriteFailsCleansTmpKeepsTarget) {
+  const fs::path target = dir_ / "x.bin";
+  const auto old_bytes = blob(100, 7);
+  write_file_atomic(target, old_bytes);
+
+  FaultVfs vfs(FaultPlan::parse("short-write@1:x.bin.tmp"));
+  EXPECT_THROW(vfs.write_file_atomic(target, blob(500, 9)), IoError);
+  EXPECT_EQ(read_file_bytes(target), old_bytes) << "failed write must not touch the target";
+  EXPECT_FALSE(fs::exists(dir_ / "x.bin.tmp")) << "tmp must be cleaned up on failure";
+}
+
+TEST_F(VfsTest, FailedRenameCleansTmpKeepsTarget) {
+  const fs::path target = dir_ / "x.bin";
+  const auto old_bytes = blob(100, 7);
+  write_file_atomic(target, old_bytes);
+
+  FaultVfs vfs(FaultPlan::parse("fail-rename@1:x.bin"));
+  EXPECT_THROW(vfs.write_file_atomic(target, blob(500, 9)), IoError);
+  EXPECT_EQ(read_file_bytes(target), old_bytes);
+  EXPECT_FALSE(fs::exists(dir_ / "x.bin.tmp"));
+}
+
+TEST_F(VfsTest, LostRenameReportsSuccessKeepsOldTarget) {
+  const fs::path target = dir_ / "x.bin";
+  const auto old_bytes = blob(100, 7);
+  write_file_atomic(target, old_bytes);
+
+  // The rename claims success but never happened: the caller cannot tell,
+  // which is exactly why commits are validated by reopening, not by trust.
+  FaultVfs vfs(FaultPlan::parse("lost-rename@1:x.bin"));
+  vfs.write_file_atomic(target, blob(500, 9));
+  EXPECT_EQ(read_file_bytes(target), old_bytes);
+}
+
+TEST_F(VfsTest, TornWritePublishesAPrefix) {
+  const fs::path target = dir_ / "x.bin";
+  const auto payload = blob(400, 3);
+
+  FaultVfs vfs(FaultPlan::parse("seed=5;torn-write@1:x.bin.tmp"));
+  vfs.write_file_atomic(target, payload);  // reported as success
+
+  const std::vector<std::byte> got = read_file_bytes(target);
+  ASSERT_LT(got.size(), payload.size()) << "torn write must be strictly partial";
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), payload.begin()));
+}
+
+TEST_F(VfsTest, ReadFaultsAreDeterministic) {
+  const fs::path target = dir_ / "x.bin";
+  const auto payload = blob(256, 11);
+  write_file_atomic(target, payload);
+
+  auto corrupt_once = [&](const char* spec) {
+    FaultVfs vfs(FaultPlan::parse(spec));
+    return vfs.read_file(target);
+  };
+  const auto flip_a = corrupt_once("seed=3;bit-flip@1:x.bin");
+  const auto flip_b = corrupt_once("seed=3;bit-flip@1:x.bin");
+  EXPECT_EQ(flip_a, flip_b) << "same seed must corrupt the same bit";
+  EXPECT_NE(flip_a, payload);
+  EXPECT_EQ(flip_a.size(), payload.size());
+
+  const auto trunc_a = corrupt_once("seed=3;read-truncate@1:x.bin");
+  const auto trunc_b = corrupt_once("seed=3;read-truncate@1:x.bin");
+  EXPECT_EQ(trunc_a, trunc_b);
+  EXPECT_LT(trunc_a.size(), payload.size());
+
+  const auto other_seed = corrupt_once("seed=4;bit-flip@1:x.bin");
+  EXPECT_NE(other_seed, flip_a) << "different seed should pick a different bit";
+}
+
+TEST_F(VfsTest, NthAndGlobSelectExactlyTheTargetOp) {
+  const fs::path a = dir_ / "p000001.idx";
+  const fs::path b = dir_ / "p000001.seg";
+  write_file_atomic(a, blob(10, 1));
+  write_file_atomic(b, blob(10, 2));
+
+  FaultVfs vfs(FaultPlan::parse("fail-read@2:*.idx"));
+  EXPECT_NO_THROW(vfs.read_file(a));   // 1st matching op passes
+  EXPECT_NO_THROW(vfs.read_file(b));   // non-matching file never counts
+  EXPECT_THROW(vfs.read_file(a), IoError);  // 2nd matching op fires
+  EXPECT_NO_THROW(vfs.read_file(a));   // nth=2 fires exactly once
+}
+
+TEST_F(VfsTest, CrashDuringAtomicWriteLeavesOldOrNewNeverTorn) {
+  const auto old_bytes = blob(120, 7);
+  const auto new_bytes = blob(340, 9);
+
+  bool saw_old = false, saw_new = false;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    for (std::int64_t at = 0; at < 5; ++at) {
+      std::string leaf = "s";
+      leaf += std::to_string(seed);
+      leaf += "_a";
+      leaf += std::to_string(at);
+      const fs::path d = dir_ / leaf;
+      fs::create_directories(d);
+      const fs::path target = d / "x.bin";
+      write_file_atomic(target, old_bytes);
+
+      FaultPlan plan;
+      plan.seed = seed;
+      plan.crash_at = at;
+      FaultVfs vfs(plan);
+      EXPECT_THROW(vfs.write_file_atomic(target, new_bytes), SimulatedCrash);
+
+      // The fixed protocol's guarantee: fsync-before-rename means the
+      // target is always exactly the old or exactly the new bytes.
+      const std::vector<std::byte> got = read_file_bytes(target);
+      EXPECT_TRUE(got == old_bytes || got == new_bytes)
+          << "torn target at seed=" << seed << " crash-at=" << at << " size=" << got.size();
+      saw_old = saw_old || got == old_bytes;
+      saw_new = saw_new || got == new_bytes;
+    }
+  }
+  // Both outcomes must be reachable or the sweep would prove nothing.
+  EXPECT_TRUE(saw_old);
+  EXPECT_TRUE(saw_new);
+}
+
+TEST_F(VfsTest, FaultVfsIsDeadAfterCrash) {
+  const fs::path target = dir_ / "x.bin";
+  FaultPlan plan;
+  plan.crash_at = 1;  // the write step
+  FaultVfs vfs(plan);
+  EXPECT_THROW(vfs.write_file_atomic(target, blob(64, 1)), SimulatedCrash);
+  EXPECT_TRUE(vfs.crashed());
+  EXPECT_THROW(vfs.read_file(target), SimulatedCrash);
+  EXPECT_THROW(vfs.exists(target), SimulatedCrash);
+}
+
+TEST_F(VfsTest, DroppedFsyncCrashCanTearThePublishedFile) {
+  // The hazard the durable protocol exists to prevent: if the fsync before
+  // the rename is dropped, a crash after the publish can tear the *target*.
+  const auto old_bytes = blob(60, 7);
+  const auto new_bytes = blob(500, 9);
+
+  bool saw_torn = false;
+  std::uint64_t torn_seed = 0;
+  std::vector<std::byte> torn_bytes;
+  for (std::uint64_t seed = 1; seed <= 40 && !saw_torn; ++seed) {
+    const fs::path d = dir_ / ("seed" + std::to_string(seed));
+    fs::create_directories(d);
+    const fs::path target = d / "x.bin";
+    write_file_atomic(target, old_bytes);
+
+    FaultPlan plan = FaultPlan::parse("drop-fsync@0:*");
+    plan.seed = seed;
+    plan.crash_at = 4;  // the dirsync after the publish rename
+    FaultVfs vfs(plan);
+    EXPECT_THROW(vfs.write_file_atomic(target, new_bytes), SimulatedCrash);
+
+    const std::vector<std::byte> got = read_file_bytes(target);
+    if (got != old_bytes && got != new_bytes) {
+      saw_torn = true;
+      torn_seed = seed;
+      torn_bytes = got;
+      EXPECT_LT(got.size(), new_bytes.size());
+    }
+  }
+  ASSERT_TRUE(saw_torn) << "no seed in 1..40 tore the target; the risk model lost its teeth";
+
+  // And the tear replays bit-identically.
+  const fs::path d = dir_ / "replay";
+  fs::create_directories(d);
+  const fs::path target = d / "x.bin";
+  write_file_atomic(target, old_bytes);
+  FaultPlan plan = FaultPlan::parse("drop-fsync@0:*");
+  plan.seed = torn_seed;
+  plan.crash_at = 4;
+  FaultVfs vfs(plan);
+  EXPECT_THROW(vfs.write_file_atomic(target, new_bytes), SimulatedCrash);
+  EXPECT_EQ(read_file_bytes(target), torn_bytes);
+}
+
+TEST_F(VfsTest, ListDirReturnsSortedRegularFiles) {
+  write_file_atomic(dir_ / "b.log", blob(4, 1));
+  write_file_atomic(dir_ / "a.log", blob(4, 2));
+  fs::create_directories(dir_ / "subdir");
+
+  RealVfs& vfs = real_vfs();
+  const std::vector<fs::path> got = vfs.list_dir(dir_);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].filename(), "a.log");
+  EXPECT_EQ(got[1].filename(), "b.log");
+}
+
+}  // namespace
+}  // namespace mlio::util
