@@ -16,17 +16,20 @@
 // divergence fails the run — the same contract bench_executor enforces with
 // frame digests).  Frames are uncompressed so zlib does not mask the paths
 // under test.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <random>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "archive/scan.hpp"
 #include "core/analysis.hpp"
 #include "darshan/log_format.hpp"
 #include "iosim/executor.hpp"
@@ -66,6 +69,10 @@ struct BenchArgs {
   double logs_scale = 0.25;
   double files_scale = 0.25;
   unsigned reps = 5;
+  /// MLP sweep pool size in MiB (0 skips the sweep).  Must exceed the LLC
+  /// by a wide margin or the "cold scattered segment" it emulates is
+  /// actually cache-resident and the latency axis disappears.
+  std::uint64_t mlp_mb = 192;
   std::string out = "BENCH_analysis.json";
 };
 
@@ -84,10 +91,11 @@ BenchArgs parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--logs-scale")) a.logs_scale = std::strtod(next("--logs-scale"), nullptr);
     else if (!std::strcmp(argv[i], "--files-scale")) a.files_scale = std::strtod(next("--files-scale"), nullptr);
     else if (!std::strcmp(argv[i], "--reps")) a.reps = static_cast<unsigned>(std::strtoul(next("--reps"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--mlp-mb")) a.mlp_mb = std::strtoull(next("--mlp-mb"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--out")) a.out = next("--out");
     else if (!std::strcmp(argv[i], "--help")) {
       std::printf("usage: %s [--jobs N] [--seed S] [--logs-scale X] [--files-scale X]\n"
-                  "          [--reps R] [--out FILE]\n", argv[0]);
+                  "          [--reps R] [--mlp-mb M] [--out FILE]\n", argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
@@ -241,6 +249,127 @@ SystemResult run_system(const wl::SystemProfile& profile, const BenchArgs& a) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// MLP-depth sweep: drive archive::scan_frames over a large, shuffled pool of
+// metadata-heavy frames at increasing pipeline depths.  Tiny frames scattered
+// across a pool far beyond the LLC make the scan latency-bound — one
+// dependent first-touch miss per frame with little compute to hide it — which
+// is exactly the regime where keeping K frames in flight converts the scan
+// from latency-limited to bandwidth-limited.  The record-heavy frame sets
+// above never show this (their per-frame compute dwarfs a DRAM round trip),
+// so the sweep owns its own population.
+
+struct MlpPoint {
+  unsigned depth = 1;
+  double scan_s = 0;       ///< best-rep wall time for one full pool scan
+  double mb_s = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+struct MlpSweepResult {
+  std::uint64_t segment_bytes = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t base_logs = 0;
+  double build_s = 0;
+  std::vector<MlpPoint> points;
+  bool fingerprints_identical = true;
+  unsigned knee_depth = 1;       ///< depth of the highest measured MB/s
+  bool monotone_to_knee = true;  ///< MB/s non-decreasing from K=1 to the knee
+};
+
+MlpSweepResult run_mlp_sweep(const BenchArgs& a) {
+  MlpSweepResult r;
+  const auto t0 = SteadyClock::now();
+
+  // Metadata-heavy population: a files-per-log scale near zero yields one-
+  // or two-file logs whose frames are a couple of KB — the small-frame end
+  // of the production spectrum (most Darshan logs are small; §2).
+  wl::GeneratorConfig cfg;
+  cfg.seed = a.seed;
+  cfg.n_jobs = a.jobs;
+  cfg.logs_per_job_scale = a.logs_scale;
+  cfg.files_per_log_scale = 0.01;
+  const wl::WorkloadGenerator gen(wl::SystemProfile::cori_2019(), cfg);
+  const sim::JobExecutor executor(wl::machine_for(wl::SystemProfile::cori_2019()));
+  const darshan::WriteOptions wopts{false, 0};
+
+  std::vector<std::byte> base;
+  std::vector<archive::IndexEntry> base_entries;
+  {
+    darshan::LogData log;
+    darshan::LogIoBuffers io;
+    gen.generate_bulk_range(0, a.jobs, [&](const sim::JobSpec& spec) {
+      executor.execute_into(spec, log);
+      const auto frame = darshan::write_log_bytes_into(log, io, wopts);
+      archive::IndexEntry e;
+      e.offset = base.size();
+      e.size = frame.size();
+      e.job_id = log.job.job_id;
+      base.insert(base.end(), frame.begin(), frame.end());
+      base_entries.push_back(e);
+    });
+  }
+  r.base_logs = base_entries.size();
+
+  // Replicate the serialized population until the pool overflows the LLC,
+  // then shuffle the scan order so consecutive frames share no locality —
+  // the access pattern of a cold shard rebuild over a fragmented segment.
+  std::vector<std::byte> segment;
+  std::vector<archive::IndexEntry> entries;
+  const std::uint64_t target = std::max<std::uint64_t>(a.mlp_mb, 16) << 20;
+  while (segment.size() < target) {
+    const std::uint64_t shift = segment.size();
+    segment.insert(segment.end(), base.begin(), base.end());
+    for (archive::IndexEntry e : base_entries) {
+      e.offset += shift;
+      entries.push_back(e);
+    }
+  }
+  std::mt19937_64 rng(a.seed * 0x9e3779b97f4a7c15ull + 1);
+  std::shuffle(entries.begin(), entries.end(), rng);
+  r.segment_bytes = segment.size();
+  r.frames = entries.size();
+  r.build_s = std::chrono::duration<double>(SteadyClock::now() - t0).count();
+
+  for (const unsigned depth : {1u, 2u, 4u, 8u, 16u}) {
+    archive::ScanScratch scratch;
+    archive::ScanOptions opts;
+    opts.mlp_depth = depth;
+    MlpPoint pt;
+    pt.depth = depth;
+    pt.scan_s = -1;
+    const unsigned reps = std::max(1u, std::min(a.reps, 3u));
+    for (unsigned rep = 0; rep <= reps; ++rep) {  // rep 0 warms the scratch
+      core::Analysis analysis;
+      core::AnalyzeScratch analyze;
+      const auto s0 = SteadyClock::now();
+      archive::scan_frames(segment, entries, 0,
+                           [&](const darshan::LogData& log) { analysis.add(log, analyze); },
+                           scratch, opts, "mlp sweep");
+      const double scan = std::chrono::duration<double>(SteadyClock::now() - s0).count();
+      if (rep == 0) continue;
+      pt.fingerprint = analysis.fingerprint();
+      if (pt.scan_s < 0 || scan < pt.scan_s) pt.scan_s = scan;
+    }
+    pt.mb_s = static_cast<double>(r.segment_bytes) / pt.scan_s / 1e6;
+    r.points.push_back(pt);
+    std::fprintf(stderr, "[mlp] depth %2u: %.4f s  %.0f MB/s\n", depth, pt.scan_s, pt.mb_s);
+  }
+
+  std::size_t knee = 0;
+  for (std::size_t i = 1; i < r.points.size(); ++i) {
+    r.fingerprints_identical =
+        r.fingerprints_identical && r.points[i].fingerprint == r.points[0].fingerprint;
+    if (r.points[i].mb_s > r.points[knee].mb_s) knee = i;
+  }
+  r.knee_depth = r.points[knee].depth;
+  for (std::size_t i = 1; i <= knee; ++i) {
+    // Non-decreasing up to the knee, with 1% slack for run-to-run noise.
+    if (r.points[i].mb_s < r.points[i - 1].mb_s * 0.99) r.monotone_to_knee = false;
+  }
+  return r;
+}
+
 void print_mode(const ModeResult& m) {
   const double logs = m.logs > 0 ? static_cast<double>(m.logs) : 1;
   std::printf("%-9s %10.1f %12.1f %9.0f %9.0f %9.0f %10.1f\n", m.mode.c_str(), m.logs_per_s(),
@@ -267,8 +396,34 @@ void write_mode_json(std::FILE* f, const ModeResult& m, bool last) {
       last ? "" : ",");
 }
 
-void write_json(const BenchArgs& a, const std::vector<SystemResult>& systems, double min_speedup,
-                bool all_identical) {
+void write_mlp_json(std::FILE* f, const MlpSweepResult& m) {
+  std::fprintf(f,
+               "  \"mlp_sweep\": {\n"
+               "    \"config\": {\"system\": \"Cori\", \"segment_bytes\": %llu, "
+               "\"frames\": %llu, \"base_logs\": %llu, \"shuffled\": true, "
+               "\"compressed_frames\": false, \"build_s\": %.3f},\n",
+               static_cast<unsigned long long>(m.segment_bytes),
+               static_cast<unsigned long long>(m.frames),
+               static_cast<unsigned long long>(m.base_logs), m.build_s);
+  std::fprintf(f, "    \"points\": [\n");
+  for (std::size_t i = 0; i < m.points.size(); ++i) {
+    const MlpPoint& p = m.points[i];
+    std::fprintf(f,
+                 "      {\"mlp_depth\": %u, \"scan_s\": %.4f, \"mb_per_s\": %.1f, "
+                 "\"fingerprint\": %llu}%s\n",
+                 p.depth, p.scan_s, p.mb_s, static_cast<unsigned long long>(p.fingerprint),
+                 i + 1 < m.points.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"knee_depth\": %u,\n", m.knee_depth);
+  std::fprintf(f, "    \"monotone_to_knee\": %s,\n", m.monotone_to_knee ? "true" : "false");
+  std::fprintf(f, "    \"fingerprints_identical\": %s\n",
+               m.fingerprints_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+}
+
+void write_json(const BenchArgs& a, const std::vector<SystemResult>& systems,
+                const MlpSweepResult* mlp, double min_speedup, bool all_identical) {
   std::FILE* f = std::fopen(a.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", a.out.c_str());
@@ -297,6 +452,7 @@ void write_json(const BenchArgs& a, const std::vector<SystemResult>& systems, do
                  i + 1 < systems.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  if (mlp != nullptr) write_mlp_json(f, *mlp);
   std::fprintf(f, "  \"min_speedup\": %.3f,\n", min_speedup);
   std::fprintf(f, "  \"speedup_target\": 1.5,\n");
   std::fprintf(f, "  \"speedup_target_met\": %s,\n", min_speedup >= 1.5 ? "true" : "false");
@@ -328,7 +484,24 @@ int main(int argc, char** argv) {
     all_identical = all_identical && s.fingerprints_identical;
   }
 
-  write_json(args, systems, min_speedup, all_identical);
+  MlpSweepResult mlp;
+  const bool run_sweep = args.mlp_mb > 0;
+  if (run_sweep) {
+    mlp = run_mlp_sweep(args);
+    std::printf("\n[mlp sweep] %.0f MB pool, %llu frames (shuffled)\n",
+                static_cast<double>(mlp.segment_bytes) / 1e6,
+                static_cast<unsigned long long>(mlp.frames));
+    std::printf("%-9s %10s %10s\n", "depth", "scan_s", "MB/s");
+    for (const MlpPoint& p : mlp.points) {
+      std::printf("%-9u %10.4f %10.0f\n", p.depth, p.scan_s, p.mb_s);
+    }
+    std::printf("knee at depth %u, monotone to knee: %s, fingerprints identical: %s\n",
+                mlp.knee_depth, mlp.monotone_to_knee ? "yes" : "NO",
+                mlp.fingerprints_identical ? "yes" : "NO — RESULTS DIVERGED");
+    all_identical = all_identical && mlp.fingerprints_identical;
+  }
+
+  write_json(args, systems, run_sweep ? &mlp : nullptr, min_speedup, all_identical);
   std::printf("wrote %s (min speedup %.2fx, target 1.5x)\n", args.out.c_str(), min_speedup);
   return all_identical ? 0 : 1;
 }

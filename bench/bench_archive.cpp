@@ -40,6 +40,7 @@ struct Args {
   double files_scale = 0.25;
   unsigned threads = 0;
   unsigned reps = 3;
+  unsigned mlp_depth = archive::kDefaultMlpDepth;
   bool compress = true;
   std::string dir;
   std::string out = "BENCH_archive.json";
@@ -62,13 +63,14 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--files-scale")) a.files_scale = std::strtod(next("--files-scale"), nullptr);
     else if (!std::strcmp(argv[i], "--threads")) a.threads = static_cast<unsigned>(std::strtoul(next("--threads"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--reps")) a.reps = static_cast<unsigned>(std::strtoul(next("--reps"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--mlp-depth")) a.mlp_depth = static_cast<unsigned>(std::strtoul(next("--mlp-depth"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--no-compress")) a.compress = false;
     else if (!std::strcmp(argv[i], "--dir")) a.dir = next("--dir");
     else if (!std::strcmp(argv[i], "--out")) a.out = next("--out");
     else if (!std::strcmp(argv[i], "--help")) {
       std::printf("usage: %s [--jobs N] [--seed S] [--batches B] [--logs-scale X]\n"
-                  "          [--files-scale X] [--threads T] [--reps R] [--no-compress]\n"
-                  "          [--dir DIR] [--out FILE]\n", argv[0]);
+                  "          [--files-scale X] [--threads T] [--reps R] [--mlp-depth K]\n"
+                  "          [--no-compress] [--dir DIR] [--out FILE]\n", argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
@@ -110,6 +112,10 @@ int main(int argc, char** argv) {
                        : std::filesystem::path(args.dir);
 
   std::vector<Rep> reps;
+  // One QueryScratch across every query of every rep: the cold and warm
+  // passes (and later reps) reuse the workers' decode and summarize
+  // buffers instead of reallocating them per query.
+  archive::QueryScratch query_scratch;
   for (unsigned rep = 0; rep < args.reps; ++rep) {
     const std::filesystem::path dir = base / ("rep" + std::to_string(rep));
     std::filesystem::remove_all(dir);
@@ -124,10 +130,11 @@ int main(int argc, char** argv) {
 
     archive::QueryOptions qopts;
     qopts.threads = args.threads;
-    const archive::QueryResult cold = query_archive(ar, qopts);
+    qopts.mlp_depth = args.mlp_depth;
+    const archive::QueryResult cold = query_archive(ar, qopts, query_scratch);
     r.cold = cold.stats;
     r.cold_fp = cold.analysis.fingerprint();
-    const archive::QueryResult warm = query_archive(ar, qopts);
+    const archive::QueryResult warm = query_archive(ar, qopts, query_scratch);
     r.warm = warm.stats;
     r.warm_fp = warm.analysis.fingerprint();
 
@@ -167,12 +174,12 @@ int main(int argc, char** argv) {
                "  \"config\": {\"system\": \"Cori\", \"jobs\": %llu, \"seed\": %llu, "
                "\"batches\": %llu, \"logs_scale\": %g, \"files_scale\": %g, "
                "\"compress\": %s, \"include_huge\": true, \"host_cpus\": %u, "
-               "\"threads\": %u, \"oversubscribed\": %s},\n",
+               "\"threads\": %u, \"oversubscribed\": %s, \"mlp_depth\": %u},\n",
                static_cast<unsigned long long>(args.jobs),
                static_cast<unsigned long long>(args.seed),
                static_cast<unsigned long long>(args.batches), args.logs_scale, args.files_scale,
                args.compress ? "true" : "false", host_cpus, eff_threads,
-               eff_threads > host_cpus ? "true" : "false");
+               eff_threads > host_cpus ? "true" : "false", args.mlp_depth);
   std::fprintf(f, "  \"reps\": [\n");
   for (std::size_t i = 0; i < reps.size(); ++i) {
     const Rep& r = reps[i];
@@ -180,6 +187,7 @@ int main(int argc, char** argv) {
         f,
         "    {\"ingest_s\": %.4f, \"ingest_logs_per_s\": %.2f, \"partitions\": %llu,\n"
         "     \"segment_bytes\": %llu, \"cold_query_s\": %.4f, \"cold_scan_s\": %.4f,\n"
+        "     \"cold_scan_mb_s\": %.2f,\n"
         "     \"cold_phase_s\": {\"parse\": %.4f, \"summarize\": %.4f, \"accumulate\": %.4f},\n"
         "     \"cold_merge_s\": %.4f, \"warm_query_s\": %.4f, \"warm_snapshot_hits\": %llu,\n"
         "     \"logs\": %llu}%s\n",
@@ -187,7 +195,10 @@ int main(int argc, char** argv) {
         r.ingest.seconds > 0 ? static_cast<double>(r.ingest.logs) / r.ingest.seconds : 0.0,
         static_cast<unsigned long long>(r.ingest.partitions),
         static_cast<unsigned long long>(r.ingest.bytes), r.cold.total_seconds,
-        r.cold.scan_seconds, r.cold.parse_seconds, r.cold.summarize_seconds,
+        r.cold.scan_seconds,
+        r.cold.scan_seconds > 0 ? static_cast<double>(r.ingest.bytes) / r.cold.scan_seconds / 1e6
+                                : 0.0,
+        r.cold.parse_seconds, r.cold.summarize_seconds,
         r.cold.accumulate_seconds, r.cold.merge_seconds, r.warm.total_seconds,
         static_cast<unsigned long long>(r.warm.snapshot_hits),
         static_cast<unsigned long long>(r.ingest.logs), i + 1 < reps.size() ? "," : "");

@@ -150,25 +150,20 @@ void Archive::scan_partition(const PartitionInfo& p,
 void Archive::scan_partition(const PartitionInfo& p,
                              const std::function<void(const darshan::LogData&)>& fn,
                              ScanScratch& scratch) const {
+  scan_partition(p, fn, scratch, ScanOptions{});
+}
+
+void Archive::scan_partition(const PartitionInfo& p,
+                             const std::function<void(const darshan::LogData&)>& fn,
+                             ScanScratch& scratch, const ScanOptions& opts) const {
   const std::vector<std::byte> bytes = checked_segment(*vfs_, segment_path(p.id), p);
   const std::vector<IndexEntry> entries =
       read_index_bytes(vfs_->read_file(index_path(p.id)), p.id);
   if (entries.size() != p.log_count) {
     throw util::FormatError("index of partition " + std::to_string(p.id) + ": count mismatch");
   }
-  using clock = std::chrono::steady_clock;
-  for (const IndexEntry& e : entries) {
-    if (e.offset < kSegmentHeaderBytes || e.offset + e.size > bytes.size()) {
-      throw util::FormatError("index of partition " + std::to_string(p.id) +
-                              ": entry out of segment bounds");
-    }
-    const auto t0 = clock::now();
-    darshan::read_log_bytes_into(
-        std::span<const std::byte>(bytes.data() + e.offset, static_cast<std::size_t>(e.size)),
-        scratch.io, scratch.log);
-    scratch.parse_seconds += std::chrono::duration<double>(clock::now() - t0).count();
-    fn(scratch.log);
-  }
+  scan_frames(bytes, entries, kSegmentHeaderBytes, fn, scratch, opts,
+              "partition " + std::to_string(p.id));
 }
 
 std::optional<core::Analysis> Archive::load_snapshot(const PartitionInfo& p) const {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "archive/manifest.hpp"
+#include "archive/scan.hpp"
 #include "core/snapshot.hpp"
 #include "darshan/log_format.hpp"
 #include "util/vfs.hpp"
@@ -78,24 +79,23 @@ class Archive {
   };
   PartitionWriter begin_partition();
 
-  /// Reusable decode state for scan_partition: the LogData and codec buffers
-  /// persist across frames (and across partitions when the caller keeps the
-  /// scratch), so a cold shard rebuild parses with no per-log allocation.
-  /// `parse_seconds` accumulates wall-clock spent inside the frame decoder.
-  struct ScanScratch {
-    darshan::LogData log;
-    darshan::LogIoBuffers io;
-    double parse_seconds = 0;
-  };
+  /// Reusable decode state for scan_partition (scan.hpp); kept as a nested
+  /// alias because the query engine and tests name it through the Archive.
+  using ScanScratch = archive::ScanScratch;
 
   /// Replay a partition's logs in ingest order.  Verifies the segment file's
   /// CRC and the index before the first callback; throws FormatError on any
   /// corruption (a truncated or bit-flipped segment never yields logs).
   void scan_partition(const PartitionInfo& p,
                       const std::function<void(const darshan::LogData&)>& fn) const;
-  /// Scratch-reused variant; the callback sees scratch.log.
+  /// Scratch-reused variant; the callback sees a log owned by the scratch.
   void scan_partition(const PartitionInfo& p, const std::function<void(const darshan::LogData&)>& fn,
                       ScanScratch& scratch) const;
+  /// Full-control variant: `opts.mlp_depth` logs in flight per worker
+  /// (scan.hpp), `opts.read_options` threaded to the frame decoder.  Any
+  /// depth yields bit-identical callbacks in ingest order.
+  void scan_partition(const PartitionInfo& p, const std::function<void(const darshan::LogData&)>& fn,
+                      ScanScratch& scratch, const ScanOptions& opts) const;
 
   /// Load the partition's cached analysis shard, or nullopt when the
   /// snapshot is missing, corrupt (CRC/parse), or stale

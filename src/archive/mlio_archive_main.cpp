@@ -5,7 +5,8 @@
 //                        [--threads T] [--no-huge] [--snapshots]
 //                        [--no-compress] [--zlib-level L]
 //   mlio_archive ingest  --dir D --from SRCDIR        (every regular file)
-//   mlio_archive query   --dir D [--threads T] [--no-write-snapshots] [--csv]
+//   mlio_archive query   --dir D [--threads T] [--mlp-depth K]
+//                        [--no-write-snapshots] [--csv]
 //   mlio_archive verify  --dir D [--deep]
 //   mlio_archive compact --dir D [--max-logs N]
 //
@@ -55,6 +56,7 @@ struct Args {
   bool write_snapshots = true;
   bool compress = true;
   int zlib_level = 6;
+  unsigned mlp_depth = archive::kDefaultMlpDepth;
   bool deep = false;
   bool csv = false;
 };
@@ -66,7 +68,7 @@ struct Args {
       "           --logs-scale X --files-scale X --threads T --no-huge\n"
       "           --snapshots --no-compress --zlib-level L\n"
       "           (or --from SRCDIR to ingest existing log files)\n"
-      "  query:   --threads T --no-write-snapshots --csv\n"
+      "  query:   --threads T --mlp-depth K --no-write-snapshots --csv\n"
       "  verify:  --deep\n"
       "  compact: --max-logs N\n"
       "  all:     --fault-spec SPEC (deterministic fault injection; see util/vfs.hpp)\n");
@@ -97,6 +99,7 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--files-scale")) a.files_scale = std::strtod(next("--files-scale"), nullptr);
     else if (!std::strcmp(argv[i], "--threads")) a.threads = static_cast<unsigned>(std::strtoul(next("--threads"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--zlib-level")) a.zlib_level = static_cast<int>(std::strtol(next("--zlib-level"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--mlp-depth")) a.mlp_depth = static_cast<unsigned>(std::strtoul(next("--mlp-depth"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--no-huge")) a.huge = false;
     else if (!std::strcmp(argv[i], "--snapshots")) a.snapshots = true;
     else if (!std::strcmp(argv[i], "--no-write-snapshots")) a.write_snapshots = false;
@@ -165,6 +168,7 @@ int cmd_query(const Args& a, util::Vfs& vfs) {
   archive::QueryOptions opts;
   opts.threads = a.threads;
   opts.write_snapshots = a.write_snapshots;
+  opts.mlp_depth = a.mlp_depth;
   const archive::QueryResult q = query_archive(ar, opts);
   const core::Analysis& an = q.analysis;
 

@@ -18,6 +18,11 @@ double seconds_since(SteadyClock::time_point t0) {
 }  // namespace
 
 QueryResult query_archive(Archive& archive, const QueryOptions& opts) {
+  QueryScratch scratch;
+  return query_archive(archive, opts, scratch);
+}
+
+QueryResult query_archive(Archive& archive, const QueryOptions& opts, QueryScratch& scratch) {
   const auto t0 = SteadyClock::now();
   QueryResult result;
   QueryStats& stats = result.stats;
@@ -46,14 +51,21 @@ QueryResult query_archive(Archive& archive, const QueryOptions& opts) {
     std::exception_ptr first_error;
     std::mutex error_mu;
     util::ThreadPool pool(opts.threads);
-    // Per-worker decode/summarize scratch, indexed by the dense worker slot:
-    // a cold rebuild parses, summarizes, and accumulates with no per-log
-    // allocation once each worker's buffers are warm.
-    std::vector<Archive::ScanScratch> scan_scratch(pool.thread_count());
-    std::vector<core::AnalyzePhases> phases(pool.thread_count());
-    std::vector<core::AnalyzeScratch> analyze_scratch(pool.thread_count());
+    // Per-worker decode/summarize scratch, indexed by the dense worker slot.
+    // The buffers live in the caller's QueryScratch, so repeated queries —
+    // warm or cold — reuse warmed allocations; only the per-query timers
+    // reset here (stats cover this query alone).
+    if (scratch.scan.size() < pool.thread_count()) scratch.scan.resize(pool.thread_count());
+    if (scratch.phases.size() < pool.thread_count()) scratch.phases.resize(pool.thread_count());
+    if (scratch.analyze.size() < pool.thread_count()) scratch.analyze.resize(pool.thread_count());
+    ScanOptions scan_opts;
+    scan_opts.mlp_depth = opts.mlp_depth;
+    scan_opts.read_options.seed_compat_parse = opts.seed_compat;
     for (unsigned i = 0; i < pool.thread_count(); ++i) {
-      analyze_scratch[i].phases = &phases[i];
+      scratch.scan[i].parse_seconds = 0;
+      scratch.phases[i] = core::AnalyzePhases{};
+      scratch.analyze[i].phases = &scratch.phases[i];
+      scratch.analyze[i].seed_compat_summarize = opts.seed_compat;
     }
     pool.parallel_for_dynamic(
         0, rebuild.size(), 1,
@@ -66,10 +78,10 @@ QueryResult query_archive(Archive& archive, const QueryOptions& opts) {
               archive.scan_partition(
                   partitions[slot],
                   [&](const darshan::LogData& log) {
-                    shard.add(log, analyze_scratch[w]);
+                    shard.add(log, scratch.analyze[w]);
                     scanned[static_cast<std::size_t>(r)] += 1;
                   },
-                  scan_scratch[w]);
+                  scratch.scan[w], scan_opts);
               shards[slot] = std::move(shard);
             } catch (...) {
               const std::scoped_lock lock(error_mu);
@@ -80,10 +92,10 @@ QueryResult query_archive(Archive& archive, const QueryOptions& opts) {
     if (first_error) std::rethrow_exception(first_error);
     stats.partitions_scanned = rebuild.size();
     for (const std::uint64_t n : scanned) stats.logs_scanned += n;
-    for (const auto& s : scan_scratch) stats.parse_seconds += s.parse_seconds;
-    for (const auto& p : phases) {
-      stats.summarize_seconds += p.summarize_seconds;
-      stats.accumulate_seconds += p.accumulate_seconds;
+    for (unsigned i = 0; i < pool.thread_count(); ++i) {
+      stats.parse_seconds += scratch.scan[i].parse_seconds;
+      stats.summarize_seconds += scratch.phases[i].summarize_seconds;
+      stats.accumulate_seconds += scratch.phases[i].accumulate_seconds;
     }
   }
   stats.scan_seconds = seconds_since(t0);

@@ -26,6 +26,23 @@ struct QueryOptions {
   /// hits.
   bool write_snapshots = true;
   core::SnapshotWriteOptions snapshot_options;
+  /// Logs in flight per worker during cold rebuilds (scan.hpp); 1 runs the
+  /// seed's one-at-a-time scan.  Results are bit-identical at any depth.
+  unsigned mlp_depth = kDefaultMlpDepth;
+  /// Route rebuilds through the seed-compat decode/summarize baseline lane
+  /// (honest pre-overhaul measurement; results are identical).
+  bool seed_compat = false;
+};
+
+/// Reusable per-worker state for query_archive: decode slots, summarize
+/// scratch, and phase timers survive across queries, so a warm query — and
+/// every cold query after the first — allocates nothing per worker.  One
+/// instance per querying thread; the same instance serves any sequence of
+/// queries (vectors grow to the largest thread count seen).
+struct QueryScratch {
+  std::vector<Archive::ScanScratch> scan;
+  std::vector<core::AnalyzePhases> phases;
+  std::vector<core::AnalyzeScratch> analyze;
 };
 
 struct QueryStats {
@@ -51,5 +68,9 @@ struct QueryResult {
 };
 
 QueryResult query_archive(Archive& archive, const QueryOptions& opts = {});
+
+/// Scratch-reuse variant: per-worker buffers come from (and persist in)
+/// `scratch`.  Stats still cover only this query.
+QueryResult query_archive(Archive& archive, const QueryOptions& opts, QueryScratch& scratch);
 
 }  // namespace mlio::archive

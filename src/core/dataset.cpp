@@ -64,11 +64,18 @@ void accumulate_record(Partial& p, const FileRecord& rec) {
           0, rec.counters[pc::BYTES_WRITTEN]));
       p.posix_rt += rec.fcounters[pc::F_READ_TIME];
       p.posix_wt += rec.fcounters[pc::F_WRITE_TIME];
-      for (std::size_t b = 0; b < 10; ++b) {
-        p.req_read[b] += static_cast<std::uint64_t>(
-            std::max<std::int64_t>(0, rec.counters[pc::SIZE_READ_0_100 + b]));
-        p.req_write[b] += static_cast<std::uint64_t>(
-            std::max<std::int64_t>(0, rec.counters[pc::SIZE_WRITE_0_100 + b]));
+      {
+        // The 20 request-size bins are contiguous in the counter block
+        // (reads then writes); flat pointer loops with a branchless
+        // negative-clamp (`v & ~(v >> 63)` == max(0, v) for int64) let the
+        // compiler vectorize the whole histogram fold.  Integer ops only,
+        // so the result is bit-identical to the clamping scalar loop.
+        const std::int64_t* cr = rec.counters.data() + pc::SIZE_READ_0_100;
+        const std::int64_t* cw = rec.counters.data() + pc::SIZE_WRITE_0_100;
+        for (std::size_t b = 0; b < 10; ++b) {
+          p.req_read[b] += static_cast<std::uint64_t>(cr[b] & ~(cr[b] >> 63));
+          p.req_write[b] += static_cast<std::uint64_t>(cw[b] & ~(cw[b] >> 63));
+        }
       }
       if (rec.rank == darshan::kSharedRank) p.posix_shared = &rec;
       break;
@@ -235,25 +242,47 @@ const std::vector<FileSummary>& summarize_log(const LogData& log, SummarizeScrat
               return a.idx < b.idx;
             });
 
+  // Mark each record-id run once, then resolve every run's path in a single
+  // batched name-table lookup — the lockstep searches overlap their probe
+  // misses instead of chaining one binary search per file.
+  auto& run_starts = scratch.run_starts;
+  auto& run_ids = scratch.run_ids;
+  run_starts.clear();
+  run_ids.clear();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i == 0 || keys[i].record_id != keys[i - 1].record_id) {
+      run_starts.push_back(static_cast<std::uint32_t>(i));
+      run_ids.push_back(keys[i].record_id);
+    }
+  }
+  auto& run_paths = scratch.run_paths;
+  run_paths.resize(run_ids.size());
+  log.names.paths_of(run_ids, run_paths);
+
   auto& out = scratch.files;
   out.clear();
 
-  std::size_t i = 0;
-  while (i < keys.size()) {
-    const std::uint64_t rid = keys[i].record_id;
+  for (std::size_t r = 0; r < run_starts.size(); ++r) {
+    const std::uint64_t rid = run_ids[r];
+    const std::size_t end =
+        r + 1 < run_starts.size() ? run_starts[r + 1] : keys.size();
+    // Pull the next run's first record while this run accumulates; records
+    // of one id can sit far apart in the stream, so the gather pattern has
+    // no hardware-streamer locality of its own.
+    if (r + 1 < run_starts.size()) {
+      __builtin_prefetch(log.records.data() + keys[run_starts[r + 1]].idx);
+    }
     Partial p;
-    do {
+    for (std::size_t i = run_starts[r]; i < end; ++i) {
       accumulate_record(p, log.records[keys[i].idx]);
-      ++i;
-    } while (i < keys.size() && keys[i].record_id == rid);
+    }
 
-    const std::string_view path = log.path_of(rid);
-    const auto layer = scratch.mounts.resolve(path);
+    const auto layer = scratch.mounts.resolve(run_paths[r]);
     if (!layer) {
       if (unattributed != nullptr) ++*unattributed;
       continue;
     }
-    out.push_back(make_summary(rid, *layer, path, p));
+    out.push_back(make_summary(rid, *layer, run_paths[r], p));
   }
   // Runs were visited in ascending record_id order, so `out` is already in
   // the allocating overload's sorted order.

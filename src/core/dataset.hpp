@@ -97,6 +97,11 @@ struct SummarizeScratch {
   std::vector<SumKey> keys;
   std::vector<FileSummary> files;  ///< recycled output of the last summarize
   MountTable mounts;
+  /// Per-file run boundaries and the batched name-table lookup results
+  /// (summarize resolves every run's path in one NameTable::paths_of call).
+  std::vector<std::uint32_t> run_starts;
+  std::vector<std::uint64_t> run_ids;
+  std::vector<std::string_view> run_paths;
 };
 
 /// Summarize a log.  Files whose path matches no mount entry are dropped and

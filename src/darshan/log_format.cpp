@@ -237,9 +237,9 @@ void read_body_into(ByteReader& r, LogData& log, LogIoBuffers& io, const ReadOpt
         // so the whole counter block moves with one bounds check + memcpy
         // instead of a call per counter — the hottest loop of a cold scan.
         const auto cb = r.bytes(std::size_t{8} * n_counters);
-        std::memcpy(rec.counters.data(), cb.data(), cb.size());
+        if (!cb.empty()) std::memcpy(rec.counters.data(), cb.data(), cb.size());
         const auto fb = r.bytes(std::size_t{8} * n_fcounters);
-        std::memcpy(rec.fcounters.data(), fb.data(), fb.size());
+        if (!fb.empty()) std::memcpy(rec.fcounters.data(), fb.data(), fb.size());
       } else {
         for (auto& c : rec.counters) c = r.i64();
         for (auto& f : rec.fcounters) f = r.f64();
@@ -323,8 +323,8 @@ void write_log_file(const LogData& log, const std::filesystem::path& path,
   if (!f) throw util::Error("write failed: " + path.string());
 }
 
-void read_log_bytes_into(std::span<const std::byte> data, LogIoBuffers& io, LogData& out,
-                         const ReadOptions& opts) {
+std::span<const std::byte> read_log_frame_body(std::span<const std::byte> data,
+                                               LogIoBuffers& io, const ReadOptions& opts) {
   ByteReader header(data);
   if (header.u32() != kLogMagic) throw FormatError("bad magic");
   const std::uint16_t version = header.u16();
@@ -346,17 +346,32 @@ void read_log_bytes_into(std::span<const std::byte> data, LogIoBuffers& io, LogD
 
   std::span<const std::byte> body;
   if (flags & kFlagCompressed) {
-    io.inflater.decompress(stored, static_cast<std::size_t>(body_size), io.unpacked);
+    // The frame CRC below covers the decompressed body, so the fast engine
+    // skips its redundant Adler-32 pass; the seed-compat lane keeps the
+    // original streaming zlib decode as the honest baseline.
+    io.inflater.decompress(stored, static_cast<std::size_t>(body_size), io.unpacked,
+                           opts.seed_compat_parse ? util::InflateEngine::kZlib
+                                                  : util::InflateEngine::kFast,
+                           /*verify_checksum=*/false);
     body = io.unpacked;
   } else {
     if (body_size != stored_size) throw FormatError("size mismatch in uncompressed log");
     body = stored;  // parse straight from the input frame; no copy needed
   }
   if (util::crc32(body) != crc) throw FormatError("body CRC mismatch");
+  return body;
+}
 
+void read_log_body_into(std::span<const std::byte> body, LogIoBuffers& io, LogData& out,
+                        const ReadOptions& opts) {
   ByteReader r(body);
   read_body_into(r, out, io, opts);
   if (!r.at_end()) throw FormatError("trailing bytes in log body");
+}
+
+void read_log_bytes_into(std::span<const std::byte> data, LogIoBuffers& io, LogData& out,
+                         const ReadOptions& opts) {
+  read_log_body_into(read_log_frame_body(data, io, opts), io, out, opts);
 }
 
 LogData read_log_bytes(std::span<const std::byte> data) {

@@ -93,4 +93,19 @@ LogData read_log_file(const std::filesystem::path& path);
 void read_log_bytes_into(std::span<const std::byte> data, LogIoBuffers& io, LogData& out,
                          const ReadOptions& opts = {});
 
+/// Stage split of read_log_bytes_into, used by the archive's software-
+/// pipelined scan so frame decode and body parse of *different* logs can be
+/// kept in flight together.
+///
+/// read_log_frame_body validates the frame header, decompresses (or, for an
+/// uncompressed frame, aliases) the body, and verifies its CRC; the returned
+/// view is valid until the next decode into the same `io` (for an
+/// uncompressed frame it aliases `data`, which must outlive the parse).
+/// read_log_body_into parses a body so obtained.  Composing the two with the
+/// same `io`/`opts` is exactly read_log_bytes_into.
+std::span<const std::byte> read_log_frame_body(std::span<const std::byte> data,
+                                               LogIoBuffers& io, const ReadOptions& opts = {});
+void read_log_body_into(std::span<const std::byte> body, LogIoBuffers& io, LogData& out,
+                        const ReadOptions& opts = {});
+
 }  // namespace mlio::darshan

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/inflate_fast.hpp"
 
 namespace mlio::util {
 
@@ -57,6 +58,7 @@ void Deflater::compress(std::span<const std::byte> input, int level,
 struct Inflater::Impl {
   z_stream zs{};
   bool live = false;
+  InflateScratch fast;  ///< Huffman-table storage for the kFast engine
 
   ~Impl() {
     if (live) inflateEnd(&zs);
@@ -69,9 +71,14 @@ Inflater::Inflater(Inflater&&) noexcept = default;
 Inflater& Inflater::operator=(Inflater&&) noexcept = default;
 
 void Inflater::decompress(std::span<const std::byte> input, std::size_t expected_size,
-                          std::vector<std::byte>& out) {
+                          std::vector<std::byte>& out, InflateEngine engine,
+                          bool verify_checksum) {
   out.resize(expected_size);
   if (expected_size == 0 && input.empty()) return;
+  if (engine == InflateEngine::kFast) {
+    inflate_zlib(input, out, impl_->fast, verify_checksum);
+    return;
+  }
   if (!impl_->live) {
     if (inflateInit(&impl_->zs) != Z_OK) throw FormatError("zlib inflateInit failed");
     impl_->live = true;

@@ -32,6 +32,15 @@ class Deflater {
   std::unique_ptr<Impl> impl_;
 };
 
+/// Which decoder backs Inflater::decompress.  kFast is the whole-buffer
+/// decoder in util/inflate_fast.hpp (same strictness, ~2x throughput, skips
+/// the Adler-32 when the caller CRCs the output itself); kZlib is the
+/// original streaming zlib path, kept as the honest seed-compat baseline.
+enum class InflateEngine {
+  kFast,
+  kZlib,
+};
+
 /// Reusable INFLATE stream; the mirror of Deflater.
 class Inflater {
  public:
@@ -42,9 +51,13 @@ class Inflater {
 
   /// Inflate `input` into `out`, which is resized to `expected_size` (the
   /// exact decompressed size recorded in the log header).  Throws
-  /// FormatError on corrupt data or size mismatch.
+  /// FormatError on corrupt data or size mismatch.  With kFast the stream's
+  /// Adler-32 trailer is verified only when `verify_checksum` is set;
+  /// callers that CRC the output afterwards skip the redundant pass.  The
+  /// kZlib engine always verifies (that is zlib's contract).
   void decompress(std::span<const std::byte> input, std::size_t expected_size,
-                  std::vector<std::byte>& out);
+                  std::vector<std::byte>& out, InflateEngine engine = InflateEngine::kFast,
+                  bool verify_checksum = true);
 
  private:
   struct Impl;

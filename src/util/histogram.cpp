@@ -19,6 +19,16 @@ void Histogram::add_to_bin(std::size_t bin, std::uint64_t weight) {
   total_ += weight;
 }
 
+void Histogram::add_bins(std::span<const std::uint64_t> weights) {
+  MLIO_ASSERT(weights.size() <= counts_.size());
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    counts_[i] += weights[i];
+    sum += weights[i];
+  }
+  total_ += sum;
+}
+
 void Histogram::save(ByteWriter& w) const {
   w.u64(counts_.size());
   for (const std::uint64_t c : counts_) w.u64(c);

@@ -23,6 +23,11 @@ class Histogram {
   void add(std::uint64_t bytes, std::uint64_t weight = 1);
   /// Record `weight` observations directly into bin `bin`.
   void add_to_bin(std::size_t bin, std::uint64_t weight = 1);
+  /// Fold a dense per-bin weight array in one pass: bin `b` gains
+  /// `weights[b]`.  Branch-free (zero weights add zero), so the compiler
+  /// vectorizes the whole fold; `weights.size()` must not exceed the bin
+  /// count.  Equivalent to add_to_bin per nonzero entry.
+  void add_bins(std::span<const std::uint64_t> weights);
 
   void merge(const Histogram& other);
 

@@ -1,0 +1,523 @@
+#include "util/inflate_fast.hpp"
+
+#include <zlib.h>
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace mlio::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Table entries.  One u32 per slot:
+//
+//   [0:4]   nbits  — total code length to consume (for links: sub-table width)
+//   [5:7]   kind
+//   [8:22]  val    — literal byte / length base / distance base / sub offset
+//   [23:27] extra  — extra bits following the code (lengths <= 5, dists <= 13)
+//
+// An all-zero entry is "invalid": kind 0, nbits 0.  The decode loops treat
+// nbits == 0 as an error, so unassigned slots can never cause a zero-bit
+// consume (which would loop forever on hostile input).
+
+enum Kind : std::uint32_t {
+  kInvalid = 0,
+  kLiteral = 1,
+  kBase = 2,  // length base in the litlen table, distance base in the dist table
+  kEob = 3,
+  kLink = 4,
+};
+
+constexpr std::uint32_t make_entry(Kind k, std::uint32_t val, std::uint32_t extra = 0) {
+  return (static_cast<std::uint32_t>(k) << 5) | (val << 8) | (extra << 23);
+}
+constexpr unsigned e_bits(std::uint32_t e) { return e & 31u; }
+constexpr Kind e_kind(std::uint32_t e) { return static_cast<Kind>((e >> 5) & 7u); }
+constexpr std::uint32_t e_val(std::uint32_t e) { return (e >> 8) & 0x7fffu; }
+constexpr unsigned e_extra(std::uint32_t e) { return (e >> 23) & 31u; }
+
+constexpr unsigned kMaxCodeBits = 15;
+constexpr unsigned kLitlenRootBits = 10;
+constexpr unsigned kDistRootBits = 8;
+constexpr unsigned kCodelenRootBits = 7;
+
+// RFC 1951 §3.2.5 length/distance code tables.
+constexpr std::uint16_t kLenBase[29] = {3,  4,  5,  6,  7,  8,  9,  10, 11,  13,
+                                        15, 17, 19, 23, 27, 31, 35, 43, 51,  59,
+                                        67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::uint8_t kLenExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+                                        2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr std::uint16_t kDistBase[30] = {1,    2,    3,    4,    5,    7,    9,    13,
+                                         17,   25,   33,   49,   65,   97,   129,  193,
+                                         257,  385,  513,  769,  1025, 1537, 2049, 3073,
+                                         4097, 6145, 8193, 12289, 16385, 24577};
+constexpr std::uint8_t kDistExtra[30] = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                         4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                         9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+// Per-symbol prototype entries (everything but nbits, which the table build
+// fills in).  Symbols left kInvalid (286/287, dist 30/31) participate in the
+// canonical code construction but error if the stream ever emits them —
+// matching zlib.
+constexpr std::array<std::uint32_t, 288> make_litlen_protos() {
+  std::array<std::uint32_t, 288> p{};
+  for (std::uint32_t s = 0; s < 256; ++s) p[s] = make_entry(kLiteral, s);
+  p[256] = make_entry(kEob, 0);
+  for (std::uint32_t s = 257; s <= 285; ++s) {
+    p[s] = make_entry(kBase, kLenBase[s - 257], kLenExtra[s - 257]);
+  }
+  return p;
+}
+constexpr std::array<std::uint32_t, 32> make_dist_protos() {
+  std::array<std::uint32_t, 32> p{};
+  for (std::uint32_t s = 0; s < 30; ++s) p[s] = make_entry(kBase, kDistBase[s], kDistExtra[s]);
+  return p;
+}
+constexpr std::array<std::uint32_t, 19> make_codelen_protos() {
+  std::array<std::uint32_t, 19> p{};
+  // The header decode only needs the symbol value back; reuse kLiteral.
+  for (std::uint32_t s = 0; s < 19; ++s) p[s] = make_entry(kLiteral, s);
+  return p;
+}
+constexpr auto kLitlenProtos = make_litlen_protos();
+constexpr auto kDistProtos = make_dist_protos();
+constexpr auto kCodelenProtos = make_codelen_protos();
+
+constexpr unsigned reverse_bits(unsigned code, unsigned len) {
+  code = ((code & 0x5555u) << 1) | ((code >> 1) & 0x5555u);
+  code = ((code & 0x3333u) << 2) | ((code >> 2) & 0x3333u);
+  code = ((code & 0x0f0fu) << 4) | ((code >> 4) & 0x0f0fu);
+  code = ((code & 0x00ffu) << 8) | ((code >> 8) & 0x00ffu);
+  return code >> (16 - len);
+}
+
+[[noreturn]] void fail() { throw FormatError("zlib decompression failed"); }
+
+enum class CodeSet { kCodelen, kLitlen, kDist };
+
+// Build a two-level table from canonical code lengths.  Root entries for
+// codes longer than root_bits are kLink entries pointing at sub-tables
+// appended after the root.  Throws on an oversubscribed set; an incomplete
+// set is allowed only where zlib allows it (a single 1-bit code, and never
+// for the code-length code itself).
+void build_table(const std::uint8_t* lens, unsigned n, unsigned root_bits,
+                 const std::uint32_t* protos, CodeSet set,
+                 std::vector<std::uint32_t>& table) {
+  unsigned counts[kMaxCodeBits + 1] = {};
+  for (unsigned s = 0; s < n; ++s) counts[lens[s]]++;
+  const unsigned used = n - counts[0];
+  const std::size_t root_size = std::size_t{1} << root_bits;
+  table.assign(root_size, 0);
+  if (used == 0) return;  // no codes: any lookup hits an invalid entry
+
+  int left = 1;
+  unsigned max_len = 0;
+  for (unsigned len = 1; len <= kMaxCodeBits; ++len) {
+    left = (left << 1) - static_cast<int>(counts[len]);
+    if (left < 0) fail();  // oversubscribed
+    if (counts[len] != 0) max_len = len;
+  }
+  if (left > 0 && (set == CodeSet::kCodelen || max_len != 1)) fail();  // incomplete
+
+  unsigned next_code[kMaxCodeBits + 1] = {};
+  {
+    unsigned code = 0, prev = 0;
+    for (unsigned len = 1; len <= kMaxCodeBits; ++len) {
+      code = (code + prev) << 1;
+      next_code[len] = code;
+      prev = counts[len];
+    }
+  }
+
+  // Pass A: find, per root-prefix, the widest sub-table any long code needs.
+  std::array<std::uint8_t, std::size_t{1} << kLitlenRootBits> sub_width;
+  std::memset(sub_width.data(), 0, root_size);
+  if (max_len > root_bits) {
+    unsigned nc[kMaxCodeBits + 1];
+    std::memcpy(nc, next_code, sizeof nc);
+    for (unsigned s = 0; s < n; ++s) {
+      const unsigned len = lens[s];
+      if (len == 0 || len <= root_bits) {
+        if (len != 0) nc[len]++;
+        continue;
+      }
+      const unsigned rc = reverse_bits(nc[len]++, len);
+      const std::size_t prefix = rc & (root_size - 1);
+      const auto need = static_cast<std::uint8_t>(len - root_bits);
+      if (need > sub_width[prefix]) sub_width[prefix] = need;
+    }
+  }
+
+  std::array<std::uint32_t, std::size_t{1} << kLitlenRootBits> sub_off;
+  std::size_t next_off = 0;
+  for (std::size_t p = 0; p < root_size; ++p) {
+    if (sub_width[p] == 0) continue;
+    sub_off[p] = static_cast<std::uint32_t>(next_off);
+    table[p] = make_entry(kLink, static_cast<std::uint32_t>(next_off)) | sub_width[p];
+    next_off += std::size_t{1} << sub_width[p];
+  }
+  table.resize(root_size + next_off, 0);
+
+  // Pass B: fill.  Each entry is replicated across every index whose low
+  // `len` bits equal the (bit-reversed) code.
+  for (unsigned s = 0; s < n; ++s) {
+    const unsigned len = lens[s];
+    if (len == 0) continue;
+    const unsigned rc = reverse_bits(next_code[len]++, len);
+    const std::uint32_t proto = protos[s];
+    if (e_kind(proto) == kInvalid) continue;  // leave its slots invalid
+    const std::uint32_t e = proto | len;
+    if (len <= root_bits) {
+      for (std::size_t i = rc; i < root_size; i += std::size_t{1} << len) table[i] = e;
+    } else {
+      const std::size_t prefix = rc & (root_size - 1);
+      const std::size_t base = root_size + sub_off[prefix];
+      const unsigned width = sub_width[prefix];
+      const std::size_t stride = std::size_t{1} << (len - root_bits);
+      for (std::size_t i = rc >> root_bits; i < (std::size_t{1} << width); i += stride) {
+        table[base + i] = e;
+      }
+    }
+  }
+}
+
+struct FixedTables {
+  std::vector<std::uint32_t> litlen;
+  std::vector<std::uint32_t> dist;
+};
+
+const FixedTables& fixed_tables() {
+  static const FixedTables tables = [] {
+    FixedTables t;
+    std::uint8_t ll[288];
+    for (unsigned s = 0; s < 144; ++s) ll[s] = 8;
+    for (unsigned s = 144; s < 256; ++s) ll[s] = 9;
+    for (unsigned s = 256; s < 280; ++s) ll[s] = 7;
+    for (unsigned s = 280; s < 288; ++s) ll[s] = 8;
+    build_table(ll, 288, kLitlenRootBits, kLitlenProtos.data(), CodeSet::kLitlen, t.litlen);
+    std::uint8_t dd[32];
+    for (unsigned s = 0; s < 32; ++s) dd[s] = 5;
+    build_table(dd, 32, kDistRootBits, kDistProtos.data(), CodeSet::kDist, t.dist);
+    return t;
+  }();
+  return tables;
+}
+
+// ---------------------------------------------------------------------------
+// Bit reader: LSB-first 64-bit buffer.  `cnt` low bits of `buf` are counted;
+// refill_fast may leave valid-but-uncounted stream bits above cnt (they are
+// the low bits of the byte `in` points at), which the byte-loop refill then
+// ORs idempotently.  When `in == end` every bit above cnt is zero, so a
+// truncated code indexes a longer entry and the nbits > cnt check fires.
+
+struct BitReader {
+  const unsigned char* in;
+  const unsigned char* end;
+  std::uint64_t buf = 0;
+  unsigned cnt = 0;
+
+  // Requires end - in >= 8.  Branchless 8-byte refill; leaves cnt in 56..63.
+  void refill_fast() {
+    if constexpr (std::endian::native == std::endian::little) {
+      std::uint64_t w;
+      std::memcpy(&w, in, 8);
+      buf |= w << cnt;
+      in += (63 - cnt) >> 3;
+      cnt |= 56;
+    } else {
+      refill();
+    }
+  }
+
+  void refill() {
+    while (cnt <= 56 && in < end) {
+      buf |= static_cast<std::uint64_t>(*in++) << cnt;
+      cnt += 8;
+    }
+  }
+
+  void consume(unsigned n) {
+    buf >>= n;
+    cnt -= n;
+  }
+
+  std::uint32_t take(unsigned n) {
+    if (cnt < n) {
+      refill();
+      if (cnt < n) fail();  // truncated stream
+    }
+    const auto v = static_cast<std::uint32_t>(buf & ((std::uint64_t{1} << n) - 1));
+    consume(n);
+    return v;
+  }
+};
+
+// Resolve one symbol through a two-level table with full safety checks:
+// refills, follows links, rejects invalid entries and truncation, consumes.
+std::uint32_t decode_safe(BitReader& br, const std::vector<std::uint32_t>& table,
+                          unsigned root_bits) {
+  br.refill();
+  std::uint32_t e = table[br.buf & ((std::uint64_t{1} << root_bits) - 1)];
+  if (e_kind(e) == kLink) {
+    const std::size_t sub = (std::size_t{1} << root_bits) + e_val(e) +
+                            static_cast<std::size_t>((br.buf >> root_bits) &
+                                                     ((std::uint64_t{1} << e_bits(e)) - 1));
+    e = table[sub];
+  }
+  const unsigned n = e_bits(e);
+  if (n == 0 || n > br.cnt) fail();  // invalid code, or input ran out mid-code
+  br.consume(n);
+  return e;
+}
+
+// Match copy with >= 274 bytes of guaranteed headroom past `out`: 8-byte
+// chunks may overshoot by up to 7 bytes, len itself is <= 258.
+void copy_match_fast(unsigned char* out, std::size_t dist, unsigned len) {
+  unsigned char* dst = out;
+  const unsigned char* src = out - dist;
+  if (dist >= 8) {
+    unsigned char* const dst_end = out + len;
+    do {
+      std::memcpy(dst, src, 8);
+      dst += 8;
+      src += 8;
+    } while (dst < dst_end);
+  } else if (dist == 1) {
+    std::memset(dst, *src, len);
+  } else {
+    unsigned char* const dst_end = out + len;
+    do {
+      *dst++ = *src++;
+    } while (dst < dst_end);
+  }
+}
+
+struct Decoder {
+  BitReader br;
+  unsigned char* const out_begin;
+  unsigned char* out;
+  unsigned char* const out_end;
+
+  // Decode the payload of one Huffman-coded block (fixed or dynamic tables).
+  void decode_block(const std::vector<std::uint32_t>& ll, const std::vector<std::uint32_t>& dt) {
+    const std::uint32_t* const llp = ll.data();
+    const std::uint32_t* const dtp = dt.data();
+    constexpr std::uint64_t ll_mask = (std::uint64_t{1} << kLitlenRootBits) - 1;
+    constexpr std::uint64_t d_mask = (std::uint64_t{1} << kDistRootBits) - 1;
+    constexpr std::size_t ll_root = std::size_t{1} << kLitlenRootBits;
+    constexpr std::size_t d_root = std::size_t{1} << kDistRootBits;
+
+    // Fast loop.  Margins hoist every per-symbol check: >= 16 input bytes
+    // allow two branchless refills per iteration (56+ bits covers literal +
+    // full match: 15 code + 5 extra + 15 dist code + 13 dist extra), >= 275
+    // output bytes allow chunked match copies that overshoot.
+    while (out_end - out > 274 && br.end - br.in >= 16) {
+      br.refill_fast();
+      std::uint32_t e = llp[br.buf & ll_mask];
+      if (e_kind(e) == kLink) {
+        e = llp[ll_root + e_val(e) +
+                static_cast<std::size_t>((br.buf >> kLitlenRootBits) &
+                                         ((std::uint64_t{1} << e_bits(e)) - 1))];
+      }
+      br.consume(e_bits(e));
+      if (e_kind(e) == kLiteral) {
+        *out++ = static_cast<unsigned char>(e_val(e));
+        // A second decode fits the remaining >= 41 bits; only take it if it
+        // is another literal, otherwise fall through to the shared paths.
+        e = llp[br.buf & ll_mask];
+        if (e_kind(e) == kLink) {
+          e = llp[ll_root + e_val(e) +
+                  static_cast<std::size_t>((br.buf >> kLitlenRootBits) &
+                                           ((std::uint64_t{1} << e_bits(e)) - 1))];
+        }
+        br.consume(e_bits(e));
+        if (e_kind(e) == kLiteral) {
+          *out++ = static_cast<unsigned char>(e_val(e));
+          continue;
+        }
+      }
+      if (e_kind(e) == kBase) {
+        br.refill_fast();  // loop margin guarantees 8 more input bytes
+        const unsigned len =
+            e_val(e) + static_cast<unsigned>(br.buf & ((std::uint64_t{1} << e_extra(e)) - 1));
+        br.consume(e_extra(e));
+        std::uint32_t d = dtp[br.buf & d_mask];
+        if (e_kind(d) == kLink) {
+          d = dtp[d_root + e_val(d) +
+                  static_cast<std::size_t>((br.buf >> kDistRootBits) &
+                                           ((std::uint64_t{1} << e_bits(d)) - 1))];
+        }
+        if (e_kind(d) != kBase) fail();
+        br.consume(e_bits(d));
+        const std::size_t dist =
+            e_val(d) + static_cast<std::size_t>(br.buf & ((std::uint64_t{1} << e_extra(d)) - 1));
+        br.consume(e_extra(d));
+        if (dist > static_cast<std::size_t>(out - out_begin)) fail();
+        copy_match_fast(out, dist, len);
+        out += len;
+        continue;
+      }
+      if (e_kind(e) == kEob) return;
+      fail();  // invalid litlen code (consume above was 0 bits, state intact)
+    }
+
+    // Safe tail: per-symbol bounds and refill checks.
+    for (;;) {
+      const std::uint32_t e = decode_safe(br, ll, kLitlenRootBits);
+      if (e_kind(e) == kLiteral) {
+        if (out == out_end) throw FormatError("decompressed size mismatch");
+        *out++ = static_cast<unsigned char>(e_val(e));
+        continue;
+      }
+      if (e_kind(e) == kBase) {
+        const unsigned len = e_val(e) + br.take(e_extra(e));
+        const std::uint32_t d = decode_safe(br, dt, kDistRootBits);
+        if (e_kind(d) != kBase) fail();
+        const std::size_t dist = e_val(d) + br.take(e_extra(d));
+        if (dist > static_cast<std::size_t>(out - out_begin)) fail();
+        if (len > static_cast<std::size_t>(out_end - out)) {
+          throw FormatError("decompressed size mismatch");
+        }
+        const unsigned char* src = out - dist;
+        for (unsigned i = 0; i < len; ++i) *out++ = *src++;
+        continue;
+      }
+      if (e_kind(e) == kEob) return;
+      fail();
+    }
+  }
+
+  void stored_block() {
+    br.consume(br.cnt & 7);  // byte-align
+    const std::uint32_t len = br.take(16);
+    const std::uint32_t nlen = br.take(16);
+    if (len != (~nlen & 0xffffu)) fail();
+    if (len > static_cast<std::size_t>(out_end - out)) {
+      throw FormatError("decompressed size mismatch");
+    }
+    std::uint32_t n = len;
+    while (br.cnt >= 8 && n > 0) {  // drain whole bytes still in the bit buffer
+      *out++ = static_cast<unsigned char>(br.buf & 0xff);
+      br.consume(8);
+      --n;
+    }
+    if (n > 0) {
+      // cnt is now 0; drop any uncounted lookahead bits before touching `in`
+      // directly, or the next refill would re-buffer stale bytes.
+      br.buf = 0;
+      if (static_cast<std::size_t>(br.end - br.in) < n) fail();
+      std::memcpy(out, br.in, n);
+      out += n;
+      br.in += n;
+    }
+  }
+
+  void dynamic_tables(InflateScratch& scratch) {
+    const unsigned hlit = br.take(5) + 257;
+    const unsigned hdist = br.take(5) + 1;
+    const unsigned hclen = br.take(4) + 4;
+    if (hlit > 286 || hdist > 30) fail();  // zlib: too many symbols
+    static constexpr std::uint8_t kOrder[19] = {16, 17, 18, 0, 8,  7, 9,  6, 10, 5,
+                                                11, 4,  12, 3, 13, 2, 14, 1, 15};
+    std::uint8_t cl_lens[19] = {};
+    for (unsigned i = 0; i < hclen; ++i) cl_lens[kOrder[i]] = static_cast<std::uint8_t>(br.take(3));
+    build_table(cl_lens, 19, kCodelenRootBits, kCodelenProtos.data(), CodeSet::kCodelen,
+                scratch.codelen);
+
+    std::uint8_t lens[286 + 30];
+    const unsigned total = hlit + hdist;
+    unsigned i = 0;
+    while (i < total) {
+      const std::uint32_t e = decode_safe(br, scratch.codelen, kCodelenRootBits);
+      const std::uint32_t sym = e_val(e);
+      if (sym < 16) {
+        lens[i++] = static_cast<std::uint8_t>(sym);
+        continue;
+      }
+      std::uint8_t value = 0;
+      unsigned rep;
+      if (sym == 16) {
+        if (i == 0) fail();  // repeat with no previous length
+        value = lens[i - 1];
+        rep = 3 + br.take(2);
+      } else if (sym == 17) {
+        rep = 3 + br.take(3);
+      } else {
+        rep = 11 + br.take(7);
+      }
+      if (i + rep > total) fail();
+      std::memset(lens + i, value, rep);
+      i += rep;
+    }
+    if (lens[256] == 0) fail();  // no end-of-block code
+    build_table(lens, hlit, kLitlenRootBits, kLitlenProtos.data(), CodeSet::kLitlen,
+                scratch.litlen);
+    build_table(lens + hlit, hdist, kDistRootBits, kDistProtos.data(), CodeSet::kDist,
+                scratch.dist);
+  }
+};
+
+}  // namespace
+
+void inflate_zlib(std::span<const std::byte> input, std::span<std::byte> out,
+                  InflateScratch& scratch, bool verify_checksum) {
+  const auto* in = reinterpret_cast<const unsigned char*>(input.data());
+  const auto* const in_end = in + input.size();
+  if (input.size() < 2) fail();
+  const unsigned cmf = in[0], flg = in[1];
+  if ((cmf & 0x0f) != 8) fail();           // not DEFLATE
+  if ((cmf >> 4) > 7) fail();              // window larger than 32 KiB
+  if (((cmf << 8) | flg) % 31 != 0) fail();  // header check bits
+  if (flg & 0x20) fail();                  // preset dictionary: never written
+
+  Decoder dec{
+      BitReader{in + 2, in_end},
+      reinterpret_cast<unsigned char*>(out.data()),
+      reinterpret_cast<unsigned char*>(out.data()),
+      reinterpret_cast<unsigned char*>(out.data()) + out.size(),
+  };
+
+  for (;;) {
+    const std::uint32_t hdr = dec.br.take(3);
+    const bool final = (hdr & 1) != 0;
+    switch (hdr >> 1) {
+      case 0:
+        dec.stored_block();
+        break;
+      case 1: {
+        const FixedTables& f = fixed_tables();
+        dec.decode_block(f.litlen, f.dist);
+        break;
+      }
+      case 2:
+        dec.dynamic_tables(scratch);
+        dec.decode_block(scratch.litlen, scratch.dist);
+        break;
+      default:
+        fail();  // reserved block type
+    }
+    if (final) break;
+  }
+
+  if (dec.out != dec.out_end) throw FormatError("decompressed size mismatch");
+  dec.br.consume(dec.br.cnt & 7);
+  std::uint32_t stored_adler = 0;  // trailer is big-endian
+  for (int i = 0; i < 4; ++i) stored_adler = (stored_adler << 8) | dec.br.take(8);
+  if (verify_checksum) {
+    const uLong computed = ::adler32(::adler32(0L, nullptr, 0),
+                                     reinterpret_cast<const Bytef*>(out.data()),
+                                     static_cast<uInt>(out.size()));
+    if (static_cast<std::uint32_t>(computed) != stored_adler) fail();
+  }
+}
+
+void inflate_zlib(std::span<const std::byte> input, std::span<std::byte> out,
+                  bool verify_checksum) {
+  InflateScratch scratch;
+  inflate_zlib(input, out, scratch, verify_checksum);
+}
+
+}  // namespace mlio::util

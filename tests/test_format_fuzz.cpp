@@ -3,6 +3,7 @@
 // tool pointed at a year of production logs will meet damaged files.
 #include <gtest/gtest.h>
 
+#include "archive/scan.hpp"
 #include "darshan/log_format.hpp"
 #include "darshan/runtime.hpp"
 #include "util/byte_io.hpp"
@@ -162,6 +163,139 @@ TEST(FormatHostileCounts, ValidEmptyBodyStillParses) {
   EXPECT_EQ(log.job.job_id, 1u);
   EXPECT_TRUE(log.records.empty());
   EXPECT_TRUE(log.names.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Hostile frames through the pipelined scan.  scan_frames at depth > 1
+// drives batches through the prefetching stage loops; a damaged frame in the
+// middle of a batch must surface as the same FormatError the one-at-a-time
+// scan throws — never UB, a hang, or silently-consumed neighbors.
+
+struct Segment {
+  std::vector<std::byte> bytes;
+  std::vector<archive::IndexEntry> entries;
+
+  void append(std::span<const std::byte> frame) {
+    archive::IndexEntry e;
+    e.offset = bytes.size();
+    e.size = frame.size();
+    e.job_id = entries.size();
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+    entries.push_back(e);
+  }
+};
+
+Segment good_segment(int n_frames) {
+  Segment seg;
+  for (int i = 0; i < n_frames; ++i) {
+    seg.append(write_log_bytes(sample_log(static_cast<std::uint64_t>(i) + 1)));
+  }
+  return seg;
+}
+
+// Count of frames the scan consumed before (if ever) failing.
+std::size_t scan_count(const Segment& seg, unsigned depth) {
+  archive::ScanScratch scratch;
+  archive::ScanOptions opts;
+  opts.mlp_depth = depth;
+  std::size_t consumed = 0;
+  archive::scan_frames(seg.bytes, seg.entries, 0,
+                       [&](const LogData&) { ++consumed; }, scratch, opts, "fuzz");
+  return consumed;
+}
+
+TEST(BatchedScanHostileFrames, CorruptDeflateMidBatchThrows) {
+  for (const unsigned depth : {1u, 2u, 4u, 8u}) {
+    Segment seg = good_segment(7);
+    // Corrupt the compressed payload of the 5th frame (mid-batch at every
+    // depth above): flip bytes past the frame header.
+    const auto& e = seg.entries[4];
+    for (std::uint64_t off = 40; off < 48; ++off) {
+      seg.bytes[e.offset + off] ^= std::byte{0xA5};
+    }
+    EXPECT_THROW((void)scan_count(seg, depth), util::FormatError) << "depth " << depth;
+  }
+}
+
+TEST(BatchedScanHostileFrames, TruncatedNameTableMidBatchThrows) {
+  // A frame whose body ends inside the name table: counts promise entries
+  // the bytes don't hold.  The batched body-parse stage must reject it.
+  auto w = minimal_body_prefix();
+  // Rewrite the trailing name count: claim 1000 names, supply none.
+  auto body = w.take();
+  body[body.size() - 4] = std::byte{0xE8};
+  body[body.size() - 3] = std::byte{0x03};
+  const auto hostile = frame_body(body);
+  for (const unsigned depth : {1u, 2u, 4u, 8u}) {
+    Segment seg = good_segment(5);
+    seg.append(hostile);
+    seg.append(write_log_bytes(sample_log(99)));
+    EXPECT_THROW((void)scan_count(seg, depth), util::FormatError) << "depth " << depth;
+  }
+}
+
+TEST(BatchedScanHostileFrames, UnknownRecordIdsMidBatchParseCleanly) {
+  // Records whose ids have no name-table entry are legal (path_of returns
+  // empty, summarize drops them as unattributed); the batched lookup path
+  // must consume such a frame, not fault on the missing ids.
+  auto w = minimal_body_prefix();
+  w.u32(1);  // one region
+  w.u8(static_cast<std::uint8_t>(ModuleId::kPosix));
+  w.u32(static_cast<std::uint32_t>(counter_count(ModuleId::kPosix)));
+  w.u32(static_cast<std::uint32_t>(fcounter_count(ModuleId::kPosix)));
+  w.u32(3);  // three records, none of whose ids the (empty) name table knows
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    w.u64(0xdeadbeef00 + r);  // record_id
+    w.u32(0);                 // rank
+    for (std::size_t c = 0; c < counter_count(ModuleId::kPosix); ++c) w.i64(1);
+    for (std::size_t c = 0; c < fcounter_count(ModuleId::kPosix); ++c) w.f64(0.5);
+  }
+  w.u32(0);  // dxt
+  const auto hostile = frame_body(w.view());
+  for (const unsigned depth : {1u, 2u, 4u, 8u}) {
+    Segment seg = good_segment(5);
+    seg.append(hostile);
+    seg.append(write_log_bytes(sample_log(99)));
+    EXPECT_EQ(scan_count(seg, depth), 7u) << "depth " << depth;
+  }
+}
+
+TEST(BatchedScanHostileFrames, EntryOutOfBoundsMidBatchThrows) {
+  for (const unsigned depth : {1u, 2u, 4u, 8u}) {
+    Segment seg = good_segment(6);
+    seg.entries[3].size += 1'000'000;  // runs past the segment end
+    EXPECT_THROW((void)scan_count(seg, depth), util::FormatError) << "depth " << depth;
+  }
+}
+
+TEST(BatchedScanHostileFrames, BatchedAndSerialScansAgreeOnDamage) {
+  // For random single-byte corruptions, depth 1 and depth 4 must agree on
+  // whether the segment is readable (both throw or both succeed with the
+  // same consumed count).
+  util::Rng rng(0xabcdef);
+  for (int trial = 0; trial < 40; ++trial) {
+    Segment seg = good_segment(6);
+    const std::size_t pos = static_cast<std::size_t>(rng.uniform_u64(0, seg.bytes.size() - 1));
+    seg.bytes[pos] ^= static_cast<std::byte>(rng.uniform_u64(1, 255));
+    bool threw1 = false;
+    bool threw4 = false;
+    std::size_t n1 = 0;
+    std::size_t n4 = 0;
+    try {
+      n1 = scan_count(seg, 1);
+    } catch (const util::FormatError&) {
+      threw1 = true;
+    }
+    try {
+      n4 = scan_count(seg, 4);
+    } catch (const util::FormatError&) {
+      threw4 = true;
+    }
+    EXPECT_EQ(threw1, threw4) << "trial " << trial << " pos " << pos;
+    if (!threw1) {
+      EXPECT_EQ(n1, n4) << "trial " << trial;
+    }
+  }
 }
 
 }  // namespace

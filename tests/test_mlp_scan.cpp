@@ -1,0 +1,167 @@
+// Differential pins for the MLP-aware cold scan: the software-pipelined
+// scan (K logs in flight, batched lookups, prefetch) must be bit-identical
+// to the seed-compat lane — same Analysis fingerprint, same Table 2 census
+// and Table 3/4 layer-volume numbers down to the double bit patterns — for
+// every mlp_depth × thread-count combination, and the whole family is
+// pinned to the fingerprint captured on main before the overhaul.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "archive/archive.hpp"
+#include "archive/ingest.hpp"
+#include "archive/query.hpp"
+#include "archive/scan.hpp"
+#include "core/analysis.hpp"
+#include "workload/generator.hpp"
+#include "workload/pipeline.hpp"
+
+namespace mlio {
+namespace {
+
+// The configuration of IngestDifferential.ArchiveColdQueryFingerprintPinned:
+// 24 Cori jobs, seed 7, scales 0.25, 4 partitions + the huge stratum.
+constexpr std::uint64_t kPinnedFingerprint = 898508650021731339ull;
+constexpr std::uint64_t kPinnedLogs = 244;
+
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+class MlpScanTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new std::filesystem::path(std::filesystem::temp_directory_path() /
+                                     "mlio_test_mlp_scan");
+    std::filesystem::remove_all(*dir_);
+    wl::GeneratorConfig cfg;
+    cfg.seed = 7;
+    cfg.n_jobs = 24;
+    cfg.logs_per_job_scale = 0.25;
+    cfg.files_per_log_scale = 0.25;
+    const wl::WorkloadGenerator gen(wl::SystemProfile::cori_2019(), cfg);
+    archive::Archive ar = archive::Archive::create(*dir_);
+    archive::IngestOptions io;
+    io.batches = 4;
+    io.threads = 2;
+    io.write_snapshots = false;
+    archive::ingest_generated(ar, gen, io);
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static archive::QueryResult cold_query(unsigned mlp_depth, unsigned threads,
+                                         bool seed_compat) {
+    archive::Archive ar = archive::Archive::open(*dir_);
+    archive::QueryOptions qo;
+    qo.threads = threads;
+    qo.write_snapshots = false;  // keep every query a cold rebuild
+    qo.mlp_depth = mlp_depth;
+    qo.seed_compat = seed_compat;
+    return query_archive(ar, qo);
+  }
+
+  static const std::filesystem::path* dir_;
+};
+
+const std::filesystem::path* MlpScanTest::dir_ = nullptr;
+
+// Table 2 (census) and Table 3/4 (per-layer volumes) inputs, compared field
+// by field with doubles as bit patterns — the paper-facing numbers the
+// overhaul must not move by even one ulp.
+void expect_tables_identical(const core::Analysis& a, const core::Analysis& b) {
+  const core::Summary& sa = a.summary();
+  const core::Summary& sb = b.summary();
+  EXPECT_EQ(sa.logs(), sb.logs());
+  EXPECT_EQ(sa.jobs(), sb.jobs());
+  EXPECT_EQ(sa.files(), sb.files());
+  EXPECT_TRUE(same_bits(sa.node_hours(), sb.node_hours()));
+  EXPECT_EQ(sa.min_logs_per_job(), sb.min_logs_per_job());
+  EXPECT_EQ(sa.max_logs_per_job(), sb.max_logs_per_job());
+  for (const core::Layer layer : {core::Layer::kInSystem, core::Layer::kPfs}) {
+    const auto& la = a.access().layer(layer);
+    const auto& lb = b.access().layer(layer);
+    EXPECT_EQ(la.files, lb.files);
+    EXPECT_EQ(la.read_files, lb.read_files);
+    EXPECT_EQ(la.write_files, lb.write_files);
+    EXPECT_TRUE(same_bits(la.bytes_read, lb.bytes_read));
+    EXPECT_TRUE(same_bits(la.bytes_written, lb.bytes_written));
+    EXPECT_EQ(la.huge_read_files, lb.huge_read_files);
+    EXPECT_EQ(la.huge_write_files, lb.huge_write_files);
+    ASSERT_EQ(la.read_requests.size(), lb.read_requests.size());
+    for (std::size_t bin = 0; bin < la.read_requests.size(); ++bin) {
+      EXPECT_EQ(la.read_requests.count(bin), lb.read_requests.count(bin));
+      EXPECT_EQ(la.write_requests.count(bin), lb.write_requests.count(bin));
+    }
+  }
+}
+
+TEST_F(MlpScanTest, DepthAndThreadSweepMatchesSeedCompatLane) {
+  // Baseline: the seed's decode (zlib) and summarize (hash-map) lanes at
+  // depth 1 on one thread — the pre-overhaul pipeline, byte for byte.
+  const archive::QueryResult base = cold_query(1, 1, /*seed_compat=*/true);
+  ASSERT_EQ(base.stats.logs_scanned, kPinnedLogs);
+  EXPECT_EQ(base.analysis.fingerprint(), kPinnedFingerprint);
+
+  for (const unsigned depth : {1u, 2u, 4u, 8u}) {
+    for (const unsigned threads : {1u, 8u}) {
+      const archive::QueryResult q = cold_query(depth, threads, /*seed_compat=*/false);
+      SCOPED_TRACE("mlp_depth=" + std::to_string(depth) +
+                   " threads=" + std::to_string(threads));
+      EXPECT_EQ(q.stats.logs_scanned, kPinnedLogs);
+      EXPECT_EQ(q.analysis.fingerprint(), kPinnedFingerprint);
+      expect_tables_identical(base.analysis, q.analysis);
+    }
+  }
+}
+
+TEST_F(MlpScanTest, SeedCompatLaneIsDepthInvariantToo) {
+  // The baseline lane goes through the same scan_frames pipeline; routing it
+  // at depth > 1 must not change its results either.
+  const archive::QueryResult q = cold_query(8, 2, /*seed_compat=*/true);
+  EXPECT_EQ(q.analysis.fingerprint(), kPinnedFingerprint);
+  EXPECT_EQ(q.stats.logs_scanned, kPinnedLogs);
+}
+
+TEST_F(MlpScanTest, OversizedAndZeroDepthsAreSafe) {
+  // Depth 0 clamps to 1; a depth far beyond the partition's log count runs
+  // one partial batch per partition.  Both must still land on the pin.
+  for (const unsigned depth : {0u, 1024u}) {
+    const archive::QueryResult q = cold_query(depth, 2, /*seed_compat=*/false);
+    SCOPED_TRACE("mlp_depth=" + std::to_string(depth));
+    EXPECT_EQ(q.analysis.fingerprint(), kPinnedFingerprint);
+    EXPECT_EQ(q.stats.logs_scanned, kPinnedLogs);
+  }
+}
+
+TEST_F(MlpScanTest, QueryScratchReuseAcrossDepthsAndLanes) {
+  // One QueryScratch across every combination — slots sized for depth 8 get
+  // reused at depth 2, the seed lane's buffers get reused by the fast lane —
+  // mirroring bench_archive's usage.  Results must not depend on what the
+  // scratch previously held.
+  archive::Archive ar = archive::Archive::open(*dir_);
+  archive::QueryScratch scratch;
+  for (const bool seed_compat : {true, false}) {
+    for (const unsigned depth : {8u, 2u, 1u}) {
+      archive::QueryOptions qo;
+      qo.threads = 2;
+      qo.write_snapshots = false;
+      qo.mlp_depth = depth;
+      qo.seed_compat = seed_compat;
+      const archive::QueryResult q = query_archive(ar, qo, scratch);
+      SCOPED_TRACE("seed_compat=" + std::to_string(seed_compat) +
+                   " mlp_depth=" + std::to_string(depth));
+      EXPECT_EQ(q.analysis.fingerprint(), kPinnedFingerprint);
+      EXPECT_EQ(q.stats.logs_scanned, kPinnedLogs);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlio
