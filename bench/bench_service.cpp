@@ -1,0 +1,250 @@
+// Archive-service latency/throughput driver: seeds an archive, then runs
+// the closed-loop client pool (src/service/driver.hpp) at each requested
+// client count and writes per-count p50/p99 latency, throughput, and
+// shared-cache hit rates to BENCH_service.json so the serving trajectory is
+// tracked across PRs.
+//
+// Every measured get() is verified after the run against a serial replay of
+// its pinned generation (the MVCC oracle); the bench exits nonzero if any
+// concurrent answer diverged — a wrong-bits serving path must never look
+// like a fast one.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/ingest.hpp"
+#include "service/driver.hpp"
+
+namespace {
+
+using namespace mlio;
+
+struct Args {
+  std::uint64_t jobs = 240;           ///< seed-archive bulk jobs
+  std::uint64_t seed = 42;
+  std::uint64_t batches = 6;          ///< seed-archive partitions
+  std::vector<unsigned> clients = {1, 2, 4};
+  std::uint64_t requests = 48;        ///< measured requests per client
+  std::uint64_t warmup = 6;           ///< unrecorded gets per client
+  std::uint64_t cache_mb = 256;
+  unsigned weight_get = 90;
+  unsigned weight_ingest = 8;
+  unsigned weight_compact = 2;
+  std::uint64_t logs_per_ingest = 4;
+  std::uint64_t compact_max_logs = 48;
+  std::string dir;
+  std::string out = "BENCH_service.json";
+};
+
+std::vector<unsigned> parse_clients(const char* s) {
+  std::vector<unsigned> out;
+  for (const char* p = s; *p != '\0';) {
+    out.push_back(static_cast<unsigned>(std::strtoul(p, const_cast<char**>(&p), 10)));
+    if (*p == ',') ++p;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "bad --clients list: %s\n", s);
+    std::exit(2);
+  }
+  return out;
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--jobs")) a.jobs = std::strtoull(next("--jobs"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--seed")) a.seed = std::strtoull(next("--seed"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--batches")) a.batches = std::strtoull(next("--batches"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--clients")) a.clients = parse_clients(next("--clients"));
+    else if (!std::strcmp(argv[i], "--requests")) a.requests = std::strtoull(next("--requests"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--warmup")) a.warmup = std::strtoull(next("--warmup"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--cache-mb")) a.cache_mb = std::strtoull(next("--cache-mb"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--mix")) {
+      unsigned g = 0, in = 0, co = 0;
+      if (std::sscanf(next("--mix"), "%u:%u:%u", &g, &in, &co) != 3 || g + in + co == 0) {
+        std::fprintf(stderr, "bad --mix (want GET:INGEST:COMPACT weights)\n");
+        std::exit(2);
+      }
+      a.weight_get = g; a.weight_ingest = in; a.weight_compact = co;
+    }
+    else if (!std::strcmp(argv[i], "--logs-per-ingest")) a.logs_per_ingest = std::strtoull(next("--logs-per-ingest"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--compact-max-logs")) a.compact_max_logs = std::strtoull(next("--compact-max-logs"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--dir")) a.dir = next("--dir");
+    else if (!std::strcmp(argv[i], "--out")) a.out = next("--out");
+    else if (!std::strcmp(argv[i], "--help")) {
+      std::printf("usage: %s [--jobs N] [--seed S] [--batches B] [--clients 1,2,4]\n"
+                  "          [--requests R] [--warmup W] [--cache-mb M] [--mix G:I:C]\n"
+                  "          [--logs-per-ingest L] [--compact-max-logs K] [--dir DIR] [--out FILE]\n",
+                  argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+struct Row {
+  unsigned clients = 0;
+  service::WorkloadReport report;
+};
+
+double us(double ns) { return ns * 1e-3; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+
+  wl::GeneratorConfig cfg;
+  cfg.seed = args.seed;
+  cfg.n_jobs = args.jobs;
+  cfg.logs_per_job_scale = 0.25;
+  cfg.files_per_log_scale = 0.25;
+  const wl::WorkloadGenerator gen(wl::SystemProfile::cori_2019(), cfg);
+
+  const std::vector<service::ServiceFrame> pool =
+      service::make_frame_pool(std::max<std::uint64_t>(args.logs_per_ingest * 4, 16),
+                               args.seed + 1);
+
+  const std::filesystem::path base =
+      args.dir.empty() ? std::filesystem::temp_directory_path() / "mlio_bench_service"
+                       : std::filesystem::path(args.dir);
+
+  std::vector<Row> rows;
+  bool all_ok = true;
+  for (unsigned clients : args.clients) {
+    // A fresh seed archive per client count, so every run starts from the
+    // same partition layout regardless of what earlier runs ingested.
+    const std::filesystem::path dir = base / ("c" + std::to_string(clients));
+    std::filesystem::remove_all(dir);
+    {
+      archive::Archive ar = archive::Archive::create(dir);
+      archive::IngestOptions iopts;
+      iopts.batches = args.batches;
+      iopts.include_huge = false;
+      archive::ingest_generated(ar, gen, iopts);
+    }
+
+    service::ArchiveService::Options sopts;
+    sopts.cache.capacity_bytes = args.cache_mb << 20;
+    service::ArchiveService svc(dir, sopts);
+
+    service::WorkloadConfig wcfg;
+    wcfg.clients = clients;
+    wcfg.requests_per_client = args.requests;
+    wcfg.warmup_per_client = args.warmup;
+    wcfg.seed = args.seed;
+    wcfg.weight_get = args.weight_get;
+    wcfg.weight_ingest = args.weight_ingest;
+    wcfg.weight_compact = args.weight_compact;
+    wcfg.logs_per_ingest = args.logs_per_ingest;
+    wcfg.compact_max_logs = args.compact_max_logs;
+
+    Row row;
+    row.clients = clients;
+    row.report = service::run_closed_loop(svc, wcfg, pool);
+    all_ok = all_ok && row.report.ok();
+
+    std::printf(
+        "clients %2u: %7.1f req/s  get p50 %8.1f us  p99 %8.1f us  "
+        "cache hit %5.1f%%  gens %llu  divergent %llu\n",
+        clients, row.report.throughput_rps(), us(row.report.get_latency.p50_ns()),
+        us(row.report.get_latency.p99_ns()), 100.0 * row.report.stats.query.cache_hit_rate(),
+        static_cast<unsigned long long>(row.report.generations_observed),
+        static_cast<unsigned long long>(row.report.divergent));
+
+    rows.push_back(std::move(row));
+    std::filesystem::remove_all(dir);
+  }
+  if (args.dir.empty()) std::filesystem::remove_all(base);
+
+  const double base_rps = rows.front().report.throughput_rps();
+  const double peak_rps =
+      std::max_element(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+        return a.report.throughput_rps() < b.report.throughput_rps();
+      })->report.throughput_rps();
+  const double scaling = base_rps > 0 ? peak_rps / base_rps : 0.0;
+  std::printf("throughput scaling (peak vs 1 thread of the list): %.2fx, verified: %s\n", scaling,
+              all_ok ? "yes" : "DIVERGED");
+
+  std::FILE* f = std::fopen(args.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", args.out.c_str());
+    return 1;
+  }
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"config\": {\"system\": \"Cori\", \"jobs\": %llu, \"seed\": %llu, "
+               "\"batches\": %llu, \"requests_per_client\": %llu, \"warmup_per_client\": %llu, "
+               "\"cache_mb\": %llu, \"mix\": \"%u:%u:%u\", \"logs_per_ingest\": %llu, "
+               "\"compact_max_logs\": %llu, \"host_cpus\": %u},\n",
+               static_cast<unsigned long long>(args.jobs),
+               static_cast<unsigned long long>(args.seed),
+               static_cast<unsigned long long>(args.batches),
+               static_cast<unsigned long long>(args.requests),
+               static_cast<unsigned long long>(args.warmup),
+               static_cast<unsigned long long>(args.cache_mb), args.weight_get,
+               args.weight_ingest, args.weight_compact,
+               static_cast<unsigned long long>(args.logs_per_ingest),
+               static_cast<unsigned long long>(args.compact_max_logs), host_cpus);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const service::WorkloadReport& r = rows[i].report;
+    std::fprintf(
+        f,
+        "    {\"clients\": %u, \"throughput_rps\": %.2f, \"wall_s\": %.4f,\n"
+        "     \"requests\": %llu, \"gets\": %llu, \"ingests\": %llu, \"compacts\": %llu,\n"
+        "     \"get_p50_us\": %.1f, \"get_p90_us\": %.1f, \"get_p99_us\": %.1f,\n"
+        "     \"ingest_p50_us\": %.1f, \"ingest_p99_us\": %.1f,\n"
+        "     \"compact_p50_us\": %.1f, \"compact_p99_us\": %.1f,\n"
+        "     \"cache_hit_rate\": %.4f, \"cache_hits\": %llu, \"snapshot_hits\": %llu,\n"
+        "     \"partitions_scanned\": %llu, \"queue_wait_ms\": %.3f, \"stale_retries\": %llu,\n"
+        "     \"cache\": {\"lookups\": %llu, \"hits\": %llu, \"insertions\": %llu,\n"
+        "       \"evictions\": %llu, \"rejected\": %llu, \"purged\": %llu,\n"
+        "       \"entries\": %llu, \"bytes_used\": %llu},\n"
+        "     \"generations\": %llu, \"verified\": %llu, \"divergent\": %llu}%s\n",
+        rows[i].clients, r.throughput_rps(), r.wall_seconds,
+        static_cast<unsigned long long>(r.requests), static_cast<unsigned long long>(r.gets),
+        static_cast<unsigned long long>(r.ingests), static_cast<unsigned long long>(r.compacts),
+        us(r.get_latency.p50_ns()), us(r.get_latency.p90_ns()), us(r.get_latency.p99_ns()),
+        us(r.ingest_latency.p50_ns()), us(r.ingest_latency.p99_ns()),
+        us(r.compact_latency.p50_ns()), us(r.compact_latency.p99_ns()),
+        r.stats.query.cache_hit_rate(), static_cast<unsigned long long>(r.stats.query.cache_hits),
+        static_cast<unsigned long long>(r.stats.query.snapshot_hits),
+        static_cast<unsigned long long>(r.stats.query.partitions_scanned),
+        static_cast<double>(r.stats.queue_wait_ns) * 1e-6,
+        static_cast<unsigned long long>(r.stats.stale_retries),
+        static_cast<unsigned long long>(r.cache.lookups),
+        static_cast<unsigned long long>(r.cache.hits),
+        static_cast<unsigned long long>(r.cache.insertions),
+        static_cast<unsigned long long>(r.cache.evictions),
+        static_cast<unsigned long long>(r.cache.rejected),
+        static_cast<unsigned long long>(r.cache.purged),
+        static_cast<unsigned long long>(r.cache.entries),
+        static_cast<unsigned long long>(r.cache.bytes_used),
+        static_cast<unsigned long long>(r.generations_observed),
+        static_cast<unsigned long long>(r.verified_generations),
+        static_cast<unsigned long long>(r.divergent), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"throughput_scaling\": %.3f,\n", scaling);
+  std::fprintf(f, "  \"fingerprints_match_serial_replay\": %s\n", all_ok ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", args.out.c_str());
+  return all_ok ? 0 : 1;
+}

@@ -73,6 +73,10 @@ Archive Archive::open_or_create(const std::filesystem::path& dir, util::Vfs& vfs
   return create(dir, vfs);
 }
 
+std::filesystem::path Archive::manifest_path() const { return dir_ / kManifestName; }
+
+void Archive::reload() { manifest_ = read_manifest_bytes(vfs_->read_file(manifest_path())); }
+
 std::filesystem::path Archive::segment_path(std::uint64_t id) const {
   return dir_ / part_name(id, "seg");
 }
@@ -201,7 +205,10 @@ void Archive::store_snapshot(std::uint64_t partition_id, const core::Analysis& s
   write_manifest();
 }
 
-std::size_t Archive::compact(std::uint64_t max_logs) {
+std::size_t Archive::compact(std::uint64_t max_logs) { return compact(max_logs, nullptr); }
+
+std::size_t Archive::compact(std::uint64_t max_logs,
+                             std::vector<std::filesystem::path>* deferred_gc) {
   // Greedy pass: maximal runs of >= 2 adjacent partitions, each smaller than
   // max_logs, collapse into one partition at the run's position.  Raw frame
   // copy — logs keep their exact bytes and ingest order.
@@ -268,9 +275,15 @@ std::size_t Archive::compact(std::uint64_t max_logs) {
   // failed removal is deliberately non-fatal — the compact is already
   // durably committed and the leftovers are unreferenced garbage — but it
   // is never silent: each failure is logged and kept in gc_errors().
+  // An MVCC host passes `deferred_gc` to take over the removals instead:
+  // pinned readers may still be scanning the replaced segments.
   for (const std::uint64_t id : removed_ids) {
     for (const std::filesystem::path& path :
          {segment_path(id), index_path(id), snapshot_path(id)}) {
+      if (deferred_gc != nullptr) {
+        deferred_gc->push_back(path);
+        continue;
+      }
       try {
         vfs_->remove(path);
       } catch (const util::IoError& e) {

@@ -48,9 +48,16 @@ class Archive {
   const Manifest& manifest() const { return manifest_; }
   util::Vfs& vfs() const { return *vfs_; }
 
+  std::filesystem::path manifest_path() const;
   std::filesystem::path segment_path(std::uint64_t id) const;
   std::filesystem::path index_path(std::uint64_t id) const;
   std::filesystem::path snapshot_path(std::uint64_t id) const;
+
+  /// Re-read the manifest from disk, replacing the in-memory view.  Lets a
+  /// long-lived handle observe generations published by another process (the
+  /// service uses it to recover from a StaleReadError caused by an external
+  /// compactor).  Throws like open().
+  void reload();
 
   /// Buffers one partition's logs and seals them into the archive.
   class PartitionWriter {
@@ -117,6 +124,14 @@ class Archive {
   /// failure is deliberately non-fatal (the files are unreferenced garbage
   /// by then) — it is logged to stderr and recorded in `gc_errors()`.
   std::size_t compact(std::uint64_t max_logs);
+
+  /// MVCC-host variant: instead of deleting the replaced partitions' files,
+  /// append their paths to `deferred_gc` — the caller removes them once no
+  /// pinned reader can still reference the old generation (the archive
+  /// service's pin registry drives this).  With `deferred_gc == nullptr`
+  /// this is exactly compact(max_logs).
+  std::size_t compact(std::uint64_t max_logs,
+                      std::vector<std::filesystem::path>* deferred_gc);
 
   /// Failed garbage-collection removals of the most recent compact() —
   /// empty when every unreferenced file was deleted.

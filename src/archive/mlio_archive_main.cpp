@@ -9,6 +9,9 @@
 //                        [--no-write-snapshots] [--csv]
 //   mlio_archive verify  --dir D [--deep]
 //   mlio_archive compact --dir D [--max-logs N]
+//   mlio_archive serve   --dir D --requests N [--clients C] [--warmup W]
+//                        [--seed S] [--cache-mb M] [--mix G:I:C]
+//                        [--mlp-depth K]
 //
 // Every command also accepts `--fault-spec SPEC` (util/vfs.hpp grammar,
 // e.g. "seed=7;crash-at=12" or "short-write@2:*.seg"): the command then
@@ -18,8 +21,15 @@
 //
 // `query` prints the paper's Table 2/3/5/6 summaries over the whole archive
 // plus the cache telemetry (partitions scanned vs served from snapshots).
-// Exit status: 0 on success, 1 on a failed verify or corruption, 2 on usage
-// errors, 3 when a --fault-spec crash point fired.
+// `serve` runs the in-process archive service's closed-loop client pool
+// against the directory and prints per-kind latency percentiles; every
+// concurrent answer is verified against a serial replay of its pinned
+// generation.
+// Exit status: 0 on success, 1 on a failed verify, corruption, or serving
+// divergence, 2 on usage errors, 3 when a --fault-spec crash point fired,
+// 4 when a query lost the race against a concurrent compaction (the pinned
+// generation's segments were already garbage-collected — rerun the query
+// to read the new generation).
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -28,6 +38,7 @@
 
 #include "archive/ingest.hpp"
 #include "archive/query.hpp"
+#include "service/driver.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -59,6 +70,14 @@ struct Args {
   unsigned mlp_depth = archive::kDefaultMlpDepth;
   bool deep = false;
   bool csv = false;
+  // serve
+  std::uint64_t requests = 0;
+  unsigned clients = 4;
+  std::uint64_t warmup = 4;
+  std::uint64_t cache_mb = 256;
+  unsigned weight_get = 90;
+  unsigned weight_ingest = 8;
+  unsigned weight_compact = 2;
 };
 
 [[noreturn]] void usage(int rc) {
@@ -71,6 +90,8 @@ struct Args {
       "  query:   --threads T --mlp-depth K --no-write-snapshots --csv\n"
       "  verify:  --deep\n"
       "  compact: --max-logs N\n"
+      "  serve:   --requests N --clients C --warmup W --seed S --cache-mb M\n"
+      "           --mix G:I:C --mlp-depth K\n"
       "  all:     --fault-spec SPEC (deterministic fault injection; see util/vfs.hpp)\n");
   std::exit(rc);
 }
@@ -100,6 +121,18 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--threads")) a.threads = static_cast<unsigned>(std::strtoul(next("--threads"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--zlib-level")) a.zlib_level = static_cast<int>(std::strtol(next("--zlib-level"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--mlp-depth")) a.mlp_depth = static_cast<unsigned>(std::strtoul(next("--mlp-depth"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--requests")) a.requests = std::strtoull(next("--requests"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--clients")) a.clients = static_cast<unsigned>(std::strtoul(next("--clients"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--warmup")) a.warmup = std::strtoull(next("--warmup"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--cache-mb")) a.cache_mb = std::strtoull(next("--cache-mb"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--mix")) {
+      if (std::sscanf(next("--mix"), "%u:%u:%u", &a.weight_get, &a.weight_ingest,
+                      &a.weight_compact) != 3 ||
+          a.weight_get + a.weight_ingest + a.weight_compact == 0) {
+        std::fprintf(stderr, "bad --mix (want GET:INGEST:COMPACT weights)\n");
+        std::exit(2);
+      }
+    }
     else if (!std::strcmp(argv[i], "--no-huge")) a.huge = false;
     else if (!std::strcmp(argv[i], "--snapshots")) a.snapshots = true;
     else if (!std::strcmp(argv[i], "--no-write-snapshots")) a.write_snapshots = false;
@@ -247,6 +280,61 @@ int cmd_verify(const Args& a, util::Vfs& vfs) {
   return rep.ok() ? 0 : 1;
 }
 
+int cmd_serve(const Args& a, util::Vfs& vfs) {
+  if (a.requests == 0) {
+    std::fprintf(stderr, "serve: --requests N is required (closed-loop requests per client)\n");
+    return 2;
+  }
+  service::ArchiveService::Options sopts;
+  sopts.cache.capacity_bytes = a.cache_mb << 20;
+  sopts.mlp_depth = a.mlp_depth;
+  service::ArchiveService svc(a.dir, sopts, vfs);
+
+  service::WorkloadConfig wcfg;
+  wcfg.clients = a.clients;
+  wcfg.requests_per_client = a.requests;
+  wcfg.warmup_per_client = a.warmup;
+  wcfg.seed = a.seed;
+  wcfg.weight_get = a.weight_get;
+  wcfg.weight_ingest = a.weight_ingest;
+  wcfg.weight_compact = a.weight_compact;
+  wcfg.compact_max_logs = a.max_logs;
+  const std::vector<service::ServiceFrame> pool =
+      service::make_frame_pool(16, a.seed + 1);
+  const service::WorkloadReport rep = service::run_closed_loop(svc, wcfg, pool);
+
+  util::Table t({"kind", "count", "p50 us", "p90 us", "p99 us"});
+  const auto row = [&](const char* kind, std::uint64_t n, const util::LatencyHistogram& h) {
+    t.add_row({kind, util::format_count(static_cast<double>(n)),
+               util::format_fixed(h.p50_ns() * 1e-3, 1), util::format_fixed(h.p90_ns() * 1e-3, 1),
+               util::format_fixed(h.p99_ns() * 1e-3, 1)});
+  };
+  row("get", rep.gets, rep.get_latency);
+  row("ingest", rep.ingests, rep.ingest_latency);
+  row("compact", rep.compacts, rep.compact_latency);
+  std::printf("\n== Closed-loop serving (%u client(s)) ==\n", rep.clients);
+  emit(a, t);
+  std::printf(
+      "\n%.1f req/s over %.3f s; cache hit rate %.1f%% (%llu cache + %llu snapshot hits, "
+      "%llu rescans); %llu stale retr%s\n",
+      rep.throughput_rps(), rep.wall_seconds, 100.0 * rep.stats.query.cache_hit_rate(),
+      static_cast<unsigned long long>(rep.stats.query.cache_hits),
+      static_cast<unsigned long long>(rep.stats.query.snapshot_hits),
+      static_cast<unsigned long long>(rep.stats.query.partitions_scanned),
+      static_cast<unsigned long long>(rep.stats.stale_retries),
+      rep.stats.stale_retries == 1 ? "y" : "ies");
+  std::printf("verified %llu generation(s): %s\n",
+              static_cast<unsigned long long>(rep.verified_generations),
+              rep.ok() ? "all answers match serial replay"
+                       : "DIVERGED from serial replay");
+  if (!rep.ok()) {
+    std::fprintf(stderr, "serve: %llu answer(s) diverged from serial replay\n",
+                 static_cast<unsigned long long>(rep.divergent));
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_compact(const Args& a, util::Vfs& vfs) {
   archive::Archive ar = archive::Archive::open(a.dir, vfs);
   const std::size_t before = ar.manifest().partitions.size();
@@ -275,9 +363,21 @@ int main(int argc, char** argv) {
     if (a.cmd == "query") return cmd_query(a, *vfs);
     if (a.cmd == "verify") return cmd_verify(a, *vfs);
     if (a.cmd == "compact") return cmd_compact(a, *vfs);
+    if (a.cmd == "serve") return cmd_serve(a, *vfs);
   } catch (const util::SimulatedCrash& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 3;
+  } catch (const archive::StaleReadError& e) {
+    // The pinned generation lost the race against a concurrent compaction:
+    // its segments were garbage-collected after this process read the
+    // manifest.  Distinct exit code so wrappers can retry the query.
+    std::fprintf(stderr,
+                 "stale read: %s\n"
+                 "(generation %llu was superseded by generation %llu; rerun to query the "
+                 "current generation)\n",
+                 e.what(), static_cast<unsigned long long>(e.pinned_generation()),
+                 static_cast<unsigned long long>(e.current_generation()));
+    return 4;
   } catch (const util::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -15,7 +15,50 @@ using SteadyClock = std::chrono::steady_clock;
 double seconds_since(SteadyClock::time_point t0) {
   return std::chrono::duration<double>(SteadyClock::now() - t0).count();
 }
+
+/// A rebuild failed with `error` on `partition`.  When the on-disk manifest
+/// has moved past the pinned one and no longer references that partition's
+/// data generation, the failure is a lost race with a concurrent compaction
+/// (its GC deleted the pinned segment), not corruption — report it as such.
+[[noreturn]] void rethrow_rebuild_error(const Archive& archive, const PartitionInfo& partition,
+                                        std::exception_ptr error) {
+  try {
+    const Manifest fresh = read_manifest_bytes(archive.vfs().read_file(archive.manifest_path()));
+    if (fresh.generation > archive.manifest().generation) {
+      bool still_referenced = false;
+      for (const PartitionInfo& p : fresh.partitions) {
+        if (p.id == partition.id && p.data_generation == partition.data_generation) {
+          still_referenced = true;
+          break;
+        }
+      }
+      if (!still_referenced) {
+        throw StaleReadError(archive.manifest().generation, fresh.generation, partition.id);
+      }
+    }
+  } catch (const StaleReadError&) {
+    throw;
+  } catch (...) {
+    // The manifest probe itself failed — fall through to the original error.
+  }
+  std::rethrow_exception(error);
+}
 }  // namespace
+
+void QueryStats::merge(const QueryStats& other) {
+  partitions += other.partitions;
+  cache_hits += other.cache_hits;
+  snapshot_hits += other.snapshot_hits;
+  partitions_scanned += other.partitions_scanned;
+  logs_scanned += other.logs_scanned;
+  snapshots_written += other.snapshots_written;
+  scan_seconds += other.scan_seconds;
+  merge_seconds += other.merge_seconds;
+  total_seconds += other.total_seconds;
+  parse_seconds += other.parse_seconds;
+  summarize_seconds += other.summarize_seconds;
+  accumulate_seconds += other.accumulate_seconds;
+}
 
 QueryResult query_archive(Archive& archive, const QueryOptions& opts) {
   QueryScratch scratch;
@@ -49,6 +92,7 @@ QueryResult query_archive(Archive& archive, const QueryOptions& opts, QueryScrat
     // Pool workers are noexcept, so corruption errors (FormatError from a
     // damaged segment) are carried out by hand and rethrown on the caller.
     std::exception_ptr first_error;
+    std::size_t first_error_slot = 0;  ///< partition index of first_error
     std::mutex error_mu;
     util::ThreadPool pool(opts.threads);
     // Per-worker decode/summarize scratch, indexed by the dense worker slot.
@@ -85,11 +129,14 @@ QueryResult query_archive(Archive& archive, const QueryOptions& opts, QueryScrat
               shards[slot] = std::move(shard);
             } catch (...) {
               const std::scoped_lock lock(error_mu);
-              if (!first_error) first_error = std::current_exception();
+              if (!first_error) {
+                first_error = std::current_exception();
+                first_error_slot = slot;
+              }
             }
           }
         });
-    if (first_error) std::rethrow_exception(first_error);
+    if (first_error) rethrow_rebuild_error(archive, partitions[first_error_slot], first_error);
     stats.partitions_scanned = rebuild.size();
     for (const std::uint64_t n : scanned) stats.logs_scanned += n;
     for (unsigned i = 0; i < pool.thread_count(); ++i) {

@@ -17,8 +17,37 @@
 #include "archive/archive.hpp"
 #include "core/analysis.hpp"
 #include "core/snapshot.hpp"
+#include "util/error.hpp"
 
 namespace mlio::archive {
+
+/// Thrown when a query pinned at manifest generation G loses the race with a
+/// concurrent compaction: the pinned manifest references segment files that a
+/// newer generation's garbage collection already deleted.  The archive itself
+/// is healthy — the caller should reopen (or re-pin) and retry at the current
+/// generation.  Distinct from IoError/FormatError so front ends can report
+/// "retry" instead of "corruption" (mlio_archive exits 4 on it).
+class StaleReadError : public util::Error {
+ public:
+  StaleReadError(std::uint64_t pinned_generation, std::uint64_t current_generation,
+                 std::uint64_t partition_id)
+      : util::Error("stale read: partition " + std::to_string(partition_id) +
+                    " of manifest generation " + std::to_string(pinned_generation) +
+                    " was removed by a concurrent compaction (archive is now at generation " +
+                    std::to_string(current_generation) + "); reopen and retry the query"),
+        pinned_generation_(pinned_generation),
+        current_generation_(current_generation),
+        partition_id_(partition_id) {}
+
+  std::uint64_t pinned_generation() const { return pinned_generation_; }
+  std::uint64_t current_generation() const { return current_generation_; }
+  std::uint64_t partition_id() const { return partition_id_; }
+
+ private:
+  std::uint64_t pinned_generation_;
+  std::uint64_t current_generation_;
+  std::uint64_t partition_id_;
+};
 
 struct QueryOptions {
   unsigned threads = 0;  ///< 0 = hardware concurrency
@@ -45,9 +74,16 @@ struct QueryScratch {
   std::vector<core::AnalyzeScratch> analyze;
 };
 
+/// Per-query telemetry.  This is the ONE aggregation vocabulary for the
+/// query engine and the archive service: the service's per-request stats
+/// embed a QueryStats, and every consumer (bench_archive, bench_service,
+/// the CLI) folds instances together through merge() and reads the hit rate
+/// through cache_hit_rate() — never through ad-hoc field sums — so "cache
+/// hit rate" means exactly one thing everywhere.
 struct QueryStats {
-  std::uint64_t partitions = 0;         ///< partitions in the archive
-  std::uint64_t snapshot_hits = 0;      ///< shards served from cache
+  std::uint64_t partitions = 0;         ///< partitions in the queried manifest
+  std::uint64_t cache_hits = 0;         ///< shards served from the in-memory shared cache
+  std::uint64_t snapshot_hits = 0;      ///< shards served from on-disk snapshots
   std::uint64_t partitions_scanned = 0; ///< shards rebuilt from segments
   std::uint64_t logs_scanned = 0;       ///< logs decoded during rebuilds
   std::uint64_t snapshots_written = 0;  ///< shards written back
@@ -60,6 +96,20 @@ struct QueryStats {
   double parse_seconds = 0;       ///< frame decode (inflate + body parse)
   double summarize_seconds = 0;   ///< records -> FileSummary reduction
   double accumulate_seconds = 0;  ///< feeding the Analysis accumulators
+
+  /// Field-wise accumulation (counts and seconds both sum).
+  void merge(const QueryStats& other);
+
+  /// Shards resolved by this query, however they were produced.
+  std::uint64_t shards_served() const { return cache_hits + snapshot_hits + partitions_scanned; }
+  /// Fraction of shards served without a segment rescan (memory + disk
+  /// snapshot hits over shards served); 0 when nothing was served.
+  double cache_hit_rate() const {
+    const std::uint64_t served = shards_served();
+    return served ? static_cast<double>(cache_hits + snapshot_hits) /
+                        static_cast<double>(served)
+                  : 0.0;
+  }
 };
 
 struct QueryResult {

@@ -29,6 +29,12 @@ std::vector<std::byte> write_snapshot_bytes(const Analysis& analysis, std::uint6
   return frame.take();
 }
 
+std::uint64_t serialized_analysis_bytes(const Analysis& analysis) {
+  util::ByteWriter w;
+  analysis.save(w);
+  return w.size();
+}
+
 void write_snapshot_file(const Analysis& analysis, std::uint64_t tag,
                          const std::filesystem::path& path, const SnapshotWriteOptions& opts) {
   util::write_file_atomic(path, write_snapshot_bytes(analysis, tag, opts));

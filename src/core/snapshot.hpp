@@ -47,4 +47,10 @@ void write_snapshot_file(const Analysis& analysis, std::uint64_t tag,
 Analysis read_snapshot_bytes(std::span<const std::byte> data, std::uint64_t* tag = nullptr);
 Analysis read_snapshot_file(const std::filesystem::path& path, std::uint64_t* tag = nullptr);
 
+/// Uncompressed serialized size of an analysis — the canonical byte weight a
+/// resident Analysis is charged against a memory budget (the service's
+/// shared shard cache uses it; the heap footprint tracks it closely because
+/// Analysis::save writes every accumulator verbatim).
+std::uint64_t serialized_analysis_bytes(const Analysis& analysis);
+
 }  // namespace mlio::core

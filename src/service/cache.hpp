@@ -1,0 +1,121 @@
+// Bounded, shard-sharded LRU cache of analysis shards for the archive
+// service.
+//
+// Keys are (partition id, data generation): a partition rewritten by
+// compaction gets a new data generation, so entries for the old bytes are
+// simply unreachable — generation-keyed invalidation without any epoch
+// bookkeeping.  The writer additionally calls purge() after each publish to
+// reclaim the bytes of unreachable entries eagerly.
+//
+// The cache is split into independently locked shards (partition id hashed
+// to a shard) so concurrent readers do not serialize on one mutex; each
+// shard owns an LRU list bounded by capacity_bytes / shards.
+//
+// Admission is by recomputation cost: inserting an entry may evict
+// least-recently-used residents to make room, but only when the evicted
+// residents are in total CHEAPER to recompute than the candidate — a cheap
+// shard can never displace more rebuild-time than it brings, so a burst of
+// low-value shards cannot flush the expensive ones.  An entry larger than a
+// whole shard budget is rejected outright (the service then serves it by
+// rebuilding every time — correct, just uncached; the cache-bounds test
+// pins that degradation).
+//
+// Values are shared_ptr<const core::Analysis>: readers keep their reference
+// across an eviction, so eviction never invalidates an answer in flight.
+//
+// Counter reconciliation invariant (checked by tests):
+//   insertions == entries + evictions + purged
+// and hits + misses == lookups.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/analysis.hpp"
+
+namespace mlio::service {
+
+struct CacheKey {
+  std::uint64_t partition_id = 0;
+  std::uint64_t data_generation = 0;
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// Monotonic counters describing the cache's whole life (snapshot taken
+/// under the shard locks, so the reconciliation invariant holds exactly).
+struct CacheCounters {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejected = 0;  ///< admissions refused (size or cost policy)
+  std::uint64_t purged = 0;    ///< entries dropped by generation purge
+  std::uint64_t entries = 0;   ///< resident entries right now
+  std::uint64_t bytes_used = 0;
+};
+
+class SnapshotCache {
+ public:
+  struct Options {
+    std::uint64_t capacity_bytes = 256ull << 20;
+    /// Lock shards (rounded up to a power of two, min 1).
+    unsigned shards = 8;
+  };
+
+  explicit SnapshotCache(const Options& opts);
+
+  /// nullptr on miss; a hit refreshes the entry's LRU position.
+  std::shared_ptr<const core::Analysis> get(const CacheKey& key);
+
+  /// Offer an entry.  `size_bytes` is its budget charge
+  /// (core::serialized_analysis_bytes), `cost_ns` the measured time to
+  /// produce it (rebuild or snapshot load) — the admission currency.
+  /// Returns false when admission rejected it.  Re-inserting a resident key
+  /// refreshes its LRU position and returns true without counting an
+  /// insertion.
+  bool insert(const CacheKey& key, std::shared_ptr<const core::Analysis> value,
+              std::uint64_t size_bytes, std::uint64_t cost_ns);
+
+  /// Drop every entry for which `stale` returns true (the service passes
+  /// "not referenced by the current manifest").  Returns the number dropped.
+  std::size_t purge(const std::function<bool(const CacheKey&)>& stale);
+
+  CacheCounters counters() const;
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+  unsigned shard_count() const { return static_cast<unsigned>(shards_.size()); }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<const core::Analysis> value;
+    std::uint64_t size_bytes = 0;
+    std::uint64_t cost_ns = 0;
+  };
+
+  struct KeyHash {
+    std::size_t operator()(const CacheKey& k) const;
+  };
+
+  /// One lock domain: LRU list (front = most recent) plus key index.
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+    std::uint64_t bytes_used = 0;
+    CacheCounters counters;  ///< entries/bytes_used maintained on the fly
+  };
+
+  Shard& shard_of(const CacheKey& key);
+
+  std::uint64_t capacity_bytes_;
+  std::uint64_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace mlio::service

@@ -1,0 +1,80 @@
+// Closed-loop workload driver for ArchiveService (DESIGN.md §11).
+//
+// Modeled on memcached-style load generators: a fixed pool of client
+// threads, each issuing its next request only after the previous one
+// completes (closed loop), drawing request kinds from a seeded weighted mix
+// of get / ingest / compact.  Each client runs an unrecorded warmup phase,
+// then all clients cross a start barrier together and the measured phase is
+// timed as one wall-clock interval — so throughput is requests / wall and
+// latency histograms only contain steady-state samples.
+//
+// Verification: every measured get() records (generation, fingerprint)
+// and the FIRST pin observed for each generation is retained, which blocks
+// deferred GC for that generation's files.  After the run, each distinct
+// generation is replayed serially (ArchiveService::replay_serial — cache
+// free, snapshot free, mlp_depth 1) and every concurrent answer must match
+// the replay bit for bit.  A divergence is a correctness bug, and
+// bench_service exits nonzero on it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "service/service.hpp"
+#include "util/latency.hpp"
+
+namespace mlio::service {
+
+struct WorkloadConfig {
+  unsigned clients = 4;
+  std::uint64_t requests_per_client = 64;  ///< measured requests per thread
+  std::uint64_t warmup_per_client = 8;     ///< unrecorded gets before the barrier
+  std::uint64_t seed = 42;                 ///< per-client streams derive from this
+
+  /// Request-mix weights (relative, need not sum to anything).
+  unsigned weight_get = 90;
+  unsigned weight_ingest = 8;
+  unsigned weight_compact = 2;
+
+  std::uint64_t logs_per_ingest = 4;    ///< frames appended per ingest request
+  std::uint64_t compact_max_logs = 48;  ///< Archive::compact threshold
+  bool verify = true;                   ///< serial-replay every observed generation
+};
+
+struct WorkloadReport {
+  unsigned clients = 0;
+  double wall_seconds = 0;     ///< measured phase only (post-barrier)
+  std::uint64_t requests = 0;  ///< measured requests, all kinds
+  std::uint64_t gets = 0;
+  std::uint64_t ingests = 0;
+  std::uint64_t compacts = 0;
+
+  util::LatencyHistogram get_latency;
+  util::LatencyHistogram ingest_latency;
+  util::LatencyHistogram compact_latency;
+
+  ServiceStats stats;   ///< merged over every measured request
+  CacheCounters cache;  ///< final cache snapshot (whole service life)
+
+  std::uint64_t generations_observed = 0;  ///< distinct generations answered at
+  std::uint64_t verified_generations = 0;  ///< generations serially replayed
+  std::uint64_t divergent = 0;             ///< answers that contradicted the replay
+
+  double throughput_rps() const {
+    return wall_seconds > 0 ? static_cast<double>(requests) / wall_seconds : 0;
+  }
+  bool ok() const { return divergent == 0; }
+};
+
+/// Pre-serialize a pool of frames for ingest requests (deterministic in
+/// seed; the driver cycles through it so ingest costs an append, not a
+/// workload generation).
+std::vector<ServiceFrame> make_frame_pool(std::uint64_t n_jobs, std::uint64_t seed);
+
+/// Run the closed loop against a live service.  The frame pool must be
+/// non-empty when weight_ingest > 0.
+WorkloadReport run_closed_loop(ArchiveService& service, const WorkloadConfig& cfg,
+                               const std::vector<ServiceFrame>& frame_pool);
+
+}  // namespace mlio::service

@@ -1,0 +1,298 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <unordered_set>
+#include <utility>
+
+#include "core/snapshot.hpp"
+#include "util/error.hpp"
+
+namespace mlio::service {
+
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(SteadyClock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() - t0).count());
+}
+
+/// Lock a mutex, charging the wait to `stats.queue_wait_ns`.
+std::unique_lock<std::mutex> timed_lock(std::mutex& mu, ServiceStats* stats) {
+  const auto t0 = SteadyClock::now();
+  std::unique_lock<std::mutex> lock(mu);
+  if (stats != nullptr) stats->queue_wait_ns += ns_since(t0);
+  return lock;
+}
+}  // namespace
+
+ArchiveService::ArchiveService(const std::filesystem::path& dir, const Options& opts,
+                               util::Vfs& vfs)
+    : archive_(archive::Archive::open(dir, vfs)), opts_(opts), cache_(opts.cache) {
+  published_ = std::make_shared<const archive::Manifest>(archive_.manifest());
+}
+
+ArchiveService::ArchiveService(const std::filesystem::path& dir)
+    : ArchiveService(dir, Options{}) {}
+
+ArchiveService::~ArchiveService() {
+  // Any pins still alive here are use-after-free bugs in the caller; the
+  // best we can do is drain the GC list unconditionally.
+  {
+    const std::scoped_lock lock(pin_mu_);
+    pinned_generations_.clear();
+  }
+  sweep_gc();
+}
+
+ArchiveService::Pin ArchiveService::pin() {
+  const std::scoped_lock lock(pin_mu_);
+  Pin p;
+  p.manifest_ = published_;
+  const auto it = pinned_generations_.insert(published_->generation);
+  // The registration token unpins on destruction, from whichever thread
+  // drops the last copy, then lets deferred GC advance.
+  p.registration_ = std::shared_ptr<void>(nullptr, [this, it](void*) {
+    {
+      const std::scoped_lock inner(pin_mu_);
+      pinned_generations_.erase(it);
+    }
+    sweep_gc();
+  });
+  return p;
+}
+
+std::uint64_t ArchiveService::generation() const {
+  const std::scoped_lock lock(pin_mu_);
+  return published_->generation;
+}
+
+std::size_t ArchiveService::deferred_gc_pending() const {
+  const std::scoped_lock lock(gc_mu_);
+  std::size_t n = 0;
+  for (const DeferredGc& d : deferred_) n += d.files.size();
+  return n;
+}
+
+std::vector<std::string> ArchiveService::gc_errors() const {
+  const std::scoped_lock lock(gc_mu_);
+  return gc_errors_;
+}
+
+void ArchiveService::publish_locked() {
+  auto next = std::make_shared<const archive::Manifest>(archive_.manifest());
+  {
+    const std::scoped_lock lock(pin_mu_);
+    published_ = next;
+  }
+  // Drop cache entries the new manifest no longer references.  Entries for
+  // still-pinned older generations are dropped too — by definition those
+  // generations are on their way out, and correctness never depends on the
+  // cache (a pinned reader just rebuilds).
+  std::unordered_set<std::uint64_t> live;
+  live.reserve(next->partitions.size());
+  for (const archive::PartitionInfo& p : next->partitions) {
+    live.insert(p.id * 0x100000001b3ull + p.data_generation);
+  }
+  cache_.purge([&](const CacheKey& k) {
+    return live.find(k.partition_id * 0x100000001b3ull + k.data_generation) == live.end();
+  });
+}
+
+void ArchiveService::sweep_gc() {
+  std::vector<DeferredGc> ready;
+  {
+    const std::scoped_lock gc_lock(gc_mu_);
+    const std::scoped_lock pin_lock(pin_mu_);
+    const std::uint64_t oldest_pin =
+        pinned_generations_.empty() ? ~0ull : *pinned_generations_.begin();
+    for (auto it = deferred_.begin(); it != deferred_.end();) {
+      // A pin taken at generation >= publish_generation sees the merged
+      // partitions, never the sources — only OLDER pins block deletion.
+      if (oldest_pin >= it->publish_generation) {
+        ready.push_back(std::move(*it));
+        it = deferred_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const DeferredGc& d : ready) {
+    for (const std::filesystem::path& path : d.files) {
+      try {
+        archive_.vfs().remove(path);
+      } catch (const util::IoError& e) {
+        const std::scoped_lock lock(gc_mu_);
+        gc_errors_.emplace_back(e.what());
+        std::fprintf(stderr, "service: deferred gc: %s\n", e.what());
+      }
+    }
+  }
+}
+
+bool ArchiveService::refresh_from_disk() {
+  const std::scoped_lock writer_lock(writer_mu_);
+  try {
+    const archive::Manifest fresh =
+        archive::read_manifest_bytes(archive_.vfs().read_file(archive_.manifest_path()));
+    if (fresh.generation <= archive_.manifest().generation) return false;
+  } catch (const util::Error&) {
+    return false;
+  }
+  archive_.reload();
+  publish_locked();
+  return true;
+}
+
+std::shared_ptr<const core::Analysis> ArchiveService::resolve_shard(
+    const archive::PartitionInfo& p, ServiceStats& stats) {
+  const CacheKey key{p.id, p.data_generation};
+  if (std::shared_ptr<const core::Analysis> hit = cache_.get(key)) {
+    stats.query.cache_hits += 1;
+    return hit;
+  }
+
+  const auto t0 = SteadyClock::now();
+  std::shared_ptr<const core::Analysis> shard;
+  if (std::optional<core::Analysis> snap = archive_.load_snapshot(p)) {
+    stats.query.snapshot_hits += 1;
+    shard = std::make_shared<const core::Analysis>(*std::move(snap));
+  } else {
+    // Rescan with per-thread scratch: clients are plain threads, so the
+    // reusable decode state lives in thread_local storage instead of a
+    // worker-slot array.
+    thread_local archive::Archive::ScanScratch scan_scratch;
+    thread_local core::AnalyzeScratch analyze_scratch;
+    archive::ScanOptions scan_opts;
+    scan_opts.mlp_depth = opts_.mlp_depth;
+    auto building = std::make_shared<core::Analysis>();
+    std::uint64_t logs = 0;
+    archive_.scan_partition(
+        p,
+        [&](const darshan::LogData& log) {
+          building->add(log, analyze_scratch);
+          logs += 1;
+        },
+        scan_scratch, scan_opts);
+    stats.query.partitions_scanned += 1;
+    stats.query.logs_scanned += logs;
+    shard = std::move(building);
+  }
+  const std::uint64_t cost_ns = ns_since(t0);
+  cache_.insert(key, shard, core::serialized_analysis_bytes(*shard), cost_ns);
+  return shard;
+}
+
+ArchiveService::GetResult ArchiveService::get_pinned(const Pin& pin, bool keep_analysis) {
+  MLIO_ASSERT(pin.valid());
+  const auto t0 = SteadyClock::now();
+  GetResult r;
+  r.generation = pin.generation();
+  r.pin = pin;
+  r.stats.requests = 1;
+  r.stats.query.partitions = pin.manifest().partitions.size();
+
+  const auto t_scan = SteadyClock::now();
+  std::vector<std::shared_ptr<const core::Analysis>> shards;
+  shards.reserve(pin.manifest().partitions.size());
+  for (const archive::PartitionInfo& p : pin.manifest().partitions) {
+    shards.push_back(resolve_shard(p, r.stats));
+  }
+  r.stats.scan_ns = ns_since(t_scan);
+  r.stats.query.scan_seconds = static_cast<double>(r.stats.scan_ns) * 1e-9;
+
+  const auto t_merge = SteadyClock::now();
+  auto merged = std::make_shared<core::Analysis>();
+  for (const auto& shard : shards) merged->merge(*shard);
+  r.stats.merge_ns = ns_since(t_merge);
+  r.stats.query.merge_seconds = static_cast<double>(r.stats.merge_ns) * 1e-9;
+
+  r.fingerprint = merged->fingerprint();
+  if (keep_analysis) r.analysis = std::move(merged);
+  r.stats.query.total_seconds = static_cast<double>(ns_since(t0)) * 1e-9;
+  return r;
+}
+
+ArchiveService::GetResult ArchiveService::get(bool keep_analysis) {
+  ServiceStats carried;  // wait + retry cost accumulated across attempts
+  for (unsigned attempt = 0;; ++attempt) {
+    const auto t0 = SteadyClock::now();
+    Pin p = pin();
+    carried.queue_wait_ns += ns_since(t0);
+    try {
+      GetResult r = get_pinned(p, keep_analysis);
+      r.stats.queue_wait_ns += carried.queue_wait_ns;
+      r.stats.stale_retries += carried.stale_retries;
+      return r;
+    } catch (const archive::StaleReadError&) {
+      // Our own GC can't outrun a live pin, so the race was external (or the
+      // pin predates an external publish): resync from disk and retry.
+      if (attempt >= opts_.max_stale_retries) throw;
+      carried.stale_retries += 1;
+      refresh_from_disk();
+    } catch (const util::IoError&) {
+      // A vanished file without a newer manifest on disk yet: same recovery,
+      // bounded the same way.
+      if (attempt >= opts_.max_stale_retries) throw;
+      carried.stale_retries += 1;
+      if (!refresh_from_disk()) throw;
+    }
+  }
+}
+
+core::Analysis ArchiveService::replay_serial(const Pin& pin) const {
+  MLIO_ASSERT(pin.valid());
+  core::Analysis replay;
+  archive::Archive::ScanScratch scratch;
+  archive::ScanOptions scan_opts;
+  scan_opts.mlp_depth = 1;  // the seed's one-log-at-a-time loop, verbatim
+  for (const archive::PartitionInfo& p : pin.manifest().partitions) {
+    core::Analysis shard;
+    archive_.scan_partition(
+        p, [&](const darshan::LogData& log) { shard.add(log); }, scratch, scan_opts);
+    replay.merge(shard);
+  }
+  return replay;
+}
+
+ArchiveService::IngestResult ArchiveService::ingest(std::span<const ServiceFrame> frames,
+                                                    ServiceStats* stats) {
+  std::unique_lock<std::mutex> lock = timed_lock(writer_mu_, stats);
+  if (stats != nullptr) stats->requests += 1;
+  archive::Archive::PartitionWriter w = archive_.begin_partition();
+  for (const ServiceFrame& f : frames) w.append_frame(f.job, f.bytes);
+  IngestResult r;
+  r.partition = w.seal();
+  if (opts_.write_snapshots_on_ingest) {
+    core::Analysis shard;
+    archive_.scan_partition(r.partition, [&](const darshan::LogData& log) { shard.add(log); });
+    archive_.store_snapshot(r.partition.id, shard);
+    // store_snapshot republished the manifest; pick up the new stamp.
+    for (const archive::PartitionInfo& p : archive_.manifest().partitions) {
+      if (p.id == r.partition.id) r.partition = p;
+    }
+  }
+  publish_locked();
+  r.generation = archive_.manifest().generation;
+  return r;
+}
+
+std::size_t ArchiveService::compact(std::uint64_t max_logs, ServiceStats* stats) {
+  std::size_t removed = 0;
+  {
+    std::unique_lock<std::mutex> lock = timed_lock(writer_mu_, stats);
+    if (stats != nullptr) stats->requests += 1;
+    std::vector<std::filesystem::path> doomed;
+    removed = archive_.compact(max_logs, &doomed);
+    if (removed > 0) publish_locked();
+    if (!doomed.empty()) {
+      const std::scoped_lock gc_lock(gc_mu_);
+      deferred_.push_back(DeferredGc{archive_.manifest().generation, std::move(doomed)});
+    }
+  }
+  sweep_gc();
+  return removed;
+}
+
+}  // namespace mlio::service

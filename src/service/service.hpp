@@ -1,0 +1,202 @@
+// In-process, multi-threaded archive query service (DESIGN.md §11).
+//
+// One ArchiveService owns one archive directory and serves many concurrent
+// reader threads while a single logical writer (ingest / compact, serialized
+// internally) advances the manifest.  Isolation is MVCC by construction:
+//
+//   * Readers pin() an immutable snapshot of the manifest (a shared_ptr copy
+//     — no lock held during the query).  Segment and snapshot files are
+//     never modified in place, only atomically replaced or added, so a
+//     pinned manifest describes a frozen, fully consistent archive: a get()
+//     at generation G is bit-identical to a serial replay of G no matter
+//     what the writer publishes meanwhile (the MVCC-under-load test pins
+//     exactly that property).
+//   * The writer publishes by committing through the Archive's
+//     manifest-last protocol, then swapping the service's current manifest
+//     pointer.  Compaction garbage-collection is DEFERRED: replaced files
+//     join a generation-stamped GC list and are deleted only when no live
+//     pin is older than the publishing generation, so the service's own
+//     readers can never lose the compaction race.  (External readers of the
+//     same directory still can — query_archive turns that into
+//     StaleReadError, and get() recovers from it by reloading and
+//     re-pinning, which also covers an *external* compactor racing this
+//     service.)
+//
+// All readers share one bounded SnapshotCache of analysis shards keyed by
+// (partition id, data generation); shard misses fall back to the on-disk
+// snapshot, then to a segment rescan, and the result is offered back to the
+// cache charged at its serialized size with its measured rebuild cost.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "archive/archive.hpp"
+#include "archive/query.hpp"
+#include "archive/scan.hpp"
+#include "service/cache.hpp"
+#include "util/vfs.hpp"
+
+namespace mlio::service {
+
+/// One pre-serialized log ready for ingestion: the framed bytes plus the job
+/// record the partition index needs.  The closed-loop driver captures a pool
+/// of these once so ingest requests cost an append, not a generation.
+struct ServiceFrame {
+  darshan::JobRecord job;
+  std::vector<std::byte> bytes;
+};
+
+/// Per-request telemetry.  Embeds the query engine's QueryStats so the
+/// service, bench_service, and bench_archive share one definition of every
+/// counter — in particular cache_hit_rate() (satellite of ISSUE 7).
+struct ServiceStats {
+  archive::QueryStats query;
+  std::uint64_t requests = 0;       ///< requests folded into this instance
+  std::uint64_t queue_wait_ns = 0;  ///< time blocked on service locks
+  std::uint64_t scan_ns = 0;        ///< wall time resolving shards
+  std::uint64_t merge_ns = 0;       ///< wall time merging shards
+  std::uint64_t stale_retries = 0;  ///< re-pins after losing a GC race
+
+  void merge(const ServiceStats& other) {
+    query.merge(other.query);
+    requests += other.requests;
+    queue_wait_ns += other.queue_wait_ns;
+    scan_ns += other.scan_ns;
+    merge_ns += other.merge_ns;
+    stale_retries += other.stale_retries;
+  }
+};
+
+class ArchiveService {
+ public:
+  struct Options {
+    SnapshotCache::Options cache;
+    /// Logs in flight per scan during shard rebuilds (bit-identical at any
+    /// depth — archive/scan.hpp).
+    unsigned mlp_depth = archive::kDefaultMlpDepth;
+    /// get() re-pins and retries this many times on a stale read before
+    /// letting the StaleReadError out.
+    unsigned max_stale_retries = 3;
+    /// Persist rebuilt shards as on-disk snapshots during ingest(): the
+    /// first get() after a publish then hits disk snapshots instead of
+    /// rescanning.  Off by default — the shared in-memory cache is the
+    /// serving path, and snapshot writes would serialize readers behind the
+    /// manifest lock.
+    bool write_snapshots_on_ingest = false;
+  };
+
+  /// Opens an existing archive (throws like Archive::open).  The Vfs must
+  /// outlive the service.
+  explicit ArchiveService(const std::filesystem::path& dir, const Options& opts,
+                          util::Vfs& vfs = util::real_vfs());
+  explicit ArchiveService(const std::filesystem::path& dir);
+  ~ArchiveService();
+
+  ArchiveService(const ArchiveService&) = delete;
+  ArchiveService& operator=(const ArchiveService&) = delete;
+
+  /// A pinned manifest generation.  Copyable and cheap; the pinned
+  /// generation's files are GC-protected for as long as any copy lives.
+  /// Pins must not outlive the service.
+  class Pin {
+   public:
+    Pin() = default;
+    const archive::Manifest& manifest() const { return *manifest_; }
+    std::uint64_t generation() const { return manifest_ ? manifest_->generation : 0; }
+    bool valid() const { return manifest_ != nullptr; }
+
+   private:
+    friend class ArchiveService;
+    std::shared_ptr<const archive::Manifest> manifest_;
+    std::shared_ptr<void> registration_;  ///< deleter unregisters + sweeps GC
+  };
+
+  /// Pin the current generation (readers may also just call get()).
+  Pin pin();
+
+  struct GetResult {
+    std::uint64_t fingerprint = 0;
+    std::uint64_t generation = 0;
+    ServiceStats stats;  ///< this request only
+    Pin pin;             ///< the generation the answer reflects
+    /// The merged analysis; populated only when requested (it is the answer
+    /// a real client would consume, but the bench only needs the digest).
+    std::shared_ptr<const core::Analysis> analysis;
+  };
+
+  /// Answer a whole-archive query at the current generation.  Thread-safe;
+  /// any number of concurrent callers.  Retries internally on a stale read.
+  GetResult get(bool keep_analysis = false);
+
+  /// Same, but against an explicit pin (no retry — the pin's files are
+  /// GC-protected, so a stale read here means an external actor interfered).
+  GetResult get_pinned(const Pin& pin, bool keep_analysis = false);
+
+  /// The verification oracle: a serial, cache-free, snapshot-free replay of
+  /// a pinned generation — every shard rebuilt from its segment at
+  /// mlp_depth 1, merged in manifest order.  Concurrent get() answers for
+  /// that generation must match its fingerprint bit for bit.
+  core::Analysis replay_serial(const Pin& pin) const;
+
+  struct IngestResult {
+    archive::PartitionInfo partition;
+    std::uint64_t generation = 0;  ///< generation after the publish
+  };
+
+  /// Append one partition (writer path; serialized internally).
+  IngestResult ingest(std::span<const ServiceFrame> frames, ServiceStats* stats = nullptr);
+
+  /// Compact with deferred GC (writer path; serialized internally).
+  /// Returns the number of partitions removed.
+  std::size_t compact(std::uint64_t max_logs, ServiceStats* stats = nullptr);
+
+  std::uint64_t generation() const;
+  CacheCounters cache_counters() const { return cache_.counters(); }
+  /// Files awaiting pin-gated deletion (tests assert it drains to 0).
+  std::size_t deferred_gc_pending() const;
+  /// Failed deferred-GC removals (non-fatal, mirrors Archive::gc_errors).
+  std::vector<std::string> gc_errors() const;
+
+ private:
+  struct DeferredGc {
+    std::uint64_t publish_generation = 0;  ///< safe to delete once no pin is older
+    std::vector<std::filesystem::path> files;
+  };
+
+  /// Swap the published manifest to the archive's current state and purge
+  /// cache entries the new manifest no longer references.  Caller holds
+  /// writer_mu_.
+  void publish_locked();
+  /// Delete deferred files whose publishing generation no pin predates.
+  void sweep_gc();
+  /// Reload the manifest from disk if another process advanced it; returns
+  /// true when the published generation moved.
+  bool refresh_from_disk();
+
+  /// Resolve one partition's shard: cache -> disk snapshot -> rescan.
+  std::shared_ptr<const core::Analysis> resolve_shard(const archive::PartitionInfo& p,
+                                                      ServiceStats& stats);
+
+  archive::Archive archive_;  ///< manifest mutated only under writer_mu_
+  Options opts_;
+
+  mutable std::mutex pin_mu_;  ///< guards published_ and pinned_generations_
+  std::shared_ptr<const archive::Manifest> published_;
+  std::multiset<std::uint64_t> pinned_generations_;
+
+  std::mutex writer_mu_;          ///< serializes ingest/compact/publish
+  mutable std::mutex gc_mu_;      ///< guards deferred_ and gc_errors_
+  std::vector<DeferredGc> deferred_;
+  std::vector<std::string> gc_errors_;
+
+  SnapshotCache cache_;
+};
+
+}  // namespace mlio::service

@@ -1,0 +1,62 @@
+#include "util/latency.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace mlio::util {
+
+std::size_t LatencyHistogram::index_of(std::uint64_t ns) {
+  if (ns < kSubBuckets) return static_cast<std::size_t>(ns);  // exact small values
+  // Octave = position of the msb above the sub-bucket region; the sub-bucket
+  // is the kSubBucketBits bits immediately below the msb.
+  const unsigned shift = static_cast<unsigned>(std::bit_width(ns)) - (kSubBucketBits + 1);
+  const std::uint64_t sub = (ns >> shift) & (kSubBuckets - 1);
+  return static_cast<std::size_t>((static_cast<std::uint64_t>(shift) + 1) * kSubBuckets + sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_floor(std::size_t index) {
+  if (index < kSubBuckets) return index;
+  const std::uint64_t shift = index / kSubBuckets - 1;
+  const std::uint64_t sub = index % kSubBuckets;
+  return (kSubBuckets + sub) << shift;
+}
+
+void LatencyHistogram::record(std::uint64_t ns) {
+  counts_[index_of(ns)] += 1;
+  count_ += 1;
+  sum_ += ns;
+  min_ = std::min(min_, ns);
+  max_ = std::max(max_, ns);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double LatencyHistogram::quantile_ns(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      // Midpoint of the bucket's range, clamped into the observed envelope so
+      // a one-sample histogram reports exactly its sample.
+      const std::uint64_t lo = bucket_floor(i);
+      const std::uint64_t width = i < kSubBuckets ? 1 : (1ull << (i / kSubBuckets - 1));
+      const double mid = static_cast<double>(lo) + static_cast<double>(width) / 2.0;
+      return std::clamp(mid, static_cast<double>(min_), static_cast<double>(max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+}  // namespace mlio::util

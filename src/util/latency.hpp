@@ -1,0 +1,62 @@
+// Fixed-footprint latency recording for the closed-loop service bench.
+//
+// A LatencyHistogram is an HDR-style log-linear histogram over nanosecond
+// values: 32 linear sub-buckets per power-of-two octave (~3% relative
+// resolution), 64-bit range, ~15 KB of counters, no allocation after
+// construction.  Recording is O(1); percentiles walk the cumulative counts.
+// Histograms merge by element-wise addition, so per-client recordings
+// combine into fleet percentiles without retaining raw samples — the same
+// mergeability contract as the rest of the analysis accumulators.
+//
+// Determinism: the bucket index is a pure function of the value, so two runs
+// that record the same multiset of latencies produce identical histograms
+// regardless of thread interleaving.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mlio::util {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per octave as a power of two (32 => ~3% resolution).
+  static constexpr unsigned kSubBucketBits = 5;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBucketBits;
+  /// Octaves above the exact linear region, each kSubBuckets wide, covering
+  /// the full 64-bit range.
+  static constexpr std::size_t kBucketCount =
+      kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+
+  void record(std::uint64_t ns);
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max_ns() const { return count_ ? max_ : 0; }
+  std::uint64_t min_ns() const { return count_ ? min_ : 0; }
+  double mean_ns() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1]: the representative (bucket midpoint,
+  /// clamped to the recorded min/max) of the bucket holding the
+  /// ceil(q * count)-th sample.  0 when empty.
+  double quantile_ns(double q) const;
+  double p50_ns() const { return quantile_ns(0.50); }
+  double p90_ns() const { return quantile_ns(0.90); }
+  double p99_ns() const { return quantile_ns(0.99); }
+
+  /// Bucket index of a value (exposed for the bounds tests).
+  static std::size_t index_of(std::uint64_t ns);
+  /// Inclusive lower bound of a bucket's value range.
+  static std::uint64_t bucket_floor(std::size_t index);
+
+ private:
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace mlio::util

@@ -1,0 +1,533 @@
+// Archive service tests: MVCC isolation under concurrent load, the bounded
+// shared snapshot cache (admission, eviction, counter reconciliation), the
+// latency histogram, the unified QueryStats/ServiceStats aggregation, and
+// stale-read recovery when an EXTERNAL compactor garbage-collects a pinned
+// generation's files.
+//
+// The load tests run under TSan in CI (label "tsan"), and the GC-failure
+// test injects faults through FaultVfs (label "faults").
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/ingest.hpp"
+#include "archive/query.hpp"
+#include "service/driver.hpp"
+#include "service/service.hpp"
+#include "util/latency.hpp"
+#include "util/vfs.hpp"
+
+namespace {
+
+using namespace mlio;
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const std::filesystem::path dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Seed an archive with `parts` partitions drawn from the shared frame pool.
+void seed_archive(const std::filesystem::path& dir, const std::vector<service::ServiceFrame>& pool,
+                  std::size_t parts, util::Vfs& vfs = util::real_vfs()) {
+  archive::Archive ar = archive::Archive::create(dir, vfs);
+  const std::size_t per = std::max<std::size_t>(1, pool.size() / parts);
+  for (std::size_t b = 0; b < parts; ++b) {
+    archive::Archive::PartitionWriter w = ar.begin_partition();
+    const std::size_t lo = b * per;
+    const std::size_t hi = b + 1 == parts ? pool.size() : std::min(pool.size(), lo + per);
+    for (std::size_t i = lo; i < hi; ++i) w.append_frame(pool[i].job, pool[i].bytes);
+    w.seal();
+  }
+}
+
+const std::vector<service::ServiceFrame>& shared_pool() {
+  static const std::vector<service::ServiceFrame> pool = service::make_frame_pool(18, 71);
+  return pool;
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+TEST(LatencyHistogram, IndexingIsMonotonicAndBounded) {
+  std::size_t prev = 0;
+  for (std::uint64_t ns : {0ull, 1ull, 31ull, 32ull, 33ull, 100ull, 1000ull, 123456ull,
+                           1ull << 20, 1ull << 40, ~0ull}) {
+    const std::size_t idx = util::LatencyHistogram::index_of(ns);
+    ASSERT_LT(idx, util::LatencyHistogram::kBucketCount);
+    ASSERT_GE(idx, prev);
+    prev = idx;
+    // The bucket's floor never exceeds the value it indexed.
+    ASSERT_LE(util::LatencyHistogram::bucket_floor(idx), ns);
+  }
+  // ~3% resolution: the bucket floor is within 1/32 of the value.
+  for (std::uint64_t ns = 1; ns < (1ull << 30); ns = ns * 3 + 7) {
+    const std::uint64_t floor = util::LatencyHistogram::bucket_floor(
+        util::LatencyHistogram::index_of(ns));
+    ASSERT_LE(ns - floor, ns / 32 + 1) << ns;
+  }
+}
+
+TEST(LatencyHistogram, QuantilesAndMerge) {
+  util::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p99_ns(), 0.0);
+
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v * 1000);  // 1..1000 us
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min_ns(), 1000u);
+  EXPECT_EQ(h.max_ns(), 1000000u);
+  // Log-linear resolution is ~3%; allow 5%.
+  EXPECT_NEAR(h.p50_ns(), 500e3, 0.05 * 500e3);
+  EXPECT_NEAR(h.p99_ns(), 990e3, 0.05 * 990e3);
+  EXPECT_NEAR(h.mean_ns(), 500.5e3, 1.0);
+
+  // merge == concatenated recording.
+  util::LatencyHistogram a, b, both;
+  for (std::uint64_t v : {5ull, 50ull, 500ull}) { a.record(v); both.record(v); }
+  for (std::uint64_t v : {7ull, 70ull, 700ull}) { b.record(v); both.record(v); }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min_ns(), both.min_ns());
+  EXPECT_EQ(a.max_ns(), both.max_ns());
+  EXPECT_EQ(a.p50_ns(), both.p50_ns());
+  EXPECT_EQ(a.p99_ns(), both.p99_ns());
+}
+
+// ---------------------------------------------------------------------------
+// Unified stats vocabulary (ISSUE 7 satellite: one merge(), one hit rate)
+
+TEST(StatsMerge, QueryStatsSumsEveryFieldAndSharesHitRate) {
+  archive::QueryStats a;
+  a.partitions = 3; a.snapshot_hits = 1; a.cache_hits = 2; a.partitions_scanned = 1;
+  a.logs_scanned = 40; a.snapshots_written = 1; a.scan_seconds = 0.5; a.merge_seconds = 0.25;
+  a.total_seconds = 1.0; a.parse_seconds = 0.1; a.summarize_seconds = 0.2;
+  a.accumulate_seconds = 0.3;
+  archive::QueryStats b = a;
+  b.cache_hits = 4;
+
+  archive::QueryStats m = a;
+  m.merge(b);
+  EXPECT_EQ(m.partitions, 6u);
+  EXPECT_EQ(m.snapshot_hits, 2u);
+  EXPECT_EQ(m.cache_hits, 6u);
+  EXPECT_EQ(m.partitions_scanned, 2u);
+  EXPECT_EQ(m.logs_scanned, 80u);
+  EXPECT_EQ(m.snapshots_written, 2u);
+  EXPECT_DOUBLE_EQ(m.scan_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(m.merge_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(m.total_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(m.parse_seconds, 0.2);
+  EXPECT_DOUBLE_EQ(m.summarize_seconds, 0.4);
+  EXPECT_DOUBLE_EQ(m.accumulate_seconds, 0.6);
+
+  // One hit-rate definition for bench and service alike:
+  // (cache + snapshot hits) / shards served.
+  EXPECT_EQ(m.shards_served(), 10u);  // 6 cache + 2 snapshot + 2 scanned
+  EXPECT_DOUBLE_EQ(m.cache_hit_rate(), 8.0 / 10.0);
+  EXPECT_DOUBLE_EQ(archive::QueryStats{}.cache_hit_rate(), 0.0);
+
+  // ServiceStats embeds QueryStats and merges both layers.
+  service::ServiceStats sa, sb;
+  sa.query = a; sa.requests = 1; sa.queue_wait_ns = 10; sa.stale_retries = 1;
+  sb.query = b; sb.requests = 2; sb.scan_ns = 7; sb.merge_ns = 3;
+  sa.merge(sb);
+  EXPECT_EQ(sa.requests, 3u);
+  EXPECT_EQ(sa.queue_wait_ns, 10u);
+  EXPECT_EQ(sa.scan_ns, 7u);
+  EXPECT_EQ(sa.merge_ns, 3u);
+  EXPECT_EQ(sa.stale_retries, 1u);
+  EXPECT_EQ(sa.query.cache_hits, 6u);
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotCache
+
+std::shared_ptr<const core::Analysis> dummy_analysis() {
+  return std::make_shared<const core::Analysis>();
+}
+
+TEST(SnapshotCache, HitMissLruAndReconciliation) {
+  service::SnapshotCache cache({.capacity_bytes = 300, .shards = 1});
+  EXPECT_EQ(cache.shard_count(), 1u);
+
+  EXPECT_EQ(cache.get({1, 1}), nullptr);
+  EXPECT_TRUE(cache.insert({1, 1}, dummy_analysis(), 100, 50));
+  EXPECT_TRUE(cache.insert({2, 1}, dummy_analysis(), 100, 50));
+  EXPECT_TRUE(cache.insert({3, 1}, dummy_analysis(), 100, 50));
+  EXPECT_NE(cache.get({1, 1}), nullptr);  // 1 is now most-recent
+
+  // A fourth entry must evict; the LRU victim is 2 (1 was refreshed).
+  EXPECT_TRUE(cache.insert({4, 1}, dummy_analysis(), 100, 1000));
+  EXPECT_EQ(cache.get({2, 1}), nullptr);
+  EXPECT_NE(cache.get({1, 1}), nullptr);
+  EXPECT_NE(cache.get({3, 1}), nullptr);
+  EXPECT_NE(cache.get({4, 1}), nullptr);
+
+  const service::CacheCounters c = cache.counters();
+  EXPECT_EQ(c.insertions, 4u);
+  EXPECT_EQ(c.evictions, 1u);
+  EXPECT_EQ(c.entries, 3u);
+  EXPECT_EQ(c.bytes_used, 300u);
+  EXPECT_EQ(c.hits + c.misses, c.lookups);
+  EXPECT_EQ(c.insertions, c.entries + c.evictions + c.purged);
+}
+
+TEST(SnapshotCache, AdmissionRejectsCheapCandidatesAndOversizedEntries) {
+  service::SnapshotCache cache({.capacity_bytes = 200, .shards = 1});
+  EXPECT_TRUE(cache.insert({1, 1}, dummy_analysis(), 100, 1000));
+  EXPECT_TRUE(cache.insert({2, 1}, dummy_analysis(), 100, 1000));
+
+  // Cheap candidate may not displace expensive residents...
+  EXPECT_FALSE(cache.insert({3, 1}, dummy_analysis(), 100, 10));
+  EXPECT_NE(cache.get({1, 1}), nullptr);
+  EXPECT_NE(cache.get({2, 1}), nullptr);
+  // ...but an expensive one may.
+  EXPECT_TRUE(cache.insert({4, 1}, dummy_analysis(), 100, 5000));
+  // Larger than the whole shard: rejected outright, nothing evicted for it.
+  EXPECT_FALSE(cache.insert({5, 1}, dummy_analysis(), 500, 1u << 30));
+
+  const service::CacheCounters c = cache.counters();
+  EXPECT_EQ(c.rejected, 2u);
+  EXPECT_EQ(c.insertions, c.entries + c.evictions + c.purged);
+
+  // Re-inserting a resident refreshes it without a new insertion.
+  EXPECT_TRUE(cache.insert({4, 1}, dummy_analysis(), 100, 5000));
+  EXPECT_EQ(cache.counters().insertions, c.insertions);
+}
+
+TEST(SnapshotCache, PurgeDropsStaleGenerations) {
+  service::SnapshotCache cache({.capacity_bytes = 1 << 20, .shards = 4});
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    ASSERT_TRUE(cache.insert({id, 1}, dummy_analysis(), 10, 100));
+  }
+  // Entry values survive eviction for readers that hold them.
+  const std::shared_ptr<const core::Analysis> held = cache.get({1, 1});
+  ASSERT_NE(held, nullptr);
+
+  const std::size_t dropped = cache.purge([](const service::CacheKey& k) {
+    return k.partition_id % 2 == 0;
+  });
+  EXPECT_EQ(dropped, 3u);
+  EXPECT_EQ(cache.get({2, 1}), nullptr);
+  EXPECT_NE(cache.get({3, 1}), nullptr);
+  EXPECT_NE(held, nullptr);
+
+  const service::CacheCounters c = cache.counters();
+  EXPECT_EQ(c.purged, 3u);
+  EXPECT_EQ(c.entries, 3u);
+  EXPECT_EQ(c.insertions, c.entries + c.evictions + c.purged);
+}
+
+// ---------------------------------------------------------------------------
+// ArchiveService basics
+
+TEST(ArchiveService, GetMatchesQueryArchiveAndServesFromCache) {
+  const std::filesystem::path dir = fresh_dir("mlio_svc_basic");
+  seed_archive(dir, shared_pool(), 3);
+
+  archive::Archive ar = archive::Archive::open(dir);
+  archive::QueryOptions qopts;
+  qopts.write_snapshots = false;
+  const std::uint64_t expected = query_archive(ar, qopts).analysis.fingerprint();
+
+  service::ArchiveService svc(dir);
+  const auto first = svc.get(/*keep_analysis=*/true);
+  EXPECT_EQ(first.fingerprint, expected);
+  ASSERT_NE(first.analysis, nullptr);
+  EXPECT_EQ(first.analysis->fingerprint(), expected);
+  EXPECT_EQ(first.stats.query.partitions, 3u);
+  EXPECT_EQ(first.stats.query.cache_hits, 0u);
+  EXPECT_EQ(first.stats.query.partitions_scanned, 3u);
+
+  const auto second = svc.get();
+  EXPECT_EQ(second.fingerprint, expected);
+  EXPECT_EQ(second.stats.query.cache_hits, 3u);
+  EXPECT_EQ(second.stats.query.partitions_scanned, 0u);
+  EXPECT_GT(second.stats.query.cache_hit_rate(), 0.0);
+
+  // The serial-replay oracle agrees with the served answer.
+  EXPECT_EQ(svc.replay_serial(second.pin).fingerprint(), expected);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ArchiveService, IngestAndCompactAdvanceGenerationsVisibleToNewGets) {
+  const std::filesystem::path dir = fresh_dir("mlio_svc_ingest");
+  seed_archive(dir, shared_pool(), 2);
+
+  service::ArchiveService svc(dir);
+  const auto before = svc.get();
+
+  const std::span<const service::ServiceFrame> extra(shared_pool().data(), 4);
+  const auto ing = svc.ingest(extra);
+  EXPECT_GT(ing.generation, before.generation);
+  EXPECT_EQ(svc.generation(), ing.generation);
+
+  const auto after = svc.get();
+  EXPECT_EQ(after.generation, ing.generation);
+  EXPECT_NE(after.fingerprint, before.fingerprint);
+  EXPECT_EQ(svc.replay_serial(after.pin).fingerprint(), after.fingerprint);
+
+  // Compaction merges everything into one partition.  The merge tree
+  // changes (one sequential shard instead of a fold), so double sums may
+  // move in the last bit — integer censuses are grouping-invariant, and the
+  // per-generation contract (answer == serial replay of the SAME pinned
+  // generation) must keep holding.
+  const auto pre = svc.get(/*keep_analysis=*/true);
+  const std::size_t removed = svc.compact(~0ull);
+  EXPECT_GT(removed, 0u);
+  const auto compacted = svc.get(/*keep_analysis=*/true);
+  EXPECT_EQ(compacted.stats.query.partitions, 1u);
+  EXPECT_EQ(compacted.analysis->summary().logs(), pre.analysis->summary().logs());
+  EXPECT_EQ(compacted.analysis->summary().jobs(), pre.analysis->summary().jobs());
+  EXPECT_EQ(compacted.analysis->summary().files(), pre.analysis->summary().files());
+  EXPECT_EQ(svc.replay_serial(compacted.pin).fingerprint(), compacted.fingerprint);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// MVCC under load (runs under TSan in CI)
+
+TEST(ArchiveService, MvccReadersAreBitIdenticalToSerialReplayUnderLoad) {
+  const std::filesystem::path dir = fresh_dir("mlio_svc_mvcc");
+  seed_archive(dir, shared_pool(), 3);
+
+  service::ArchiveService svc(dir);
+
+  struct Answer {
+    std::uint64_t generation;
+    std::uint64_t fingerprint;
+    service::ArchiveService::Pin pin;
+  };
+  std::mutex answers_mu;
+  std::vector<Answer> answers;
+
+  const auto record = [&](const service::ArchiveService::GetResult& res) {
+    const std::scoped_lock lock(answers_mu);
+    answers.push_back({res.generation, res.fingerprint, res.pin});
+  };
+
+  // Bracket the concurrent phase with main-thread answers so at least two
+  // distinct generations are always in evidence, even when the scheduler
+  // runs the readers to completion before the writer's first publish.
+  record(svc.get());
+
+  constexpr unsigned kReaders = 3;
+  std::atomic<bool> writer_done{false};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (unsigned r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t gets = 0;
+      // Keep reading until the writer has finished publishing (minimum 8
+      // gets so the cache sees traffic even on a fast writer).
+      while (!writer_done.load(std::memory_order_acquire) || gets < 8) {
+        record(svc.get());
+        gets += 1;
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < 8; ++i) {
+      const std::size_t lo = static_cast<std::size_t>(i) % (shared_pool().size() - 2);
+      svc.ingest(std::span<const service::ServiceFrame>(shared_pool().data() + lo, 2));
+      if (i % 3 == 2) svc.compact(~0ull);
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (std::thread& t : readers) t.join();
+  record(svc.get());
+
+  // Serial replay once per distinct generation; every concurrent answer at
+  // that generation must match bit for bit.
+  std::map<std::uint64_t, std::uint64_t> oracle;  // generation -> fingerprint
+  for (const Answer& a : answers) {
+    ASSERT_TRUE(a.pin.valid());
+    if (oracle.find(a.generation) == oracle.end()) {
+      oracle[a.generation] = svc.replay_serial(a.pin).fingerprint();
+    }
+    EXPECT_EQ(a.fingerprint, oracle[a.generation]) << "generation " << a.generation;
+  }
+  EXPECT_GE(oracle.size(), 2u) << "writer should have published during the reads";
+
+  // Releasing every pin lets deferred GC drain completely.
+  answers.clear();
+  EXPECT_EQ(svc.deferred_gc_pending(), 0u);
+  EXPECT_TRUE(svc.gc_errors().empty());
+
+  const service::CacheCounters c = svc.cache_counters();
+  EXPECT_EQ(c.hits + c.misses, c.lookups);
+  EXPECT_EQ(c.insertions, c.entries + c.evictions + c.purged);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ArchiveService, ClosedLoopDriverVerifiesAndScales) {
+  const std::filesystem::path dir = fresh_dir("mlio_svc_driver");
+  seed_archive(dir, shared_pool(), 3);
+
+  service::ArchiveService svc(dir);
+  service::WorkloadConfig cfg;
+  cfg.clients = 3;
+  cfg.requests_per_client = 16;
+  cfg.warmup_per_client = 2;
+  cfg.weight_get = 80;
+  cfg.weight_ingest = 15;
+  cfg.weight_compact = 5;
+  cfg.logs_per_ingest = 2;
+  cfg.compact_max_logs = ~0ull;
+  const service::WorkloadReport rep = service::run_closed_loop(svc, cfg, shared_pool());
+
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.requests, 48u);
+  EXPECT_EQ(rep.requests, rep.gets + rep.ingests + rep.compacts);
+  EXPECT_EQ(rep.get_latency.count(), rep.gets);
+  EXPECT_GT(rep.throughput_rps(), 0.0);
+  EXPECT_EQ(rep.verified_generations, rep.generations_observed);
+  EXPECT_GT(rep.stats.query.cache_hit_rate(), 0.0);
+  EXPECT_EQ(svc.deferred_gc_pending(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Cache bounds (ISSUE 7 satellite: tiny cache degrades to rebuild)
+
+TEST(ArchiveService, CacheSmallerThanOneShardStillAnswersCorrectly) {
+  const std::filesystem::path dir = fresh_dir("mlio_svc_tiny_cache");
+  seed_archive(dir, shared_pool(), 3);
+
+  service::ArchiveService::Options opts;
+  opts.cache.capacity_bytes = 64;  // far below one serialized shard
+  opts.cache.shards = 1;
+  service::ArchiveService svc(dir, opts);
+
+  const std::uint64_t expected = svc.replay_serial(svc.pin()).fingerprint();
+  std::vector<std::thread> readers;
+  std::atomic<bool> wrong{false};
+  for (unsigned r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 6; ++i) {
+        if (svc.get().fingerprint != expected) wrong = true;
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  EXPECT_FALSE(wrong);
+
+  // Every admission was rejected: the service degraded to rebuilding on
+  // every get, never caching, never deadlocking.
+  const service::CacheCounters c = svc.cache_counters();
+  EXPECT_EQ(c.insertions, 0u);
+  EXPECT_EQ(c.entries, 0u);
+  EXPECT_GT(c.rejected, 0u);
+  EXPECT_EQ(c.bytes_used, 0u);
+  EXPECT_EQ(c.hits + c.misses, c.lookups);
+  EXPECT_EQ(c.insertions, c.entries + c.evictions + c.purged);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Stale reads: an EXTERNAL compactor GCs a pinned generation's segments
+
+TEST(StaleRead, QueryArchiveThrowsStaleReadErrorAfterExternalCompaction) {
+  const std::filesystem::path dir = fresh_dir("mlio_svc_stale_query");
+  seed_archive(dir, shared_pool(), 3);
+
+  // Reader pins the 3-partition manifest; a second process compacts and
+  // immediately GCs the source segments (plain Archive::compact does not
+  // defer).
+  archive::Archive reader = archive::Archive::open(dir);
+  archive::Archive compactor = archive::Archive::open(dir);
+  ASSERT_GT(compactor.compact(~0ull), 0u);
+  ASSERT_TRUE(compactor.gc_errors().empty());
+
+  try {
+    query_archive(reader, {});
+    FAIL() << "expected StaleReadError";
+  } catch (const archive::StaleReadError& e) {
+    EXPECT_LT(e.pinned_generation(), e.current_generation());
+    EXPECT_NE(std::string(e.what()).find("compaction"), std::string::npos);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StaleRead, ServiceRecoversByRefreshingFromDisk) {
+  const std::filesystem::path dir = fresh_dir("mlio_svc_stale_recover");
+  seed_archive(dir, shared_pool(), 3);
+
+  // Zero-capacity cache: every get touches disk, so the external GC is
+  // guaranteed to be observed.
+  service::ArchiveService::Options opts;
+  opts.cache.capacity_bytes = 0;
+  service::ArchiveService svc(dir, opts);
+  const auto before = svc.get(/*keep_analysis=*/true);
+
+  archive::Archive compactor = archive::Archive::open(dir);
+  ASSERT_GT(compactor.compact(~0ull), 0u);
+
+  const auto after = svc.get(/*keep_analysis=*/true);
+  EXPECT_GT(after.generation, before.generation);
+  EXPECT_GE(after.stats.stale_retries, 1u);
+  // Same logs, new layout: integer censuses carry over; the recovered
+  // answer still matches the serial replay of ITS generation bit for bit.
+  EXPECT_EQ(after.analysis->summary().logs(), before.analysis->summary().logs());
+  EXPECT_EQ(after.analysis->summary().jobs(), before.analysis->summary().jobs());
+  EXPECT_EQ(svc.replay_serial(after.pin).fingerprint(), after.fingerprint);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StaleRead, ServiceOwnCompactionNeverStalesItsPinnedReaders) {
+  const std::filesystem::path dir = fresh_dir("mlio_svc_pin_gc");
+  seed_archive(dir, shared_pool(), 3);
+
+  service::ArchiveService::Options opts;
+  opts.cache.capacity_bytes = 0;  // force disk reads through the pin
+  service::ArchiveService svc(dir, opts);
+  service::ArchiveService::Pin pin = svc.pin();
+  const std::uint64_t expected = svc.get_pinned(pin).fingerprint;
+
+  ASSERT_GT(svc.compact(~0ull), 0u);
+  // The pin holds the pre-compaction generation: its files are deferred,
+  // not deleted, so the pinned query still answers — bit-identically.
+  EXPECT_GT(svc.deferred_gc_pending(), 0u);
+  EXPECT_EQ(svc.get_pinned(pin).fingerprint, expected);
+  EXPECT_EQ(svc.get_pinned(pin).stats.stale_retries, 0u);
+
+  pin = service::ArchiveService::Pin();  // release -> sweep
+  EXPECT_EQ(svc.deferred_gc_pending(), 0u);
+  EXPECT_TRUE(svc.gc_errors().empty());
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Deferred GC under fault injection (runs under the "faults" CI job)
+
+TEST(ArchiveServiceFaults, FailedDeferredRemovalIsSurfacedNotFatal) {
+  const std::filesystem::path dir = fresh_dir("mlio_svc_gc_fault");
+  util::FaultVfs vfs(util::FaultPlan::parse("fail-remove@0:*.seg"));
+  seed_archive(dir, shared_pool(), 3, vfs);
+
+  service::ArchiveService::Options opts;
+  service::ArchiveService svc(dir, opts, vfs);
+  // Keep only the census: a held GetResult would pin the generation and
+  // defer the GC this test wants to see fail.
+  const std::uint64_t logs_before = svc.get(/*keep_analysis=*/true).analysis->summary().logs();
+  ASSERT_GT(svc.compact(~0ull), 0u);
+
+  // Every segment removal failed; the errors are recorded, the service
+  // keeps serving the new generation correctly.
+  EXPECT_FALSE(svc.gc_errors().empty());
+  const auto after = svc.get(/*keep_analysis=*/true);
+  EXPECT_EQ(after.analysis->summary().logs(), logs_before);
+  EXPECT_EQ(svc.replay_serial(after.pin).fingerprint(), after.fingerprint);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
