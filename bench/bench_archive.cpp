@@ -10,11 +10,18 @@
 //            the scan wall time) — the same phase axes bench_analysis tracks
 //            single-threaded.
 //   warm   — second query: every shard served from the snapshot cache.
+//   sweep  — partition-count sweep (--sweep, default 9,36,144): at each
+//            point, the warm-query cost of the LINEAR lane (query_archive:
+//            resolve + fold all P shards every time) against the MEMOIZED
+//            service lane (generation-delta engine, DESIGN.md §12: a warm
+//            get at an unchanged generation is one cache lookup).  The
+//            linear lane grows with P; the memoized lane must stay ~flat.
 //
 // cold and warm must agree bit for bit (the archive's determinism
 // contract); the JSON records the fingerprint comparison alongside the
 // speedup so a caching regression is visible as either wrong bits or a
-// missing win.
+// missing win.  The sweep applies the same rule: both lanes must answer
+// with the same fingerprint at every partition count.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -26,6 +33,7 @@
 
 #include "archive/ingest.hpp"
 #include "archive/query.hpp"
+#include "service/service.hpp"
 #include "workload/pipeline.hpp"
 
 namespace {
@@ -42,9 +50,20 @@ struct Args {
   unsigned reps = 3;
   unsigned mlp_depth = archive::kDefaultMlpDepth;
   bool compress = true;
+  std::vector<unsigned> sweep = {9, 36, 144};  ///< partition counts; empty = skip
   std::string dir;
   std::string out = "BENCH_archive.json";
 };
+
+std::vector<unsigned> parse_sweep(const char* s) {
+  std::vector<unsigned> out;
+  for (const char* p = s; *p != '\0';) {
+    const unsigned v = static_cast<unsigned>(std::strtoul(p, const_cast<char**>(&p), 10));
+    if (v > 0) out.push_back(v);
+    if (*p == ',') ++p;
+  }
+  return out;  // "--sweep 0" (or garbage) yields empty = sweep disabled
+}
 
 Args parse(int argc, char** argv) {
   Args a;
@@ -65,12 +84,14 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--reps")) a.reps = static_cast<unsigned>(std::strtoul(next("--reps"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--mlp-depth")) a.mlp_depth = static_cast<unsigned>(std::strtoul(next("--mlp-depth"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--no-compress")) a.compress = false;
+    else if (!std::strcmp(argv[i], "--sweep")) a.sweep = parse_sweep(next("--sweep"));
     else if (!std::strcmp(argv[i], "--dir")) a.dir = next("--dir");
     else if (!std::strcmp(argv[i], "--out")) a.out = next("--out");
     else if (!std::strcmp(argv[i], "--help")) {
       std::printf("usage: %s [--jobs N] [--seed S] [--batches B] [--logs-scale X]\n"
                   "          [--files-scale X] [--threads T] [--reps R] [--mlp-depth K]\n"
-                  "          [--no-compress] [--dir DIR] [--out FILE]\n", argv[0]);
+                  "          [--no-compress] [--sweep P1,P2,... (0 = skip)] [--dir DIR]\n"
+                  "          [--out FILE]\n", argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
@@ -86,6 +107,17 @@ struct Rep {
   archive::QueryStats warm;
   std::uint64_t cold_fp = 0;
   std::uint64_t warm_fp = 0;
+};
+
+/// One partition-sweep point: warm-query cost linear lane vs memoized lane.
+struct SweepPoint {
+  unsigned partitions = 0;
+  double linear_warm_s = 0;  ///< best warm query_archive total (resolves all P)
+  double linear_merge_s = 0; ///< its shard-fold component
+  double memo_warm_s = 0;    ///< best warm service get (merged-result hit)
+  std::uint64_t memo_hits = 0;
+  bool fingerprints_match = false;
+  double speedup() const { return memo_warm_s > 0 ? linear_warm_s / memo_warm_s : 0.0; }
 };
 
 void print_query(const char* label, const archive::QueryStats& s) {
@@ -147,6 +179,63 @@ int main(int argc, char** argv) {
     reps.push_back(r);
     std::filesystem::remove_all(dir);
   }
+
+  // Partition sweep: how warm-query cost scales with P for the linear
+  // query_archive lane (resolve + fold everything, every time) vs the
+  // memoized service lane (one whole-answer lookup at an unchanged
+  // generation).  Both lanes serve the same archive and must agree bit for
+  // bit.
+  std::vector<SweepPoint> sweep;
+  for (const unsigned parts : args.sweep) {
+    const std::filesystem::path dir = base / ("sweep" + std::to_string(parts));
+    std::filesystem::remove_all(dir);
+
+    SweepPoint pt;
+    pt.partitions = parts;
+    archive::Archive ar = archive::Archive::create(dir);
+    archive::IngestOptions iopts;
+    iopts.batches = parts;
+    iopts.threads = args.threads;
+    iopts.write_options.compress = args.compress;
+    archive::ingest_generated(ar, gen, iopts);
+
+    archive::QueryOptions qopts;
+    qopts.threads = args.threads;
+    qopts.mlp_depth = args.mlp_depth;
+    std::uint64_t linear_fp = 0;
+    {
+      const archive::QueryResult cold = query_archive(ar, qopts, query_scratch);
+      linear_fp = cold.analysis.fingerprint();
+      pt.linear_warm_s = 0;
+      for (unsigned rep = 0; rep < args.reps; ++rep) {
+        const archive::QueryResult warm = query_archive(ar, qopts, query_scratch);
+        if (rep == 0 || warm.stats.total_seconds < pt.linear_warm_s) {
+          pt.linear_warm_s = warm.stats.total_seconds;
+          pt.linear_merge_s = warm.stats.merge_seconds;
+        }
+      }
+    }
+    {
+      service::ArchiveService svc(dir, {});  // merged-result memo on by default
+      const std::uint64_t memo_fp = svc.get().fingerprint;  // priming: full merge
+      pt.fingerprints_match = memo_fp == linear_fp;
+      pt.memo_warm_s = 0;
+      for (unsigned rep = 0; rep < args.reps; ++rep) {
+        const auto r = svc.get();
+        pt.memo_hits += r.stats.query.merged_hits;
+        pt.fingerprints_match = pt.fingerprints_match && r.fingerprint == linear_fp;
+        if (rep == 0 || r.stats.query.total_seconds < pt.memo_warm_s) {
+          pt.memo_warm_s = r.stats.query.total_seconds;
+        }
+      }
+    }
+    std::printf("sweep P=%3u: linear warm %.5f s (merge %.5f s) vs memoized %.7f s "
+                "(%.0fx, bits %s)\n",
+                parts, pt.linear_warm_s, pt.linear_merge_s, pt.memo_warm_s, pt.speedup(),
+                pt.fingerprints_match ? "match" : "DIVERGE");
+    sweep.push_back(pt);
+    std::filesystem::remove_all(dir);
+  }
   if (args.dir.empty()) std::filesystem::remove_all(base);
 
   bool bit_identical = true;
@@ -204,11 +293,29 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.ingest.logs), i + 1 < reps.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  bool sweep_bits_ok = true;
+  if (!sweep.empty()) {
+    std::fprintf(f, "  \"partition_sweep\": [\n");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const SweepPoint& pt = sweep[i];
+      sweep_bits_ok = sweep_bits_ok && pt.fingerprints_match;
+      std::fprintf(f,
+                   "    {\"partitions\": %u, \"linear_warm_query_s\": %.6f, "
+                   "\"linear_merge_s\": %.6f, \"memo_warm_query_s\": %.7f, "
+                   "\"memo_merged_hits\": %llu, \"speedup\": %.1f, "
+                   "\"fingerprints_match\": %s}%s\n",
+                   pt.partitions, pt.linear_warm_s, pt.linear_merge_s, pt.memo_warm_s,
+                   static_cast<unsigned long long>(pt.memo_hits), pt.speedup(),
+                   pt.fingerprints_match ? "true" : "false",
+                   i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+  }
   std::fprintf(f, "  \"warm_speedup_best\": %.3f,\n", speedup);
   std::fprintf(f, "  \"warm_all_cached\": %s,\n", warm_all_cached ? "true" : "false");
   std::fprintf(f, "  \"cold_warm_bit_identical\": %s\n", bit_identical ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", args.out.c_str());
-  return bit_identical && warm_all_cached ? 0 : 1;
+  return bit_identical && warm_all_cached && sweep_bits_ok ? 0 : 1;
 }

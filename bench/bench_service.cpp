@@ -4,11 +4,20 @@
 // shared-cache hit rates to BENCH_service.json so the serving trajectory is
 // tracked across PRs.
 //
+// Every configuration runs TWICE — once with the generation-delta engine
+// (merged-result memoization + incremental prefix merge, DESIGN.md §12) and
+// once with it disabled (every get resolves and folds all P shards, the
+// honest linear-in-P lane).  A dedicated warm-get phase measures repeated
+// gets against an UNCHANGED generation on the freshly seeded archive (all
+// --batches partitions live), which is the headline: memoized warm p50 must
+// not grow with the partition count.
+//
 // Every measured get() is verified after the run against a serial replay of
 // its pinned generation (the MVCC oracle); the bench exits nonzero if any
 // concurrent answer diverged — a wrong-bits serving path must never look
 // like a fast one.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -26,11 +35,14 @@ using namespace mlio;
 struct Args {
   std::uint64_t jobs = 240;           ///< seed-archive bulk jobs
   std::uint64_t seed = 42;
-  std::uint64_t batches = 6;          ///< seed-archive partitions
+  std::uint64_t batches = 36;         ///< seed-archive partitions
   std::vector<unsigned> clients = {1, 2, 4};
   std::uint64_t requests = 48;        ///< measured requests per client
   std::uint64_t warmup = 6;           ///< unrecorded gets per client
   std::uint64_t cache_mb = 256;
+  std::uint64_t merged_cache_mb = 64; ///< memoized lane budget
+  unsigned merge_threads = 0;         ///< full-merge pool (0 = serial)
+  std::uint64_t warm_gets = 32;       ///< timed gets in the warm-get phase
   unsigned weight_get = 90;
   unsigned weight_ingest = 8;
   unsigned weight_compact = 2;
@@ -70,6 +82,9 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--requests")) a.requests = std::strtoull(next("--requests"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--warmup")) a.warmup = std::strtoull(next("--warmup"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--cache-mb")) a.cache_mb = std::strtoull(next("--cache-mb"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--merged-cache-mb")) a.merged_cache_mb = std::strtoull(next("--merged-cache-mb"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--merge-threads")) a.merge_threads = static_cast<unsigned>(std::strtoul(next("--merge-threads"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--warm-gets")) a.warm_gets = std::strtoull(next("--warm-gets"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--mix")) {
       unsigned g = 0, in = 0, co = 0;
       if (std::sscanf(next("--mix"), "%u:%u:%u", &g, &in, &co) != 3 || g + in + co == 0) {
@@ -84,7 +99,8 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--out")) a.out = next("--out");
     else if (!std::strcmp(argv[i], "--help")) {
       std::printf("usage: %s [--jobs N] [--seed S] [--batches B] [--clients 1,2,4]\n"
-                  "          [--requests R] [--warmup W] [--cache-mb M] [--mix G:I:C]\n"
+                  "          [--requests R] [--warmup W] [--cache-mb M] [--merged-cache-mb M]\n"
+                  "          [--merge-threads T] [--warm-gets G] [--mix G:I:C]\n"
                   "          [--logs-per-ingest L] [--compact-max-logs K] [--dir DIR] [--out FILE]\n",
                   argv[0]);
       std::exit(0);
@@ -98,10 +114,34 @@ Args parse(int argc, char** argv) {
 
 struct Row {
   unsigned clients = 0;
+  bool merged = false;  ///< generation-delta engine on?
   service::WorkloadReport report;
 };
 
+/// One lane's warm-get measurement: repeated single-threaded gets against
+/// the unchanged seeded generation (one unrecorded priming get first).
+struct WarmGet {
+  util::LatencyHistogram latency;
+  std::uint64_t merged_hits = 0;
+  std::uint64_t fingerprint = 0;
+};
+
 double us(double ns) { return ns * 1e-3; }
+
+WarmGet measure_warm_gets(service::ArchiveService& svc, std::uint64_t n) {
+  using SteadyClock = std::chrono::steady_clock;
+  WarmGet w;
+  w.fingerprint = svc.get().fingerprint;  // priming: resolves + memoizes
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto t0 = SteadyClock::now();
+    const auto r = svc.get();
+    w.latency.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(SteadyClock::now() - t0).count()));
+    w.merged_hits += r.stats.query.merged_hits;
+    if (r.fingerprint != w.fingerprint) w.fingerprint = ~0ull;  // poison on divergence
+  }
+  return w;
+}
 
 }  // namespace
 
@@ -123,62 +163,105 @@ int main(int argc, char** argv) {
       args.dir.empty() ? std::filesystem::temp_directory_path() / "mlio_bench_service"
                        : std::filesystem::path(args.dir);
 
-  std::vector<Row> rows;
-  bool all_ok = true;
-  for (unsigned clients : args.clients) {
-    // A fresh seed archive per client count, so every run starts from the
-    // same partition layout regardless of what earlier runs ingested.
-    const std::filesystem::path dir = base / ("c" + std::to_string(clients));
+  const auto seed_dir = [&](const std::filesystem::path& dir) {
     std::filesystem::remove_all(dir);
-    {
-      archive::Archive ar = archive::Archive::create(dir);
-      archive::IngestOptions iopts;
-      iopts.batches = args.batches;
-      iopts.include_huge = false;
-      archive::ingest_generated(ar, gen, iopts);
-    }
-
+    archive::Archive ar = archive::Archive::create(dir);
+    archive::IngestOptions iopts;
+    iopts.batches = args.batches;
+    iopts.include_huge = false;
+    archive::ingest_generated(ar, gen, iopts);
+  };
+  const auto service_options = [&](bool merged) {
     service::ArchiveService::Options sopts;
     sopts.cache.capacity_bytes = args.cache_mb << 20;
-    service::ArchiveService svc(dir, sopts);
+    sopts.merged.capacity_bytes = merged ? args.merged_cache_mb << 20 : 0;
+    sopts.merge_threads = args.merge_threads;
+    return sopts;
+  };
 
-    service::WorkloadConfig wcfg;
-    wcfg.clients = clients;
-    wcfg.requests_per_client = args.requests;
-    wcfg.warmup_per_client = args.warmup;
-    wcfg.seed = args.seed;
-    wcfg.weight_get = args.weight_get;
-    wcfg.weight_ingest = args.weight_ingest;
-    wcfg.weight_compact = args.weight_compact;
-    wcfg.logs_per_ingest = args.logs_per_ingest;
-    wcfg.compact_max_logs = args.compact_max_logs;
+  std::vector<Row> rows;
+  WarmGet warm[2];  // [0] generation-delta engine on, [1] off
+  bool all_ok = true;
+  for (const bool merged : {true, false}) {
+    // Warm-get phase first, on a pristine seed archive: all --batches
+    // partitions live, generation never moves, single caller.  The memoized
+    // lane answers from the whole-answer memo; the linear lane re-resolves
+    // and re-folds every shard per get.
+    {
+      const std::filesystem::path dir = base / (merged ? "warm_memo" : "warm_linear");
+      seed_dir(dir);
+      service::ArchiveService svc(dir, service_options(merged));
+      warm[merged ? 0 : 1] = measure_warm_gets(svc, args.warm_gets);
+      std::filesystem::remove_all(dir);
+    }
 
-    Row row;
-    row.clients = clients;
-    row.report = service::run_closed_loop(svc, wcfg, pool);
-    all_ok = all_ok && row.report.ok();
+    for (unsigned clients : args.clients) {
+      // A fresh seed archive per client count, so every run starts from the
+      // same partition layout regardless of what earlier runs ingested.
+      const std::filesystem::path dir =
+          base / ((merged ? "m_c" : "l_c") + std::to_string(clients));
+      seed_dir(dir);
+      service::ArchiveService svc(dir, service_options(merged));
 
-    std::printf(
-        "clients %2u: %7.1f req/s  get p50 %8.1f us  p99 %8.1f us  "
-        "cache hit %5.1f%%  gens %llu  divergent %llu\n",
-        clients, row.report.throughput_rps(), us(row.report.get_latency.p50_ns()),
-        us(row.report.get_latency.p99_ns()), 100.0 * row.report.stats.query.cache_hit_rate(),
-        static_cast<unsigned long long>(row.report.generations_observed),
-        static_cast<unsigned long long>(row.report.divergent));
+      service::WorkloadConfig wcfg;
+      wcfg.clients = clients;
+      wcfg.requests_per_client = args.requests;
+      wcfg.warmup_per_client = args.warmup;
+      wcfg.seed = args.seed;
+      wcfg.weight_get = args.weight_get;
+      wcfg.weight_ingest = args.weight_ingest;
+      wcfg.weight_compact = args.weight_compact;
+      wcfg.logs_per_ingest = args.logs_per_ingest;
+      wcfg.compact_max_logs = args.compact_max_logs;
 
-    rows.push_back(std::move(row));
-    std::filesystem::remove_all(dir);
+      Row row;
+      row.clients = clients;
+      row.merged = merged;
+      row.report = service::run_closed_loop(svc, wcfg, pool);
+      all_ok = all_ok && row.report.ok();
+
+      std::printf(
+          "%s clients %2u: %7.1f req/s  get p50 %8.1f us  p99 %8.1f us  "
+          "merged hits %llu  gens %llu  divergent %llu\n",
+          merged ? "memo  " : "linear", clients, row.report.throughput_rps(),
+          us(row.report.get_latency.p50_ns()), us(row.report.get_latency.p99_ns()),
+          static_cast<unsigned long long>(row.report.stats.query.merged_hits),
+          static_cast<unsigned long long>(row.report.generations_observed),
+          static_cast<unsigned long long>(row.report.divergent));
+
+      rows.push_back(std::move(row));
+      std::filesystem::remove_all(dir);
+    }
   }
   if (args.dir.empty()) std::filesystem::remove_all(base);
 
-  const double base_rps = rows.front().report.throughput_rps();
-  const double peak_rps =
-      std::max_element(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-        return a.report.throughput_rps() < b.report.throughput_rps();
-      })->report.throughput_rps();
-  const double scaling = base_rps > 0 ? peak_rps / base_rps : 0.0;
-  std::printf("throughput scaling (peak vs 1 thread of the list): %.2fx, verified: %s\n", scaling,
-              all_ok ? "yes" : "DIVERGED");
+  // Warm-get headline: both lanes answered the same bits; the memoized one
+  // must not pay the per-shard fold.
+  all_ok = all_ok && warm[0].fingerprint == warm[1].fingerprint;
+  const double warm_speedup =
+      warm[0].latency.p50_ns() > 0 ? warm[1].latency.p50_ns() / warm[0].latency.p50_ns() : 0.0;
+  std::printf(
+      "warm get @ %llu partitions: memoized p50 %.1f us vs linear p50 %.1f us (%.1fx), "
+      "%llu/%llu merged hits\n",
+      static_cast<unsigned long long>(args.batches), us(warm[0].latency.p50_ns()),
+      us(warm[1].latency.p50_ns()), warm_speedup,
+      static_cast<unsigned long long>(warm[0].merged_hits),
+      static_cast<unsigned long long>(args.warm_gets));
+
+  const auto lane_scaling = [&](bool merged) {
+    double base_rps = 0.0;
+    double peak_rps = 0.0;
+    for (const Row& r : rows) {
+      if (r.merged != merged) continue;
+      if (base_rps == 0.0) base_rps = r.report.throughput_rps();
+      peak_rps = std::max(peak_rps, r.report.throughput_rps());
+    }
+    return base_rps > 0 ? peak_rps / base_rps : 0.0;
+  };
+  const double scaling = lane_scaling(true);
+  std::printf("throughput scaling (peak vs first client count, memoized lane): %.2fx, "
+              "verified: %s\n",
+              scaling, all_ok ? "yes" : "DIVERGED");
 
   std::FILE* f = std::fopen(args.out.c_str(), "w");
   if (f == nullptr) {
@@ -190,34 +273,50 @@ int main(int argc, char** argv) {
   std::fprintf(f,
                "  \"config\": {\"system\": \"Cori\", \"jobs\": %llu, \"seed\": %llu, "
                "\"batches\": %llu, \"requests_per_client\": %llu, \"warmup_per_client\": %llu, "
-               "\"cache_mb\": %llu, \"mix\": \"%u:%u:%u\", \"logs_per_ingest\": %llu, "
+               "\"cache_mb\": %llu, \"merged_cache_mb\": %llu, \"merge_threads\": %u, "
+               "\"warm_gets\": %llu, \"mix\": \"%u:%u:%u\", \"logs_per_ingest\": %llu, "
                "\"compact_max_logs\": %llu, \"host_cpus\": %u},\n",
                static_cast<unsigned long long>(args.jobs),
                static_cast<unsigned long long>(args.seed),
                static_cast<unsigned long long>(args.batches),
                static_cast<unsigned long long>(args.requests),
                static_cast<unsigned long long>(args.warmup),
-               static_cast<unsigned long long>(args.cache_mb), args.weight_get,
+               static_cast<unsigned long long>(args.cache_mb),
+               static_cast<unsigned long long>(args.merged_cache_mb), args.merge_threads,
+               static_cast<unsigned long long>(args.warm_gets), args.weight_get,
                args.weight_ingest, args.weight_compact,
                static_cast<unsigned long long>(args.logs_per_ingest),
                static_cast<unsigned long long>(args.compact_max_logs), host_cpus);
+  std::fprintf(f,
+               "  \"warm_get\": {\"partitions\": %llu, \"memoized_p50_us\": %.1f, "
+               "\"memoized_p99_us\": %.1f, \"linear_p50_us\": %.1f, \"linear_p99_us\": %.1f, "
+               "\"p50_speedup\": %.2f, \"merged_hits\": %llu, \"gets\": %llu, "
+               "\"fingerprints_match\": %s},\n",
+               static_cast<unsigned long long>(args.batches), us(warm[0].latency.p50_ns()),
+               us(warm[0].latency.p99_ns()), us(warm[1].latency.p50_ns()),
+               us(warm[1].latency.p99_ns()), warm_speedup,
+               static_cast<unsigned long long>(warm[0].merged_hits),
+               static_cast<unsigned long long>(args.warm_gets),
+               warm[0].fingerprint == warm[1].fingerprint ? "true" : "false");
   std::fprintf(f, "  \"rows\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const service::WorkloadReport& r = rows[i].report;
     std::fprintf(
         f,
-        "    {\"clients\": %u, \"throughput_rps\": %.2f, \"wall_s\": %.4f,\n"
+        "    {\"clients\": %u, \"merged\": %s, \"throughput_rps\": %.2f, \"wall_s\": %.4f,\n"
         "     \"requests\": %llu, \"gets\": %llu, \"ingests\": %llu, \"compacts\": %llu,\n"
         "     \"get_p50_us\": %.1f, \"get_p90_us\": %.1f, \"get_p99_us\": %.1f,\n"
         "     \"ingest_p50_us\": %.1f, \"ingest_p99_us\": %.1f,\n"
         "     \"compact_p50_us\": %.1f, \"compact_p99_us\": %.1f,\n"
         "     \"cache_hit_rate\": %.4f, \"cache_hits\": %llu, \"snapshot_hits\": %llu,\n"
         "     \"partitions_scanned\": %llu, \"queue_wait_ms\": %.3f, \"stale_retries\": %llu,\n"
+        "     \"merged_hits\": %llu, \"prefix_merges\": %llu, \"full_merges\": %llu,\n"
+        "     \"partitions_reused\": %llu, \"tree_merges\": %llu,\n"
         "     \"cache\": {\"lookups\": %llu, \"hits\": %llu, \"insertions\": %llu,\n"
         "       \"evictions\": %llu, \"rejected\": %llu, \"purged\": %llu,\n"
         "       \"entries\": %llu, \"bytes_used\": %llu},\n"
         "     \"generations\": %llu, \"verified\": %llu, \"divergent\": %llu}%s\n",
-        rows[i].clients, r.throughput_rps(), r.wall_seconds,
+        rows[i].clients, rows[i].merged ? "true" : "false", r.throughput_rps(), r.wall_seconds,
         static_cast<unsigned long long>(r.requests), static_cast<unsigned long long>(r.gets),
         static_cast<unsigned long long>(r.ingests), static_cast<unsigned long long>(r.compacts),
         us(r.get_latency.p50_ns()), us(r.get_latency.p90_ns()), us(r.get_latency.p99_ns()),
@@ -228,6 +327,11 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.stats.query.partitions_scanned),
         static_cast<double>(r.stats.queue_wait_ns) * 1e-6,
         static_cast<unsigned long long>(r.stats.stale_retries),
+        static_cast<unsigned long long>(r.stats.query.merged_hits),
+        static_cast<unsigned long long>(r.stats.query.prefix_merges),
+        static_cast<unsigned long long>(r.stats.query.full_merges),
+        static_cast<unsigned long long>(r.stats.query.partitions_reused),
+        static_cast<unsigned long long>(r.stats.query.tree_merges),
         static_cast<unsigned long long>(r.cache.lookups),
         static_cast<unsigned long long>(r.cache.hits),
         static_cast<unsigned long long>(r.cache.insertions),
@@ -242,6 +346,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"throughput_scaling\": %.3f,\n", scaling);
+  std::fprintf(f, "  \"warm_get_p50_speedup\": %.2f,\n", warm_speedup);
   std::fprintf(f, "  \"fingerprints_match_serial_replay\": %s\n", all_ok ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);

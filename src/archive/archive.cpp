@@ -196,13 +196,31 @@ void Archive::store_snapshot(std::uint64_t partition_id, const core::Analysis& s
   if (it == manifest_.partitions.end()) {
     throw util::ConfigError("store_snapshot: unknown partition " + std::to_string(partition_id));
   }
-  const std::vector<std::byte> bytes =
-      core::write_snapshot_bytes(shard, it->data_generation, opts);
-  vfs_->write_file_atomic(snapshot_path(partition_id), bytes);
-  it->has_snapshot = true;
-  it->snapshot_generation = it->data_generation;
-  it->snapshot_crc = util::crc32(bytes);
-  write_manifest();
+  const SnapshotReceipt receipt = write_snapshot_file(*it, shard, opts);
+  commit_snapshots({&receipt, 1});
+}
+
+Archive::SnapshotReceipt Archive::write_snapshot_file(const PartitionInfo& p,
+                                                      const core::Analysis& shard,
+                                                      const core::SnapshotWriteOptions& opts) const {
+  const std::vector<std::byte> bytes = core::write_snapshot_bytes(shard, p.data_generation, opts);
+  vfs_->write_file_atomic(snapshot_path(p.id), bytes);
+  return SnapshotReceipt{p.id, p.data_generation, util::crc32(bytes)};
+}
+
+std::size_t Archive::commit_snapshots(std::span<const SnapshotReceipt> receipts) {
+  std::size_t registered = 0;
+  for (const SnapshotReceipt& r : receipts) {
+    const auto it = std::find_if(manifest_.partitions.begin(), manifest_.partitions.end(),
+                                 [&](const PartitionInfo& p) { return p.id == r.partition_id; });
+    if (it == manifest_.partitions.end() || it->data_generation != r.data_generation) continue;
+    it->has_snapshot = true;
+    it->snapshot_generation = r.data_generation;
+    it->snapshot_crc = r.crc;
+    registered += 1;
+  }
+  if (registered > 0) write_manifest();
+  return registered;
 }
 
 std::size_t Archive::compact(std::uint64_t max_logs) { return compact(max_logs, nullptr); }

@@ -115,6 +115,32 @@ class Archive {
   void store_snapshot(std::uint64_t partition_id, const core::Analysis& shard,
                       const core::SnapshotWriteOptions& opts = {});
 
+  /// One snapshot file written ahead of its manifest registration — the
+  /// two-phase write path: workers emit files concurrently with
+  /// write_snapshot_file (no shared state touched), then a single
+  /// commit_snapshots call registers the batch under ONE generation bump.
+  struct SnapshotReceipt {
+    std::uint64_t partition_id = 0;
+    std::uint64_t data_generation = 0;  ///< stamp the file was written under
+    std::uint32_t crc = 0;              ///< CRC of the framed snapshot bytes
+  };
+
+  /// Write the partition's snapshot file (atomic temp+rename) without
+  /// touching the manifest.  Safe to call concurrently for DISTINCT
+  /// partitions; the snapshot stays invisible to readers until committed
+  /// (load_snapshot checks the manifest stamp, and the old file, if any, is
+  /// only replaced at the rename).
+  SnapshotReceipt write_snapshot_file(const PartitionInfo& p, const core::Analysis& shard,
+                                      const core::SnapshotWriteOptions& opts = {}) const;
+
+  /// Register previously written snapshot files in one atomic manifest
+  /// commit (a single generation bump, manifest-last).  Receipts whose
+  /// partition vanished or whose data generation no longer matches are
+  /// skipped — the partition was rewritten after the file was produced, so
+  /// the stale file is simply never referenced.  Returns the number
+  /// registered; writes nothing when every receipt is stale.
+  std::size_t commit_snapshots(std::span<const SnapshotReceipt> receipts);
+
   /// Merge runs of adjacent partitions whose log counts are all below
   /// `max_logs` into single partitions (raw frame copy, ingest order
   /// preserved).  Snapshots of merged partitions are dropped — the merge

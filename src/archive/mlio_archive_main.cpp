@@ -10,8 +10,8 @@
 //   mlio_archive verify  --dir D [--deep]
 //   mlio_archive compact --dir D [--max-logs N]
 //   mlio_archive serve   --dir D --requests N [--clients C] [--warmup W]
-//                        [--seed S] [--cache-mb M] [--mix G:I:C]
-//                        [--mlp-depth K]
+//                        [--seed S] [--cache-mb M] [--merged-cache-mb M]
+//                        [--merge-threads T] [--mix G:I:C] [--mlp-depth K]
 //
 // Every command also accepts `--fault-spec SPEC` (util/vfs.hpp grammar,
 // e.g. "seed=7;crash-at=12" or "short-write@2:*.seg"): the command then
@@ -75,6 +75,8 @@ struct Args {
   unsigned clients = 4;
   std::uint64_t warmup = 4;
   std::uint64_t cache_mb = 256;
+  std::uint64_t merged_cache_mb = 64;  ///< 0 = no whole-answer memoization
+  unsigned merge_threads = 0;          ///< 0 = serial shard loads + fold
   unsigned weight_get = 90;
   unsigned weight_ingest = 8;
   unsigned weight_compact = 2;
@@ -91,6 +93,7 @@ struct Args {
       "  verify:  --deep\n"
       "  compact: --max-logs N\n"
       "  serve:   --requests N --clients C --warmup W --seed S --cache-mb M\n"
+      "           --merged-cache-mb M (0 = no memoization) --merge-threads T\n"
       "           --mix G:I:C --mlp-depth K\n"
       "  all:     --fault-spec SPEC (deterministic fault injection; see util/vfs.hpp)\n");
   std::exit(rc);
@@ -125,6 +128,8 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--clients")) a.clients = static_cast<unsigned>(std::strtoul(next("--clients"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--warmup")) a.warmup = std::strtoull(next("--warmup"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--cache-mb")) a.cache_mb = std::strtoull(next("--cache-mb"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--merged-cache-mb")) a.merged_cache_mb = std::strtoull(next("--merged-cache-mb"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--merge-threads")) a.merge_threads = static_cast<unsigned>(std::strtoul(next("--merge-threads"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--mix")) {
       if (std::sscanf(next("--mix"), "%u:%u:%u", &a.weight_get, &a.weight_ingest,
                       &a.weight_compact) != 3 ||
@@ -287,6 +292,8 @@ int cmd_serve(const Args& a, util::Vfs& vfs) {
   }
   service::ArchiveService::Options sopts;
   sopts.cache.capacity_bytes = a.cache_mb << 20;
+  sopts.merged.capacity_bytes = a.merged_cache_mb << 20;
+  sopts.merge_threads = a.merge_threads;
   sopts.mlp_depth = a.mlp_depth;
   service::ArchiveService svc(a.dir, sopts, vfs);
 
@@ -323,6 +330,18 @@ int cmd_serve(const Args& a, util::Vfs& vfs) {
       static_cast<unsigned long long>(rep.stats.query.partitions_scanned),
       static_cast<unsigned long long>(rep.stats.stale_retries),
       rep.stats.stale_retries == 1 ? "y" : "ies");
+  const service::CacheCounters mc = svc.merged_counters();
+  std::printf(
+      "generation-delta: %llu merged hit(s), %llu prefix merge(s) "
+      "(%llu shard(s) reused), %llu full merge(s) (%llu via tree); "
+      "memo %llu entr%s / %llu prefix match(es)\n",
+      static_cast<unsigned long long>(rep.stats.query.merged_hits),
+      static_cast<unsigned long long>(rep.stats.query.prefix_merges),
+      static_cast<unsigned long long>(rep.stats.query.partitions_reused),
+      static_cast<unsigned long long>(rep.stats.query.full_merges),
+      static_cast<unsigned long long>(rep.stats.query.tree_merges),
+      static_cast<unsigned long long>(mc.entries), mc.entries == 1 ? "y" : "ies",
+      static_cast<unsigned long long>(mc.prefix_hits));
   std::printf("verified %llu generation(s): %s\n",
               static_cast<unsigned long long>(rep.verified_generations),
               rep.ok() ? "all answers match serial replay"

@@ -52,6 +52,11 @@ void QueryStats::merge(const QueryStats& other) {
   partitions_scanned += other.partitions_scanned;
   logs_scanned += other.logs_scanned;
   snapshots_written += other.snapshots_written;
+  merged_hits += other.merged_hits;
+  prefix_merges += other.prefix_merges;
+  full_merges += other.full_merges;
+  partitions_reused += other.partitions_reused;
+  tree_merges += other.tree_merges;
   scan_seconds += other.scan_seconds;
   merge_seconds += other.merge_seconds;
   total_seconds += other.total_seconds;
@@ -72,11 +77,39 @@ QueryResult query_archive(Archive& archive, const QueryOptions& opts, QueryScrat
   const std::vector<PartitionInfo> partitions = archive.manifest().partitions;
   stats.partitions = partitions.size();
 
-  // Pass 1: serve what the cache can; collect the rest for rebuilding.
+  util::ThreadPool pool(opts.threads);
+  // Pool workers are noexcept, so corruption errors (FormatError from a
+  // damaged segment) are carried out by hand and rethrown on the caller.
+  std::exception_ptr first_error;
+  std::size_t first_error_slot = 0;  ///< partition index of first_error
+  std::mutex error_mu;
+  const auto record_error = [&](std::size_t slot) {
+    const std::scoped_lock lock(error_mu);
+    if (!first_error) {
+      first_error = std::current_exception();
+      first_error_slot = slot;
+    }
+  };
+
+  // Pass 1: load snapshots on the pool — each load is an independent file
+  // read + inflate + parse into its own slot, so parallelism cannot change
+  // a bit of any shard.
   std::vector<std::optional<core::Analysis>> shards(partitions.size());
+  pool.parallel_for_dynamic(0, partitions.size(), 1,
+                            [&](std::uint64_t b, std::uint64_t lo, std::uint64_t hi, unsigned) {
+                              (void)b;
+                              for (std::uint64_t i = lo; i < hi; ++i) {
+                                const auto slot = static_cast<std::size_t>(i);
+                                try {
+                                  shards[slot] = archive.load_snapshot(partitions[slot]);
+                                } catch (...) {
+                                  record_error(slot);
+                                }
+                              }
+                            });
+  if (first_error) rethrow_rebuild_error(archive, partitions[first_error_slot], first_error);
   std::vector<std::size_t> rebuild;
   for (std::size_t i = 0; i < partitions.size(); ++i) {
-    shards[i] = archive.load_snapshot(partitions[i]);
     if (shards[i].has_value()) {
       stats.snapshot_hits += 1;
     } else {
@@ -87,14 +120,11 @@ QueryResult query_archive(Archive& archive, const QueryOptions& opts, QueryScrat
   // Pass 2: rebuild missing shards in parallel — one partition per block,
   // handed to idle workers.  Each shard is a sequential accumulation over
   // its own logs, so parallelism never changes a single bit of the result.
-  std::vector<std::uint64_t> scanned(rebuild.size(), 0);
+  // Rebuilt shards that should be persisted are written back as snapshot
+  // FILES right here on the worker that built them (write_snapshot_file
+  // touches no shared state); the manifest registers the whole batch in one
+  // commit after the join.
   if (!rebuild.empty()) {
-    // Pool workers are noexcept, so corruption errors (FormatError from a
-    // damaged segment) are carried out by hand and rethrown on the caller.
-    std::exception_ptr first_error;
-    std::size_t first_error_slot = 0;  ///< partition index of first_error
-    std::mutex error_mu;
-    util::ThreadPool pool(opts.threads);
     // Per-worker decode/summarize scratch, indexed by the dense worker slot.
     // The buffers live in the caller's QueryScratch, so repeated queries —
     // warm or cold — reuse warmed allocations; only the per-query timers
@@ -105,12 +135,19 @@ QueryResult query_archive(Archive& archive, const QueryOptions& opts, QueryScrat
     ScanOptions scan_opts;
     scan_opts.mlp_depth = opts.mlp_depth;
     scan_opts.read_options.seed_compat_parse = opts.seed_compat;
+    // Per-worker log tallies, cache-line padded: the workers' inner loops
+    // bump these per log, so adjacent counters must not share a line.
+    struct alignas(64) WorkerTally {
+      std::uint64_t logs = 0;
+    };
+    std::vector<WorkerTally> tallies(pool.thread_count());
     for (unsigned i = 0; i < pool.thread_count(); ++i) {
       scratch.scan[i].parse_seconds = 0;
       scratch.phases[i] = core::AnalyzePhases{};
       scratch.analyze[i].phases = &scratch.phases[i];
       scratch.analyze[i].seed_compat_summarize = opts.seed_compat;
     }
+    std::vector<Archive::SnapshotReceipt> receipts(rebuild.size());
     pool.parallel_for_dynamic(
         0, rebuild.size(), 1,
         [&](std::uint64_t b, std::uint64_t lo, std::uint64_t hi, unsigned w) {
@@ -123,41 +160,44 @@ QueryResult query_archive(Archive& archive, const QueryOptions& opts, QueryScrat
                   partitions[slot],
                   [&](const darshan::LogData& log) {
                     shard.add(log, scratch.analyze[w]);
-                    scanned[static_cast<std::size_t>(r)] += 1;
+                    tallies[w].logs += 1;
                   },
                   scratch.scan[w], scan_opts);
+              if (opts.write_snapshots) {
+                receipts[static_cast<std::size_t>(r)] =
+                    archive.write_snapshot_file(partitions[slot], shard, opts.snapshot_options);
+              }
               shards[slot] = std::move(shard);
             } catch (...) {
-              const std::scoped_lock lock(error_mu);
-              if (!first_error) {
-                first_error = std::current_exception();
-                first_error_slot = slot;
-              }
+              record_error(slot);
             }
           }
         });
     if (first_error) rethrow_rebuild_error(archive, partitions[first_error_slot], first_error);
     stats.partitions_scanned = rebuild.size();
-    for (const std::uint64_t n : scanned) stats.logs_scanned += n;
+    for (const WorkerTally& t : tallies) stats.logs_scanned += t.logs;
     for (unsigned i = 0; i < pool.thread_count(); ++i) {
       stats.parse_seconds += scratch.scan[i].parse_seconds;
       stats.summarize_seconds += scratch.phases[i].summarize_seconds;
       stats.accumulate_seconds += scratch.phases[i].accumulate_seconds;
     }
+    if (opts.write_snapshots) {
+      stats.snapshots_written = archive.commit_snapshots(receipts);
+    }
   }
   stats.scan_seconds = seconds_since(t0);
 
-  if (opts.write_snapshots) {
-    for (const std::size_t slot : rebuild) {
-      archive.store_snapshot(partitions[slot].id, *shards[slot], opts.snapshot_options);
-      stats.snapshots_written += 1;
-    }
-  }
-
   // Pass 3: merge in partition order — the archive's bit-identical merge
-  // contract.
+  // contract, run as a fixed-shape tree on the pool (Analysis::merge_ordered
+  // pins the bits to the serial left fold regardless of thread count).
   const auto t_merge = SteadyClock::now();
-  for (const auto& shard : shards) result.analysis.merge(*shard);
+  std::vector<const core::Analysis*> shard_ptrs;
+  shard_ptrs.reserve(shards.size());
+  for (const auto& shard : shards) shard_ptrs.push_back(&*shard);
+  core::MergeTreeStats tree;
+  result.analysis = core::Analysis::merge_ordered(shard_ptrs, &pool, &tree);
+  stats.full_merges = 1;
+  stats.tree_merges = tree.used_tree ? 1 : 0;
   stats.merge_seconds = seconds_since(t_merge);
   stats.total_seconds = seconds_since(t0);
   return result;

@@ -5,13 +5,15 @@
 // partition's current data generation), otherwise by rescanning the
 // segment — and merges the shards in manifest partition order.
 //
-// Determinism contract (DESIGN.md §6): a partition's shard is the
+// Determinism contract (DESIGN.md §6, §12): a partition's shard is the
 // sequential accumulation of its logs in ingest order, and shards merge in
-// partition order on one thread.  Rescans are therefore bit-identical to
-// the snapshots they replace, so the query result never depends on cache
-// state, thread count, or which partitions happened to need a rescan.
-// Rebuilds of independent partitions run in parallel through
-// ThreadPool::parallel_for_dynamic (one partition per block).
+// partition order.  Rescans are therefore bit-identical to the snapshots
+// they replace, so the query result never depends on cache state, thread
+// count, or which partitions happened to need a rescan.  Snapshot loads and
+// rebuilds of independent partitions run in parallel through
+// ThreadPool::parallel_for_dynamic (one partition per block), and the final
+// merge runs as a fixed-shape tree (Analysis::merge_ordered) whose bits are
+// pinned to the serial partition-order fold.
 #pragma once
 
 #include "archive/archive.hpp"
@@ -87,7 +89,13 @@ struct QueryStats {
   std::uint64_t partitions_scanned = 0; ///< shards rebuilt from segments
   std::uint64_t logs_scanned = 0;       ///< logs decoded during rebuilds
   std::uint64_t snapshots_written = 0;  ///< shards written back
-  double scan_seconds = 0;   ///< snapshot loads + parallel rebuilds
+  /// Generation-delta accounting (service memoization + query merge path).
+  std::uint64_t merged_hits = 0;        ///< whole queries served from the merged-result cache
+  std::uint64_t prefix_merges = 0;      ///< queries answered by extending a cached prefix
+  std::uint64_t full_merges = 0;        ///< queries that merged every shard
+  std::uint64_t partitions_reused = 0;  ///< shards skipped thanks to a memoized prefix
+  std::uint64_t tree_merges = 0;        ///< full merges that ran the parallel tree
+  double scan_seconds = 0;   ///< snapshot loads + parallel rebuilds (+ snapshot writeback)
   double merge_seconds = 0;  ///< partition-ordered shard merging
   double total_seconds = 0;
   /// Per-phase cost of the cold rebuilds, summed across workers — CPU

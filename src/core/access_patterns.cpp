@@ -67,6 +67,19 @@ void AccessPatterns::merge(const AccessPatterns& other) {
   for (std::size_t i = 0; i < layers_.size(); ++i) layers_[i].merge(other.layers_[i]);
 }
 
+void AccessPatterns::refold_sums_serial(std::span<const AccessPatterns* const> parts) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    double bytes_read = 0.0;
+    double bytes_written = 0.0;
+    for (const AccessPatterns* p : parts) {
+      bytes_read += p->layers_[i].bytes_read;
+      bytes_written += p->layers_[i].bytes_written;
+    }
+    layers_[i].bytes_read = bytes_read;
+    layers_[i].bytes_written = bytes_written;
+  }
+}
+
 void AccessPatterns::save(util::ByteWriter& w) const {
   for (const LayerStats& st : layers_) {
     w.u64(st.files);

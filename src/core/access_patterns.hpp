@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "core/dataset.hpp"
 #include "util/histogram.hpp"
@@ -27,6 +28,14 @@ class AccessPatterns {
 
   void add(const darshan::JobRecord& job, const FileSummary& file);
   void merge(const AccessPatterns& other);
+
+  /// Overwrite the per-layer byte totals with a serial left-to-right re-fold
+  /// across `parts` (the canonical association).  They are double sums, so
+  /// past 2^53 bytes per layer — which the >1 TB stratum reaches quickly —
+  /// addition order changes the rounding; the parallel tree merge
+  /// (Analysis::merge_ordered) patches them the same way Summary patches
+  /// node-hours.
+  void refold_sums_serial(std::span<const AccessPatterns* const> parts);
 
   void save(util::ByteWriter& w) const;
   void load(util::ByteReader& r);

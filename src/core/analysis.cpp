@@ -2,9 +2,13 @@
 
 #include <bit>
 #include <chrono>
+#include <exception>
+#include <mutex>
 #include <string_view>
+#include <vector>
 
 #include "util/byte_io.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mlio::core {
 
@@ -197,6 +201,104 @@ void Analysis::merge(const Analysis& other) {
   interfaces_.merge(other.interfaces_);
   performance_.merge(other.performance_);
   unattributed_ += other.unattributed_;
+}
+
+Analysis Analysis::merge_ordered(std::span<const Analysis* const> shards,
+                                 util::ThreadPool* pool, MergeTreeStats* tree_stats) {
+  MergeTreeStats local;
+  MergeTreeStats& ts = tree_stats != nullptr ? *tree_stats : local;
+  ts = MergeTreeStats{};
+
+  const bool tree = pool != nullptr && shards.size() >= 2;
+  if (!tree) {
+    Analysis out;
+    for (const Analysis* s : shards) out.merge(*s);
+    return out;
+  }
+
+  // Saturated reservoir cells replay order-sensitive replacement draws, so
+  // the tree's bits would differ from the serial fold's there.  Instead of
+  // abandoning the tree (real archives saturate the hottest cells almost
+  // immediately), find exactly those cells now and patch them afterwards
+  // from a serial re-fold — every other cell is pure sample concatenation
+  // and exactly associative.
+  std::vector<const Performance*> perfs;
+  perfs.reserve(shards.size());
+  for (const Analysis* s : shards) perfs.push_back(&s->performance_);
+  const std::vector<std::size_t> saturated = Performance::saturated_cells(perfs);
+
+  // The association-sensitive double sums — node-hours plus the per-layer
+  // and per-domain byte totals — are re-folded serially in shard order
+  // below, so the patched result carries the canonical left-fold bits even
+  // past 2^53 bytes (the >1 TB stratum gets there quickly).
+  double node_hours = 0.0;
+  for (const Analysis* s : shards) node_hours += s->summary_.node_hours();
+  std::vector<const AccessPatterns*> accesses;
+  std::vector<const LayerUsage*> layer_usages;
+  std::vector<const InterfaceUsage*> iface_usages;
+  accesses.reserve(shards.size());
+  layer_usages.reserve(shards.size());
+  iface_usages.reserve(shards.size());
+  for (const Analysis* s : shards) {
+    accesses.push_back(&s->access_);
+    layer_usages.push_back(&s->layers_);
+    iface_usages.push_back(&s->interfaces_);
+  }
+
+  // Round 0 copies shard pairs into owned slots; later rounds merge slots
+  // `stride` apart in place.  The association order — and therefore every
+  // bit of the result — is a pure function of shards.size(): blocks are
+  // disjoint slots, so scheduling cannot reorder any arithmetic.
+  std::vector<Analysis> slots((shards.size() + 1) / 2);
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  const auto guarded = [&](const std::function<void(std::size_t)>& body) {
+    return [&, body](std::uint64_t b, std::uint64_t lo, std::uint64_t hi, unsigned) {
+      (void)b;
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        try {
+          body(static_cast<std::size_t>(i));
+        } catch (...) {
+          const std::scoped_lock lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    };
+  };
+  const auto rethrow_if_failed = [&] {
+    if (first_error) std::rethrow_exception(first_error);
+  };
+
+  pool->parallel_for_dynamic(0, slots.size(), 1, guarded([&](std::size_t i) {
+                               slots[i] = *shards[2 * i];
+                               if (2 * i + 1 < shards.size()) slots[i].merge(*shards[2 * i + 1]);
+                             }));
+  rethrow_if_failed();
+  ts.pair_merges += shards.size() / 2;
+
+  for (std::size_t stride = 1; stride < slots.size(); stride *= 2) {
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i + stride < slots.size(); i += 2 * stride) pairs += 1;
+    pool->parallel_for_dynamic(0, pairs, 1, guarded([&](std::size_t p) {
+                                 const std::size_t i = 2 * stride * p;
+                                 slots[i].merge(slots[i + stride]);
+                               }));
+    rethrow_if_failed();
+    ts.pair_merges += pairs;
+  }
+
+  Analysis out = std::move(slots.front());
+  out.summary_.set_node_hours(node_hours);
+  out.access_.refold_sums_serial(accesses);
+  out.layers_.refold_sums_serial(layer_usages);
+  out.interfaces_.refold_sums_serial(iface_usages);
+  if (!saturated.empty()) {
+    out.performance_.refold_cells_serial(perfs, saturated);
+    ts.patched_cells = saturated.size();
+    ts.reservoir_fallback = true;
+  }
+  ts.used_tree = true;
+  return out;
 }
 
 }  // namespace mlio::core

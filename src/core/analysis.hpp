@@ -5,6 +5,8 @@
 // per chunk and fold them in chunk order for deterministic output.
 #pragma once
 
+#include <span>
+
 #include "core/access_patterns.hpp"
 #include "core/dataset.hpp"
 #include "core/interface_usage.hpp"
@@ -15,6 +17,7 @@
 namespace mlio::util {
 class ByteReader;
 class ByteWriter;
+class ThreadPool;
 }  // namespace mlio::util
 
 namespace mlio::core {
@@ -36,6 +39,19 @@ struct AnalyzeScratch {
   AnalyzePhases* phases = nullptr;  ///< non-owning; null disables timing
 };
 
+/// Telemetry from Analysis::merge_ordered — which path produced the bits.
+struct MergeTreeStats {
+  bool used_tree = false;    ///< pairwise tree (false: serial left fold)
+  std::uint64_t pair_merges = 0;
+  /// Performance reservoir cells whose combined counts overflow their
+  /// sample capacity — replacement draws are order-sensitive there, so the
+  /// tree patches exactly those cells from a serial re-fold (the rest of
+  /// the state is exactly associative and keeps its tree-merged bits).
+  std::uint64_t patched_cells = 0;
+  /// patched_cells > 0: some reservoirs needed the serial re-fold.
+  bool reservoir_fallback = false;
+};
+
 class Analysis {
  public:
   /// Consume one log (summarizes it once and feeds every accumulator).
@@ -44,6 +60,25 @@ class Analysis {
   /// bit-identical to the plain overload (same fingerprint).
   void add(const darshan::LogData& log, AnalyzeScratch& scratch);
   void merge(const Analysis& other);
+
+  /// Merge `shards` in index order, bit-identical to the serial left fold
+  /// (`Analysis{}` then merge(shards[0]), merge(shards[1]), ...) — the
+  /// archive's canonical partition-order merge.  With a pool, the
+  /// associative bulk of the state runs as a fixed-shape binary tree whose
+  /// association order is a pure function of shards.size() (never of thread
+  /// count or timing), while the one order-sensitive float sum (node-hours)
+  /// is re-folded serially and patched in.  The identity to the left fold
+  /// holds because, below reservoir sampling capacity, every other
+  /// accumulator merge is sample concatenation, integer adds, ordered-map
+  /// unions, and min/max — exactly associative (pinned by
+  /// test_merge_properties); reservoir cells at capacity are patched from a
+  /// serial re-fold of just those cells (MergeTreeStats::patched_cells), so
+  /// the tree engages even on saturated archives.  Domain byte totals are
+  /// integer-valued doubles, exact below 2^53 bytes (~9 PB) per domain.
+  /// `pool == nullptr` runs the serial fold directly.
+  static Analysis merge_ordered(std::span<const Analysis* const> shards,
+                                util::ThreadPool* pool = nullptr,
+                                MergeTreeStats* tree_stats = nullptr);
 
   /// Full-fidelity state serialization: every accumulator — counts,
   /// histogram bins, distinct-job maps, and the performance reservoirs

@@ -167,4 +167,19 @@ void InterfaceUsage::merge(const InterfaceUsage& other) {
   for (const auto& [ext, n] : other.stdio_extensions_) stdio_extensions_[ext] += n;
 }
 
+void InterfaceUsage::refold_sums_serial(std::span<const InterfaceUsage* const> parts) {
+  for (auto& [name, d] : stdio_domains_) {
+    double bytes_read = 0.0;
+    double bytes_written = 0.0;
+    for (const InterfaceUsage* p : parts) {
+      const auto it = p->stdio_domains_.find(name);
+      if (it == p->stdio_domains_.end()) continue;
+      bytes_read += it->second.bytes_read;
+      bytes_written += it->second.bytes_written;
+    }
+    d.bytes_read = bytes_read;
+    d.bytes_written = bytes_written;
+  }
+}
+
 }  // namespace mlio::core

@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <unordered_set>
 
@@ -29,6 +30,12 @@ class InterfaceUsage {
 
   void add_log(const darshan::JobRecord& job, const std::vector<FileSummary>& files);
   void merge(const InterfaceUsage& other);
+
+  /// Overwrite the per-domain STDIO byte totals with a serial left-to-right
+  /// re-fold across `parts`: they are double sums, order-sensitive past
+  /// 2^53 bytes, so the parallel tree merge (Analysis::merge_ordered)
+  /// patches them the same way Summary patches node-hours.
+  void refold_sums_serial(std::span<const InterfaceUsage* const> parts);
 
   /// Canonical serialization (the STDIO job set is emitted sorted).
   void save(util::ByteWriter& w) const;

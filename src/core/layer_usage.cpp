@@ -67,6 +67,21 @@ void LayerUsage::merge(const LayerUsage& other) {
   }
 }
 
+void LayerUsage::refold_sums_serial(std::span<const LayerUsage* const> parts) {
+  for (auto& [name, usage] : domains_) {
+    double bytes_read = 0.0;
+    double bytes_written = 0.0;
+    for (const LayerUsage* p : parts) {
+      const auto it = p->domains_.find(name);
+      if (it == p->domains_.end()) continue;
+      bytes_read += it->second.insys_bytes_read;
+      bytes_written += it->second.insys_bytes_written;
+    }
+    usage.insys_bytes_read = bytes_read;
+    usage.insys_bytes_written = bytes_written;
+  }
+}
+
 void LayerUsage::save(util::ByteWriter& w) const {
   {
     std::vector<std::pair<std::uint64_t, std::uint8_t>> sorted(job_mask_.begin(),

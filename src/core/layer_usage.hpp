@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <unordered_map>
 
@@ -29,6 +30,12 @@ class LayerUsage {
   /// Call once per log with that log's summaries.
   void add_log(const darshan::JobRecord& job, const std::vector<FileSummary>& files);
   void merge(const LayerUsage& other);
+
+  /// Overwrite the per-domain byte totals with a serial left-to-right
+  /// re-fold across `parts`: they are double sums, order-sensitive past
+  /// 2^53 bytes, so the parallel tree merge (Analysis::merge_ordered)
+  /// patches them the same way Summary patches node-hours.
+  void refold_sums_serial(std::span<const LayerUsage* const> parts);
 
   /// Canonical serialization (unordered job maps emitted in sorted key
   /// order).

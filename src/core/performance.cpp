@@ -55,6 +55,32 @@ void Performance::load(util::ByteReader& r) {
   observations_ = r.u64();
 }
 
+bool Performance::merge_is_exact(std::span<const Performance* const> parts) {
+  return saturated_cells(parts).empty();
+}
+
+std::vector<std::size_t> Performance::saturated_cells(std::span<const Performance* const> parts) {
+  std::vector<std::size_t> saturated;
+  if (parts.empty()) return saturated;
+  const std::size_t n_cells = parts.front()->cells_.size();
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    std::uint64_t total = 0;
+    for (const Performance* p : parts) total += p->cells_[c].count();
+    if (total > parts.front()->cells_[c].capacity()) saturated.push_back(c);
+  }
+  return saturated;
+}
+
+void Performance::refold_cells_serial(std::span<const Performance* const> parts,
+                                      std::span<const std::size_t> cells) {
+  if (parts.empty()) return;
+  for (const std::size_t c : cells) {
+    util::ReservoirQuantiles folded = parts.front()->cells_[c];
+    for (std::size_t i = 1; i < parts.size(); ++i) folded.merge(parts[i]->cells_[c]);
+    cells_[c] = std::move(folded);
+  }
+}
+
 void Performance::merge(const Performance& other) {
   for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i].merge(other.cells_[i]);
   observations_ += other.observations_;

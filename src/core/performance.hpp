@@ -10,6 +10,8 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "core/dataset.hpp"
 #include "util/bins.hpp"
@@ -43,6 +45,27 @@ class Performance {
   static const util::BinSpec& bins() { return util::BinSpec::transfer_bins_perf(); }
 
   std::uint64_t observations() const { return observations_; }
+
+  /// True when merging these states draws no reservoir samples in ANY
+  /// association order: every cell's combined observation count still fits
+  /// its reservoir, so merge() is pure sample concatenation plus integer
+  /// adds and min/max — exactly associative, Rng positions included.  The
+  /// parallel tree merge (Analysis::merge_ordered) requires this cell by
+  /// cell; above capacity the seeded replacement draws depend on merge
+  /// order and the tree patches those cells from a serial re-fold.
+  static bool merge_is_exact(std::span<const Performance* const> parts);
+
+  /// The cell indices whose combined observation count exceeds the
+  /// reservoir capacity — exactly the cells merge_is_exact objects to.
+  /// Empty iff merge_is_exact(parts).
+  static std::vector<std::size_t> saturated_cells(std::span<const Performance* const> parts);
+
+  /// Overwrite the listed cells with a serial left-to-right fold of the
+  /// same cells across `parts` (the canonical association).  Used by the
+  /// tree merge to restore serial-fold bits in saturated cells, the same
+  /// way Summary::set_node_hours restores the node-hours sum.
+  void refold_cells_serial(std::span<const Performance* const> parts,
+                           std::span<const std::size_t> cells);
 
  private:
   std::size_t slot(Layer layer, std::size_t iface, std::size_t bin, bool read) const;

@@ -60,7 +60,12 @@ Analysis read_snapshot_bytes(std::span<const std::byte> data, std::uint64_t* tag
     if (body_size > stored_size * 1040 + 4096) {
       throw util::FormatError("snapshot: implausible uncompressed size");
     }
-    unpacked = util::zlib_decompress(stored, static_cast<std::size_t>(body_size));
+    // Fast whole-buffer inflate; the frame CRC below covers the body, so the
+    // Adler-32 trailer pass is redundant.  The engine keeps its window state
+    // per thread, so warm queries loading many snapshots allocate nothing.
+    thread_local util::Inflater inflater;
+    inflater.decompress(stored, static_cast<std::size_t>(body_size), unpacked,
+                        util::InflateEngine::kFast, /*verify_checksum=*/false);
     body = unpacked;
   } else if (body_size != stored_size) {
     throw util::FormatError("snapshot: body size mismatch");

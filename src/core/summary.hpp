@@ -31,6 +31,13 @@ class Summary {
   std::uint64_t min_logs_per_job() const;
   std::uint64_t max_logs_per_job() const;
 
+  /// Replaces the node-hours accumulator.  Node-hours is the one
+  /// association-sensitive floating-point sum in the whole analysis state;
+  /// the parallel tree merge (Analysis::merge_ordered) restores the
+  /// canonical left-fold association by re-summing the shard values in
+  /// partition order and patching the result through here.
+  void set_node_hours(double v) { node_hours_ = v; }
+
  private:
   std::uint64_t logs_ = 0;
   std::uint64_t files_ = 0;

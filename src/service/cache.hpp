@@ -33,6 +33,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -58,6 +59,10 @@ struct CacheCounters {
   std::uint64_t purged = 0;    ///< entries dropped by generation purge
   std::uint64_t entries = 0;   ///< resident entries right now
   std::uint64_t bytes_used = 0;
+  /// Longest-prefix matches served by MergedResultCache::best_prefix —
+  /// counted apart from lookups/hits/misses, whose reconciliation invariant
+  /// covers exact-generation gets only.  Always 0 for SnapshotCache.
+  std::uint64_t prefix_hits = 0;
 };
 
 class SnapshotCache {
@@ -116,6 +121,86 @@ class SnapshotCache {
   std::uint64_t capacity_bytes_;
   std::uint64_t shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// One memoized whole-archive answer: the merged analysis, its fingerprint,
+/// and the identity it was merged over.
+struct MergedResult {
+  std::shared_ptr<const core::Analysis> analysis;
+  std::uint64_t fingerprint = 0;
+  /// (partition id, data generation) in manifest order — exactly the shards
+  /// folded, in the order they were folded.  The prefix-validity rule
+  /// (DESIGN.md §12) matches against this: a manifest whose partition list
+  /// starts with this identity can extend the answer incrementally, because
+  /// ingest only appends and the merge is a left fold.
+  std::vector<CacheKey> identity;
+  /// Cumulative cost to produce this answer from scratch (parent entry's
+  /// cost plus the delta fold) — the admission currency, kept cumulative so
+  /// a cheap incremental extension never loses an eviction fight against
+  /// the expensive ancestor it supersedes.
+  std::uint64_t cost_ns = 0;
+};
+
+/// Bounded LRU memo of whole-archive merged answers keyed by manifest
+/// generation — the service-level generation-delta cache (DESIGN.md §12).
+/// A warm get() against an unchanged generation is one lookup here instead
+/// of P shard resolutions + P merges; after an ingest append, best_prefix()
+/// hands back the longest still-valid ancestor to extend.  Shares the
+/// SnapshotCache's discipline: byte-bounded LRU, cost-based admission
+/// (victims cheaper to recompute than the candidate), publish-time purge,
+/// and the same counter reconciliation invariants.  Generations are serial
+/// and few, so one lock domain suffices.
+class MergedResultCache {
+ public:
+  struct Options {
+    /// 0 disables the cache entirely (every get merges; the bench's honest
+    /// "linear in P" lane).
+    std::uint64_t capacity_bytes = 64ull << 20;
+    /// Resident answers kept (LRU beyond this evicts regardless of bytes);
+    /// a handful covers the live generation plus pinned stragglers.
+    std::size_t max_entries = 4;
+  };
+
+  explicit MergedResultCache(const Options& opts);
+
+  bool enabled() const { return capacity_bytes_ > 0; }
+
+  /// nullptr on miss; a hit refreshes the entry's LRU position.
+  std::shared_ptr<const MergedResult> get(std::uint64_t generation);
+
+  /// The resident answer with the LONGEST identity that is a (possibly
+  /// full-length) prefix of `identity`, or nullptr.  Counted as
+  /// prefix_hits, not lookups — callers reach here only after get() missed.
+  std::shared_ptr<const MergedResult> best_prefix(std::span<const CacheKey> identity);
+
+  /// Offer an answer.  `size_bytes` is core::serialized_analysis_bytes of
+  /// the merged analysis; the admission cost is value->cost_ns.  Returns
+  /// false when admission rejected it.  Re-inserting a resident generation
+  /// refreshes recency only.
+  bool insert(std::uint64_t generation, std::shared_ptr<const MergedResult> value,
+              std::uint64_t size_bytes);
+
+  /// Drop entries for which `stale` returns true.  The service keeps
+  /// exactly the prefix-valid ones across a publish.
+  std::size_t purge(const std::function<bool(std::uint64_t, const MergedResult&)>& stale);
+
+  CacheCounters counters() const;
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Entry {
+    std::uint64_t generation = 0;
+    std::shared_ptr<const MergedResult> value;
+    std::uint64_t size_bytes = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t capacity_bytes_;
+  std::size_t max_entries_;
+  std::uint64_t bytes_used_ = 0;
+  CacheCounters counters_;
 };
 
 }  // namespace mlio::service

@@ -7,6 +7,7 @@
 
 #include "core/snapshot.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mlio::service {
 
@@ -29,8 +30,12 @@ std::unique_lock<std::mutex> timed_lock(std::mutex& mu, ServiceStats* stats) {
 
 ArchiveService::ArchiveService(const std::filesystem::path& dir, const Options& opts,
                                util::Vfs& vfs)
-    : archive_(archive::Archive::open(dir, vfs)), opts_(opts), cache_(opts.cache) {
+    : archive_(archive::Archive::open(dir, vfs)),
+      opts_(opts),
+      cache_(opts.cache),
+      merged_(opts.merged) {
   published_ = std::make_shared<const archive::Manifest>(archive_.manifest());
+  if (opts.merge_threads > 0) pool_ = std::make_unique<util::ThreadPool>(opts.merge_threads);
 }
 
 ArchiveService::ArchiveService(const std::filesystem::path& dir)
@@ -97,6 +102,21 @@ void ArchiveService::publish_locked() {
   }
   cache_.purge([&](const CacheKey& k) {
     return live.find(k.partition_id * 0x100000001b3ull + k.data_generation) == live.end();
+  });
+  // Merged answers survive a publish exactly when their identity is still a
+  // prefix of the new partition list: an ingest append keeps the previous
+  // generation's answer alive as the incremental seed for the next get,
+  // while a compaction (rewritten ids / data generations) invalidates it.
+  const std::vector<archive::PartitionInfo>& parts = next->partitions;
+  merged_.purge([&](std::uint64_t, const MergedResult& m) {
+    if (m.identity.size() > parts.size()) return true;
+    for (std::size_t i = 0; i < m.identity.size(); ++i) {
+      if (m.identity[i].partition_id != parts[i].id ||
+          m.identity[i].data_generation != parts[i].data_generation) {
+        return true;
+      }
+    }
+    return false;
   });
 }
 
@@ -184,6 +204,38 @@ std::shared_ptr<const core::Analysis> ArchiveService::resolve_shard(
   return shard;
 }
 
+std::vector<std::shared_ptr<const core::Analysis>> ArchiveService::resolve_all(
+    const Pin& pin, ServiceStats& stats) {
+  const std::vector<archive::PartitionInfo>& parts = pin.manifest().partitions;
+  std::vector<std::shared_ptr<const core::Analysis>> shards(parts.size());
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < parts.size(); ++i) shards[i] = resolve_shard(parts[i], stats);
+    return shards;
+  }
+  // Fan the resolutions out over the merge pool: every shard lands in its
+  // own slot and the per-worker stats fold after the join, so the shards —
+  // and therefore the fold — are bit-identical to the serial loop.
+  std::vector<ServiceStats> worker_stats(pool_->thread_count());
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  pool_->parallel_for_dynamic(
+      0, parts.size(), 1, [&](std::uint64_t b, std::uint64_t lo, std::uint64_t hi, unsigned w) {
+        (void)b;
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          try {
+            shards[static_cast<std::size_t>(i)] =
+                resolve_shard(parts[static_cast<std::size_t>(i)], worker_stats[w]);
+          } catch (...) {
+            const std::scoped_lock lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+  if (first_error) std::rethrow_exception(first_error);
+  for (const ServiceStats& ws : worker_stats) stats.merge(ws);
+  return shards;
+}
+
 ArchiveService::GetResult ArchiveService::get_pinned(const Pin& pin, bool keep_analysis) {
   MLIO_ASSERT(pin.valid());
   const auto t0 = SteadyClock::now();
@@ -191,24 +243,89 @@ ArchiveService::GetResult ArchiveService::get_pinned(const Pin& pin, bool keep_a
   r.generation = pin.generation();
   r.pin = pin;
   r.stats.requests = 1;
-  r.stats.query.partitions = pin.manifest().partitions.size();
+  const std::vector<archive::PartitionInfo>& parts = pin.manifest().partitions;
+  r.stats.query.partitions = parts.size();
 
-  const auto t_scan = SteadyClock::now();
-  std::vector<std::shared_ptr<const core::Analysis>> shards;
-  shards.reserve(pin.manifest().partitions.size());
-  for (const archive::PartitionInfo& p : pin.manifest().partitions) {
-    shards.push_back(resolve_shard(p, r.stats));
+  // Tier 1: the whole answer, memoized under this generation.
+  if (std::shared_ptr<const MergedResult> memo = merged_.get(pin.generation())) {
+    r.stats.query.merged_hits = 1;
+    r.fingerprint = memo->fingerprint;
+    if (keep_analysis) r.analysis = memo->analysis;
+    r.stats.query.total_seconds = static_cast<double>(ns_since(t0)) * 1e-9;
+    return r;
   }
-  r.stats.scan_ns = ns_since(t_scan);
-  r.stats.query.scan_seconds = static_cast<double>(r.stats.scan_ns) * 1e-9;
 
-  const auto t_merge = SteadyClock::now();
-  auto merged = std::make_shared<core::Analysis>();
-  for (const auto& shard : shards) merged->merge(*shard);
-  r.stats.merge_ns = ns_since(t_merge);
-  r.stats.query.merge_seconds = static_cast<double>(r.stats.merge_ns) * 1e-9;
+  std::vector<CacheKey> identity;
+  identity.reserve(parts.size());
+  for (const archive::PartitionInfo& p : parts) {
+    identity.push_back(CacheKey{p.id, p.data_generation});
+  }
 
-  r.fingerprint = merged->fingerprint();
+  std::shared_ptr<const core::Analysis> merged;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t base_cost_ns = 0;
+
+  // Tier 2: extend the longest memoized prefix — ingest appends partitions,
+  // so merged(prefix) ⊕ delta shards continues the canonical left fold
+  // bit-identically.  A full-length match (same partitions under a new
+  // manifest generation, e.g. after a snapshot commit) costs zero merges.
+  if (std::shared_ptr<const MergedResult> base = merged_.best_prefix(identity)) {
+    base_cost_ns = base->cost_ns;
+    const std::size_t reused = base->identity.size();
+    r.stats.query.partitions_reused = reused;
+    if (reused == parts.size()) {
+      merged = base->analysis;
+      fingerprint = base->fingerprint;
+      r.stats.query.merged_hits = 1;
+    } else {
+      r.stats.query.prefix_merges = 1;
+      const auto t_scan = SteadyClock::now();
+      auto extended = std::make_shared<core::Analysis>(*base->analysis);
+      for (std::size_t i = reused; i < parts.size(); ++i) {
+        extended->merge(*resolve_shard(parts[i], r.stats));
+      }
+      r.stats.scan_ns = ns_since(t_scan);
+      r.stats.query.scan_seconds = static_cast<double>(r.stats.scan_ns) * 1e-9;
+      fingerprint = extended->fingerprint();
+      merged = std::move(extended);
+    }
+  } else {
+    // Tier 3: full merge — resolve every shard (on the merge pool when
+    // configured) and fold with the pinned-shape tree.
+    r.stats.query.full_merges = 1;
+    const auto t_scan = SteadyClock::now();
+    const std::vector<std::shared_ptr<const core::Analysis>> shards = resolve_all(pin, r.stats);
+    r.stats.scan_ns = ns_since(t_scan);
+    r.stats.query.scan_seconds = static_cast<double>(r.stats.scan_ns) * 1e-9;
+
+    const auto t_merge = SteadyClock::now();
+    std::vector<const core::Analysis*> ptrs;
+    ptrs.reserve(shards.size());
+    for (const auto& shard : shards) ptrs.push_back(shard.get());
+    core::MergeTreeStats tree;
+    auto folded =
+        std::make_shared<core::Analysis>(core::Analysis::merge_ordered(ptrs, pool_.get(), &tree));
+    r.stats.query.tree_merges = tree.used_tree ? 1 : 0;
+    r.stats.merge_ns = ns_since(t_merge);
+    r.stats.query.merge_seconds = static_cast<double>(r.stats.merge_ns) * 1e-9;
+    fingerprint = folded->fingerprint();
+    merged = std::move(folded);
+  }
+
+  // Memoize under THIS generation (a tier-2 full-length reuse re-registers
+  // the shared answer under the new generation so the next get is a tier-1
+  // hit; the analysis itself is shared, not copied).
+  if (merged_.enabled()) {
+    auto entry = std::make_shared<MergedResult>();
+    entry->analysis = merged;
+    entry->fingerprint = fingerprint;
+    entry->identity = std::move(identity);
+    entry->cost_ns = base_cost_ns + ns_since(t0);
+    merged_.insert(pin.generation(), std::move(entry),
+                   core::serialized_analysis_bytes(*merged));
+  }
+
+  r.fingerprint = fingerprint;
   if (keep_analysis) r.analysis = std::move(merged);
   r.stats.query.total_seconds = static_cast<double>(ns_since(t0)) * 1e-9;
   return r;

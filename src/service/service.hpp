@@ -43,6 +43,10 @@
 #include "service/cache.hpp"
 #include "util/vfs.hpp"
 
+namespace mlio::util {
+class ThreadPool;
+}  // namespace mlio::util
+
 namespace mlio::service {
 
 /// One pre-serialized log ready for ingestion: the framed bytes plus the job
@@ -78,6 +82,17 @@ class ArchiveService {
  public:
   struct Options {
     SnapshotCache::Options cache;
+    /// Whole-answer memo keyed by manifest generation (DESIGN.md §12).
+    /// capacity_bytes = 0 turns memoization AND incremental prefix merging
+    /// off — every get resolves and merges all P shards (the bench's
+    /// linear-in-P lane).
+    MergedResultCache::Options merged;
+    /// Workers for full merges: shard resolution fans out over a pool and
+    /// the fold runs as a fixed-shape tree (Analysis::merge_ordered — bits
+    /// pinned to the serial fold at any thread count).  0 keeps both
+    /// serial, which is right when client threads already saturate the
+    /// machine.
+    unsigned merge_threads = 0;
     /// Logs in flight per scan during shard rebuilds (bit-identical at any
     /// depth — archive/scan.hpp).
     unsigned mlp_depth = archive::kDefaultMlpDepth;
@@ -159,6 +174,7 @@ class ArchiveService {
 
   std::uint64_t generation() const;
   CacheCounters cache_counters() const { return cache_.counters(); }
+  CacheCounters merged_counters() const { return merged_.counters(); }
   /// Files awaiting pin-gated deletion (tests assert it drains to 0).
   std::size_t deferred_gc_pending() const;
   /// Failed deferred-GC removals (non-fatal, mirrors Archive::gc_errors).
@@ -183,6 +199,11 @@ class ArchiveService {
   /// Resolve one partition's shard: cache -> disk snapshot -> rescan.
   std::shared_ptr<const core::Analysis> resolve_shard(const archive::PartitionInfo& p,
                                                       ServiceStats& stats);
+  /// Resolve every shard of `pin`'s manifest, on the merge pool when one is
+  /// configured (per-worker stats folded after the join), serially
+  /// otherwise.
+  std::vector<std::shared_ptr<const core::Analysis>> resolve_all(const Pin& pin,
+                                                                 ServiceStats& stats);
 
   archive::Archive archive_;  ///< manifest mutated only under writer_mu_
   Options opts_;
@@ -197,6 +218,8 @@ class ArchiveService {
   std::vector<std::string> gc_errors_;
 
   SnapshotCache cache_;
+  MergedResultCache merged_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< merge pool; null when serial
 };
 
 }  // namespace mlio::service

@@ -68,6 +68,7 @@ class ReservoirQuantiles {
 
   std::uint64_t count() const { return n_; }
   bool empty() const { return n_ == 0; }
+  std::size_t capacity() const { return capacity_; }
 
   /// Quantile q in [0,1] by linear interpolation over the reservoir.
   double quantile(double q) const;

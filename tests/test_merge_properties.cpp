@@ -15,8 +15,11 @@
 #include <vector>
 
 #include "core/analysis.hpp"
+#include "core/performance.hpp"
 #include "core/snapshot.hpp"
 #include "darshan/log_format.hpp"
+#include "util/byte_io.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/pipeline.hpp"
 
 namespace mlio::core {
@@ -179,6 +182,147 @@ TEST(MergeProperties, MergeIsAssociativeOverOrderedShards) {
   right.merge(bc);
 
   EXPECT_EQ(state(left), state(right));
+}
+
+TEST(MergeProperties, TreeMergeMatchesSerialFoldBitForBit) {
+  // The acceptance bar for the parallel tree merge (DESIGN.md §12): for any
+  // shard count and any thread count, Analysis::merge_ordered produces the
+  // SAME BYTES as the serial partition-order fold — node-hours patched
+  // serially, reservoirs below capacity, fixed tree shape.
+  const auto logs = sample_logs(60, 47);
+  ASSERT_GE(logs.size(), 16u);
+
+  util::ThreadPool pool1(1);
+  util::ThreadPool pool8(8);
+  for (const std::size_t n_shards : {1u, 2u, 3u, 5u, 8u, 9u, 16u}) {
+    std::vector<Analysis> shards(n_shards);
+    std::vector<const Analysis*> ptrs;
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      shards[s] = analyze(logs, logs.size() * s / n_shards, logs.size() * (s + 1) / n_shards);
+      ptrs.push_back(&shards[s]);
+    }
+    Analysis serial;
+    for (const Analysis* p : ptrs) serial.merge(*p);
+    const std::vector<std::byte> expected = state(serial);
+
+    MergeTreeStats ts{};
+    EXPECT_EQ(state(Analysis::merge_ordered(ptrs, nullptr, &ts)), expected)
+        << "serial merge_ordered, shards=" << n_shards;
+    EXPECT_EQ(state(Analysis::merge_ordered(ptrs, &pool1, &ts)), expected)
+        << "1-thread tree, shards=" << n_shards;
+    EXPECT_EQ(state(Analysis::merge_ordered(ptrs, &pool8, &ts)), expected)
+        << "8-thread tree, shards=" << n_shards;
+    if (n_shards >= 2) {
+      EXPECT_TRUE(ts.used_tree) << "shards=" << n_shards;
+      EXPECT_FALSE(ts.reservoir_fallback) << "shards=" << n_shards;
+    }
+  }
+}
+
+TEST(MergeProperties, TreeMergePatchesSaturatedReservoirCells) {
+  // Real archives saturate the hottest performance cells almost
+  // immediately, so the tree cannot simply refuse them: merge_ordered must
+  // keep the tree for the associative bulk and patch exactly the saturated
+  // cells from a serial re-fold, still matching the serial fold bit for
+  // bit.
+  // Full-density logs (no files-per-log scaling): the same shape the
+  // archive ingests, where the hot (layer, iface, bin) cells overflow their
+  // reservoirs within a few dozen jobs.
+  wl::GeneratorConfig cfg;
+  cfg.seed = 51;
+  cfg.n_jobs = 60;
+  const wl::WorkloadGenerator gen(wl::SystemProfile::summit_2020(), cfg);
+  std::vector<darshan::LogData> logs;
+  wl::serialize_logs(gen, wl::Stratum::kBulk, 0, cfg.n_jobs, {},
+                     [&](const darshan::JobRecord&, std::span<const std::byte> frame) {
+                       logs.push_back(darshan::read_log_bytes(frame));
+                     });
+  ASSERT_GE(logs.size(), 8u);
+  const std::size_t n_shards = 8;
+  std::vector<Analysis> shards(n_shards);
+  std::vector<const Analysis*> ptrs;
+  std::vector<const Performance*> perfs;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    shards[s] = analyze(logs, logs.size() * s / n_shards, logs.size() * (s + 1) / n_shards);
+    ptrs.push_back(&shards[s]);
+    perfs.push_back(&shards[s].performance());
+  }
+  // The premise: this workload overflows at least one reservoir cell.  If
+  // this ever fails the test has gone vacuous — raise the log count.
+  ASSERT_FALSE(Performance::merge_is_exact(perfs));
+  const std::vector<std::size_t> saturated = Performance::saturated_cells(perfs);
+  ASSERT_FALSE(saturated.empty());
+
+  Analysis serial;
+  for (const Analysis* p : ptrs) serial.merge(*p);
+  const std::vector<std::byte> expected = state(serial);
+
+  util::ThreadPool pool8(8);
+  MergeTreeStats ts{};
+  EXPECT_EQ(state(Analysis::merge_ordered(ptrs, &pool8, &ts)), expected);
+  EXPECT_TRUE(ts.used_tree);
+  EXPECT_TRUE(ts.reservoir_fallback);
+  EXPECT_EQ(ts.patched_cells, saturated.size());
+
+  util::ThreadPool pool1(1);
+  ts = MergeTreeStats{};
+  EXPECT_EQ(state(Analysis::merge_ordered(ptrs, &pool1, &ts)), expected);
+  EXPECT_TRUE(ts.used_tree);
+}
+
+TEST(MergeProperties, TreeMergeEmptyInputIsEmpty) {
+  util::ThreadPool pool(4);
+  const std::vector<const Analysis*> none;
+  EXPECT_EQ(state(Analysis::merge_ordered(none, &pool)), state(Analysis{}));
+}
+
+TEST(MergeProperties, ReservoirGuardDetectsSaturation) {
+  // Above reservoir capacity, ReservoirQuantiles::merge draws seeded
+  // replacement samples whose outcome depends on merge ORDER — the one part
+  // of the state that is not exactly associative.  merge_is_exact is the
+  // gate the tree merge stands behind: it must pass while every cell's
+  // combined count fits its reservoir and fail as soon as one would
+  // overflow.
+  FileSummary f;
+  f.shared = true;
+  f.layer = Layer::kPfs;
+  f.data_iface = DataInterface::kPosix;
+  f.bytes_read = 1 << 20;
+
+  Performance a;
+  Performance b;
+  Performance c;
+  for (int i = 0; i < 3000; ++i) {
+    // Distinct bandwidths, all in one (layer, iface, bin, read) cell.
+    f.read_time = 1.0 + 1e-4 * i;
+    a.add(f);
+    f.read_time = 2.0 + 1e-4 * i;
+    b.add(f);
+    f.read_time = 3.0 + 1e-4 * i;
+    c.add(f);
+  }
+  const Performance* one[] = {&a};
+  EXPECT_TRUE(Performance::merge_is_exact(one));  // 3000 observations fit 4096
+  const Performance* pair[] = {&a, &b};
+  EXPECT_FALSE(Performance::merge_is_exact(pair));  // 6000 do not
+
+  // Demonstrate the non-associativity the guard exists for: past capacity,
+  // (a ∘ b) ∘ c and a ∘ (b ∘ c) draw different replacement samples even
+  // though both preserve left-to-right shard order — the intermediate b ∘ c
+  // reservoir is already saturated, so the right association replays its
+  // post-replacement samples instead of c's raw stream.
+  Performance left = a;
+  left.merge(b);
+  left.merge(c);
+  Performance bc = b;
+  bc.merge(c);
+  Performance right = a;
+  right.merge(bc);
+  util::ByteWriter wl;
+  util::ByteWriter wr;
+  left.save(wl);
+  right.save(wr);
+  EXPECT_NE(wl.take(), wr.take());
 }
 
 }  // namespace

@@ -247,11 +247,14 @@ TEST(ArchiveService, GetMatchesQueryArchiveAndServesFromCache) {
   EXPECT_EQ(first.stats.query.cache_hits, 0u);
   EXPECT_EQ(first.stats.query.partitions_scanned, 3u);
 
+  // The generation is unchanged, so the second get is one merged-result
+  // lookup — no shard resolution at all (DESIGN.md §12).
   const auto second = svc.get();
   EXPECT_EQ(second.fingerprint, expected);
-  EXPECT_EQ(second.stats.query.cache_hits, 3u);
+  EXPECT_EQ(second.stats.query.merged_hits, 1u);
+  EXPECT_EQ(second.stats.query.cache_hits, 0u);
   EXPECT_EQ(second.stats.query.partitions_scanned, 0u);
-  EXPECT_GT(second.stats.query.cache_hit_rate(), 0.0);
+  EXPECT_EQ(svc.merged_counters().hits, 1u);
 
   // The serial-replay oracle agrees with the served answer.
   EXPECT_EQ(svc.replay_serial(second.pin).fingerprint(), expected);
@@ -391,7 +394,9 @@ TEST(ArchiveService, ClosedLoopDriverVerifiesAndScales) {
   EXPECT_EQ(rep.get_latency.count(), rep.gets);
   EXPECT_GT(rep.throughput_rps(), 0.0);
   EXPECT_EQ(rep.verified_generations, rep.generations_observed);
-  EXPECT_GT(rep.stats.query.cache_hit_rate(), 0.0);
+  // With memoization on, repeated gets at a settled generation are merged
+  // hits, not per-shard cache hits.
+  EXPECT_GT(svc.merged_counters().hits, 0u);
   EXPECT_EQ(svc.deferred_gc_pending(), 0u);
   std::filesystem::remove_all(dir);
 }
@@ -406,6 +411,7 @@ TEST(ArchiveService, CacheSmallerThanOneShardStillAnswersCorrectly) {
   service::ArchiveService::Options opts;
   opts.cache.capacity_bytes = 64;  // far below one serialized shard
   opts.cache.shards = 1;
+  opts.merged.capacity_bytes = 0;  // whole-answer memo off: every get rebuilds
   service::ArchiveService svc(dir, opts);
 
   const std::uint64_t expected = svc.replay_serial(svc.pin()).fingerprint();
@@ -462,10 +468,13 @@ TEST(StaleRead, ServiceRecoversByRefreshingFromDisk) {
   const std::filesystem::path dir = fresh_dir("mlio_svc_stale_recover");
   seed_archive(dir, shared_pool(), 3);
 
-  // Zero-capacity cache: every get touches disk, so the external GC is
-  // guaranteed to be observed.
+  // Zero-capacity caches (shard AND merged-result): every get touches disk,
+  // so the external GC is guaranteed to be observed.  (A memoized answer
+  // would be served without noticing — MVCC-consistent for its generation,
+  // but not what this test wants to see.)
   service::ArchiveService::Options opts;
   opts.cache.capacity_bytes = 0;
+  opts.merged.capacity_bytes = 0;
   service::ArchiveService svc(dir, opts);
   const auto before = svc.get(/*keep_analysis=*/true);
 
