@@ -16,6 +16,14 @@
 //            service lane (generation-delta engine, DESIGN.md §12: a warm
 //            get at an unchanged generation is one cache lookup).  The
 //            linear lane grows with P; the memoized lane must stay ~flat.
+//   scale  — (--scale-jobs N, 0 = skip) the fleet-scale milestone lane: a
+//            large facility ingested once per --ingest-threads value
+//            (partition-parallel build, group manifest commit, DESIGN.md
+//            §13), with per-phase ingest timings, cold/warm query times at
+//            that size, and a cross-thread-count digest of every archive
+//            byte — the determinism contract ("fixed cuts → fixed bits")
+//            checked at scale.  Lanes pin --threads 1 inside each partition
+//            so ingest_logs_per_s isolates partition parallelism.
 //
 // cold and warm must agree bit for bit (the archive's determinism
 // contract); the JSON records the fingerprint comparison alongside the
@@ -34,6 +42,8 @@
 #include "archive/ingest.hpp"
 #include "archive/query.hpp"
 #include "service/service.hpp"
+#include "util/compress.hpp"
+#include "util/vfs.hpp"
 #include "workload/pipeline.hpp"
 
 namespace {
@@ -51,6 +61,9 @@ struct Args {
   unsigned mlp_depth = archive::kDefaultMlpDepth;
   bool compress = true;
   std::vector<unsigned> sweep = {9, 36, 144};  ///< partition counts; empty = skip
+  std::uint64_t scale_jobs = 0;     ///< scale-lane facility size; 0 = skip
+  std::uint64_t scale_batches = 0;  ///< scale-lane partitions; 0 = auto
+  std::vector<unsigned> ingest_threads = {1, 4};  ///< scale-lane worker counts
   std::string dir;
   std::string out = "BENCH_archive.json";
 };
@@ -85,13 +98,17 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--mlp-depth")) a.mlp_depth = static_cast<unsigned>(std::strtoul(next("--mlp-depth"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--no-compress")) a.compress = false;
     else if (!std::strcmp(argv[i], "--sweep")) a.sweep = parse_sweep(next("--sweep"));
+    else if (!std::strcmp(argv[i], "--scale-jobs")) a.scale_jobs = std::strtoull(next("--scale-jobs"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--scale-batches")) a.scale_batches = std::strtoull(next("--scale-batches"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--ingest-threads")) a.ingest_threads = parse_sweep(next("--ingest-threads"));
     else if (!std::strcmp(argv[i], "--dir")) a.dir = next("--dir");
     else if (!std::strcmp(argv[i], "--out")) a.out = next("--out");
     else if (!std::strcmp(argv[i], "--help")) {
       std::printf("usage: %s [--jobs N] [--seed S] [--batches B] [--logs-scale X]\n"
                   "          [--files-scale X] [--threads T] [--reps R] [--mlp-depth K]\n"
                   "          [--no-compress] [--sweep P1,P2,... (0 = skip)] [--dir DIR]\n"
-                  "          [--out FILE]\n", argv[0]);
+                  "          [--scale-jobs N (0 = skip)] [--scale-batches B (0 = auto)]\n"
+                  "          [--ingest-threads T1,T2,...] [--out FILE]\n", argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
@@ -125,6 +142,60 @@ void print_query(const char* label, const archive::QueryStats& s) {
               s.total_seconds, static_cast<unsigned long long>(s.snapshot_hits),
               static_cast<unsigned long long>(s.partitions),
               static_cast<unsigned long long>(s.logs_scanned));
+}
+
+/// One scale-milestone ingest lane (a thread count) plus its archive digest.
+struct ScaleLane {
+  unsigned ingest_threads = 0;
+  archive::IngestStats ingest;
+  std::uint64_t digest = 0;  ///< FNV over (name, size, CRC) of every file
+  std::uint64_t files = 0;
+};
+
+struct ScaleResult {
+  std::uint64_t jobs = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t logs = 0;
+  std::uint64_t bytes = 0;
+  std::vector<ScaleLane> lanes;
+  bool bytes_identical = true;  ///< every lane produced the same archive bytes
+  double cold_s = 0, warm_s = 0;
+  std::uint64_t cold_fp = 0, warm_fp = 0;
+  double speedup = 0;  ///< best parallel lane logs/s over the serial lane
+};
+
+/// Digest every file of an archive directory: sorted names, each file's size
+/// and CRC folded into one FNV-1a word.  Equal digests + equal file counts
+/// mean byte-identical archives (CRC-32 per file, manifest included).
+std::uint64_t dir_digest(const std::filesystem::path& dir, std::uint64_t& files) {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.is_regular_file()) paths.push_back(e.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const std::filesystem::path& p : paths) {
+    for (const char c : p.filename().string()) mix(static_cast<unsigned char>(c));
+    const std::vector<std::byte> bytes = util::real_vfs().read_file(p);
+    mix(bytes.size());
+    mix(util::crc32(bytes));
+    files += 1;
+  }
+  return h;
+}
+
+void print_phases(const archive::IngestStats& s) {
+  std::printf("        phases: serialize %.2f s, compress %.2f s, snapshot %.2f s (cpu); "
+              "publish %.2f s (wall, %llu group commit(s))\n",
+              static_cast<double>(s.serialize_ns) * 1e-9,
+              static_cast<double>(s.compress_ns) * 1e-9,
+              static_cast<double>(s.snapshot_ns) * 1e-9,
+              static_cast<double>(s.publish_ns) * 1e-9,
+              static_cast<unsigned long long>(s.groups));
 }
 
 }  // namespace
@@ -171,9 +242,9 @@ int main(int argc, char** argv) {
     r.warm_fp = warm.analysis.fingerprint();
 
     std::printf("rep %u: ingest %.3f s (%.0f logs/s, %llu partitions)\n", rep,
-                r.ingest.seconds,
-                r.ingest.seconds > 0 ? static_cast<double>(r.ingest.logs) / r.ingest.seconds : 0.0,
+                r.ingest.seconds, r.ingest.logs_per_second(),
                 static_cast<unsigned long long>(r.ingest.partitions));
+    print_phases(r.ingest);
     print_query("cold", r.cold);
     print_query("warm", r.warm);
     reps.push_back(r);
@@ -236,6 +307,89 @@ int main(int argc, char** argv) {
     sweep.push_back(pt);
     std::filesystem::remove_all(dir);
   }
+
+  // Scale milestone lane: one large facility per ingest-thread count.
+  // Every lane must produce the same archive down to the last byte; the
+  // first lane also measures cold/warm query time at that size.
+  ScaleResult scale;
+  bool scale_ok = true;
+  if (args.scale_jobs > 0 && !args.ingest_threads.empty()) {
+    wl::GeneratorConfig scfg = cfg;
+    scfg.n_jobs = args.scale_jobs;
+    const wl::WorkloadGenerator sgen(wl::SystemProfile::cori_2019(), scfg);
+    const unsigned max_t =
+        *std::max_element(args.ingest_threads.begin(), args.ingest_threads.end());
+    scale.jobs = args.scale_jobs;
+    // Auto batches: enough partitions to keep every worker fed (and each
+    // partition's build buffer modest), but coarse enough that manifest and
+    // per-partition constant costs stay negligible.
+    scale.batches = args.scale_batches != 0
+                        ? args.scale_batches
+                        : std::max<std::uint64_t>(std::uint64_t{4} * max_t, args.scale_jobs / 512);
+    for (std::size_t li = 0; li < args.ingest_threads.size(); ++li) {
+      const unsigned t = args.ingest_threads[li];
+      const std::filesystem::path dir = base / ("scale_t" + std::to_string(t));
+      std::filesystem::remove_all(dir);
+
+      ScaleLane lane;
+      lane.ingest_threads = t;
+      archive::Archive ar = archive::Archive::create(dir);
+      archive::IngestOptions iopts;
+      iopts.batches = scale.batches;
+      iopts.threads = 1;  // no fan-out inside partitions: isolate partition parallelism
+      iopts.ingest_threads = t;
+      iopts.write_options.compress = args.compress;
+      lane.ingest = archive::ingest_generated(ar, sgen, iopts);
+      lane.digest = dir_digest(dir, lane.files);
+
+      std::printf("scale T=%u: ingest %.3f s (%.0f logs/s, %llu logs, %llu partitions)\n", t,
+                  lane.ingest.seconds, lane.ingest.logs_per_second(),
+                  static_cast<unsigned long long>(lane.ingest.logs),
+                  static_cast<unsigned long long>(lane.ingest.partitions));
+      print_phases(lane.ingest);
+
+      if (li == 0) {
+        scale.logs = lane.ingest.logs;
+        scale.bytes = lane.ingest.bytes;
+        archive::QueryOptions qopts;
+        qopts.threads = args.threads;
+        qopts.mlp_depth = args.mlp_depth;
+        const archive::QueryResult cold = query_archive(ar, qopts, query_scratch);
+        scale.cold_s = cold.stats.total_seconds;
+        scale.cold_fp = cold.analysis.fingerprint();
+        const archive::QueryResult warm = query_archive(ar, qopts, query_scratch);
+        scale.warm_s = warm.stats.total_seconds;
+        scale.warm_fp = warm.analysis.fingerprint();
+        print_query("cold", cold.stats);
+        print_query("warm", warm.stats);
+      } else {
+        scale.bytes_identical = scale.bytes_identical &&
+                                lane.digest == scale.lanes.front().digest &&
+                                lane.files == scale.lanes.front().files;
+      }
+      scale.lanes.push_back(lane);
+      std::filesystem::remove_all(dir);
+    }
+    const ScaleLane* serial = nullptr;
+    const ScaleLane* parallel = nullptr;
+    for (const ScaleLane& lane : scale.lanes) {
+      if (lane.ingest_threads <= 1 && serial == nullptr) serial = &lane;
+      if (lane.ingest_threads > 1 &&
+          (parallel == nullptr ||
+           lane.ingest.logs_per_second() > parallel->ingest.logs_per_second())) {
+        parallel = &lane;
+      }
+    }
+    if (serial != nullptr && parallel != nullptr && serial->ingest.logs_per_second() > 0) {
+      scale.speedup = parallel->ingest.logs_per_second() / serial->ingest.logs_per_second();
+    }
+    scale_ok = scale.bytes_identical && scale.cold_fp == scale.warm_fp;
+    std::printf("scale: archives %s across thread counts", scale.bytes_identical
+                                                               ? "byte-identical"
+                                                               : "DIVERGED");
+    if (scale.speedup > 0) std::printf(", parallel/serial %.2fx", scale.speedup);
+    std::printf("\n");
+  }
   if (args.dir.empty()) std::filesystem::remove_all(base);
 
   bool bit_identical = true;
@@ -275,14 +429,21 @@ int main(int argc, char** argv) {
     std::fprintf(
         f,
         "    {\"ingest_s\": %.4f, \"ingest_logs_per_s\": %.2f, \"partitions\": %llu,\n"
+        "     \"ingest_groups\": %llu,\n"
+        "     \"ingest_phase_s\": {\"serialize\": %.4f, \"compress\": %.4f, "
+        "\"snapshot\": %.4f, \"publish\": %.4f},\n"
         "     \"segment_bytes\": %llu, \"cold_query_s\": %.4f, \"cold_scan_s\": %.4f,\n"
         "     \"cold_scan_mb_s\": %.2f,\n"
         "     \"cold_phase_s\": {\"parse\": %.4f, \"summarize\": %.4f, \"accumulate\": %.4f},\n"
         "     \"cold_merge_s\": %.4f, \"warm_query_s\": %.4f, \"warm_snapshot_hits\": %llu,\n"
         "     \"logs\": %llu}%s\n",
-        r.ingest.seconds,
-        r.ingest.seconds > 0 ? static_cast<double>(r.ingest.logs) / r.ingest.seconds : 0.0,
+        r.ingest.seconds, r.ingest.logs_per_second(),
         static_cast<unsigned long long>(r.ingest.partitions),
+        static_cast<unsigned long long>(r.ingest.groups),
+        static_cast<double>(r.ingest.serialize_ns) * 1e-9,
+        static_cast<double>(r.ingest.compress_ns) * 1e-9,
+        static_cast<double>(r.ingest.snapshot_ns) * 1e-9,
+        static_cast<double>(r.ingest.publish_ns) * 1e-9,
         static_cast<unsigned long long>(r.ingest.bytes), r.cold.total_seconds,
         r.cold.scan_seconds,
         r.cold.scan_seconds > 0 ? static_cast<double>(r.ingest.bytes) / r.cold.scan_seconds / 1e6
@@ -311,11 +472,48 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "  ],\n");
   }
+  if (!scale.lanes.empty()) {
+    std::fprintf(f,
+                 "  \"scale\": {\n"
+                 "    \"jobs\": %llu, \"logs\": %llu, \"segment_bytes\": %llu, "
+                 "\"batches\": %llu,\n"
+                 "    \"lanes\": [\n",
+                 static_cast<unsigned long long>(scale.jobs),
+                 static_cast<unsigned long long>(scale.logs),
+                 static_cast<unsigned long long>(scale.bytes),
+                 static_cast<unsigned long long>(scale.batches));
+    for (std::size_t i = 0; i < scale.lanes.size(); ++i) {
+      const ScaleLane& lane = scale.lanes[i];
+      std::fprintf(
+          f,
+          "      {\"ingest_threads\": %u, \"oversubscribed\": %s, \"ingest_s\": %.4f,\n"
+          "       \"ingest_logs_per_s\": %.2f, \"groups\": %llu,\n"
+          "       \"phase_s\": {\"serialize\": %.4f, \"compress\": %.4f, "
+          "\"snapshot\": %.4f, \"publish\": %.4f}}%s\n",
+          lane.ingest_threads, lane.ingest_threads > host_cpus ? "true" : "false",
+          lane.ingest.seconds, lane.ingest.logs_per_second(),
+          static_cast<unsigned long long>(lane.ingest.groups),
+          static_cast<double>(lane.ingest.serialize_ns) * 1e-9,
+          static_cast<double>(lane.ingest.compress_ns) * 1e-9,
+          static_cast<double>(lane.ingest.snapshot_ns) * 1e-9,
+          static_cast<double>(lane.ingest.publish_ns) * 1e-9,
+          i + 1 < scale.lanes.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "    ],\n"
+                 "    \"speedup_parallel_vs_serial\": %.3f,\n"
+                 "    \"bytes_identical_across_threads\": %s,\n"
+                 "    \"cold_query_s\": %.4f, \"warm_query_s\": %.4f,\n"
+                 "    \"cold_warm_bit_identical\": %s\n"
+                 "  },\n",
+                 scale.speedup, scale.bytes_identical ? "true" : "false", scale.cold_s,
+                 scale.warm_s, scale.cold_fp == scale.warm_fp ? "true" : "false");
+  }
   std::fprintf(f, "  \"warm_speedup_best\": %.3f,\n", speedup);
   std::fprintf(f, "  \"warm_all_cached\": %s,\n", warm_all_cached ? "true" : "false");
   std::fprintf(f, "  \"cold_warm_bit_identical\": %s\n", bit_identical ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", args.out.c_str());
-  return bit_identical && warm_all_cached && sweep_bits_ok ? 0 : 1;
+  return bit_identical && warm_all_cached && sweep_bits_ok && scale_ok ? 0 : 1;
 }

@@ -92,12 +92,18 @@ void Archive::write_manifest() {
   vfs_->write_file_atomic(dir_ / kManifestName, write_manifest_bytes(manifest_));
 }
 
-Archive::PartitionWriter::PartitionWriter(Archive& owner)
-    : owner_(&owner), id_(owner.manifest_.next_partition_id) {
+Archive::PartitionWriter::PartitionWriter(Archive& owner, std::uint64_t id)
+    : owner_(&owner), id_(id) {
   append_segment_header(segment_, id_);
 }
 
-Archive::PartitionWriter Archive::begin_partition() { return PartitionWriter(*this); }
+Archive::PartitionWriter Archive::begin_partition() {
+  return PartitionWriter(*this, manifest_.next_partition_id);
+}
+
+Archive::PartitionWriter Archive::begin_partition_at(std::uint64_t id) {
+  return PartitionWriter(*this, id);
+}
 
 void Archive::PartitionWriter::append_frame(const darshan::JobRecord& job,
                                             std::span<const std::byte> frame) {
@@ -124,25 +130,74 @@ void Archive::PartitionWriter::append(const darshan::LogData& log,
 PartitionInfo Archive::PartitionWriter::seal() {
   MLIO_ASSERT(owner_ != nullptr);
   Archive& a = *owner_;
+  PendingPartition pending = finish();  // spends the writer
+  a.stage_partition_files(pending);
+  return a.commit_group({&pending, 1}).front();
+}
+
+Archive::PendingPartition Archive::PartitionWriter::finish() {
+  MLIO_ASSERT(owner_ != nullptr);
   owner_ = nullptr;
 
-  PartitionInfo p;
-  p.id = id_;
-  p.log_count = entries_.size();
-  p.job_id_min = job_id_min_;
-  p.job_id_max = job_id_max_;
-  p.segment_bytes = segment_.size();
-  p.segment_crc = util::crc32(segment_);
+  PendingPartition out;
+  out.info.id = id_;
+  out.info.log_count = entries_.size();
+  out.info.job_id_min = job_id_min_;
+  out.info.job_id_max = job_id_max_;
+  out.info.segment_bytes = segment_.size();
+  out.info.segment_crc = util::crc32(segment_);
+  out.index = write_index_bytes(id_, entries_);
+  out.segment = std::move(segment_);
+  return out;
+}
 
-  a.vfs_->write_file_atomic(a.segment_path(id_), segment_);
-  a.vfs_->write_file_atomic(a.index_path(id_), write_index_bytes(id_, entries_));
-  // Manifest last: until it lands, the new files are unreferenced garbage,
-  // never a half-visible partition.
-  a.manifest_.next_partition_id = id_ + 1;
-  p.data_generation = a.manifest_.generation + 1;  // the write below bumps it
-  a.manifest_.partitions.push_back(p);
-  a.write_manifest();
-  return p;
+void Archive::stage_partition_files(PendingPartition& p) const {
+  vfs_->write_file_atomic(segment_path(p.info.id), p.segment);
+  vfs_->write_file_atomic(index_path(p.info.id), p.index);
+  if (p.info.has_snapshot) vfs_->write_file_atomic(snapshot_path(p.info.id), p.snapshot);
+  // Staged payloads are on disk; drop the buffers so a large batch holds
+  // only its in-flight builds in memory.
+  std::vector<std::byte>().swap(p.segment);
+  std::vector<std::byte>().swap(p.index);
+  std::vector<std::byte>().swap(p.snapshot);
+}
+
+std::vector<PartitionInfo> Archive::commit_group(std::span<const PendingPartition> group) {
+  if (group.empty()) return {};
+  const std::uint64_t gen = manifest_.generation + 1;  // write_manifest bumps to this
+  std::uint64_t expect_id = manifest_.next_partition_id;
+  for (const PendingPartition& p : group) {
+    if (p.info.id != expect_id) {
+      throw util::ConfigError("commit_group: partition " + std::to_string(p.info.id) +
+                              " does not extend the manifest (expected " +
+                              std::to_string(expect_id) + ")");
+    }
+    expect_id += 1;
+    if (p.info.data_generation != 0 && p.info.data_generation != gen) {
+      throw util::ConfigError("commit_group: partition " + std::to_string(p.info.id) +
+                              " was built against a stale generation (" +
+                              std::to_string(p.info.data_generation) + " != " +
+                              std::to_string(gen) + ")");
+    }
+    if (p.info.has_snapshot && p.info.snapshot_generation != gen) {
+      throw util::ConfigError("commit_group: partition " + std::to_string(p.info.id) +
+                              " carries a snapshot stamped for a stale generation");
+    }
+  }
+
+  std::vector<PartitionInfo> committed;
+  committed.reserve(group.size());
+  for (const PendingPartition& p : group) {
+    PartitionInfo info = p.info;
+    info.data_generation = gen;
+    manifest_.partitions.push_back(info);
+    committed.push_back(info);
+  }
+  manifest_.next_partition_id = expect_id;
+  // Manifest last: until this one write lands, every staged file of the
+  // group is unreferenced garbage — readers see the whole group or nothing.
+  write_manifest();
+  return committed;
 }
 
 void Archive::scan_partition(const PartitionInfo& p,
@@ -256,7 +311,9 @@ std::size_t Archive::compact(std::uint64_t max_logs,
       const std::vector<IndexEntry> src_entries =
           read_index_bytes(vfs_->read_file(index_path(src.id)), src.id);
       for (const IndexEntry& e : src_entries) {
-        if (e.offset < kSegmentHeaderBytes || e.offset + e.size > bytes.size()) {
+        // Subtraction form: `offset + size` can wrap u64 on hostile input.
+        if (e.offset < kSegmentHeaderBytes || e.offset > bytes.size() ||
+            e.size > bytes.size() - e.offset) {
           throw util::FormatError("compact: index entry out of segment bounds");
         }
         IndexEntry ne = e;
@@ -327,7 +384,9 @@ Archive::VerifyReport Archive::verify(bool deep) const {
       if (entries.size() != p.log_count) throw util::FormatError(tag + ": index count mismatch");
       std::uint64_t prev_end = kSegmentHeaderBytes;
       for (const IndexEntry& e : entries) {
-        if (e.offset != prev_end || e.offset + e.size > bytes.size()) {
+        // Subtraction form: `offset + size` can wrap u64 on hostile input.
+        if (e.offset != prev_end || e.offset > bytes.size() ||
+            e.size > bytes.size() - e.offset) {
           throw util::FormatError(tag + ": index entries not contiguous/in bounds");
         }
         prev_end = e.offset + e.size;

@@ -6,6 +6,11 @@
 // writes the segment + index files and registers the partition in the
 // manifest atomically (temp-file + rename, manifest last), so a crash
 // mid-ingest leaves at worst unreferenced files, never a partial partition.
+// Batch writers split the same path in two: builders `finish()` pending
+// partitions on any thread (pure compute), the committing thread
+// `stage_partition_files()` each one and registers the whole batch with a
+// single `commit_group()` manifest write — one generation bump per ingest
+// batch instead of per partition (DESIGN.md §13).
 //
 // Read path: `scan_partition` replays a partition's logs in ingest order
 // (verifying the segment CRC first); `load_snapshot` returns the cached
@@ -59,6 +64,18 @@ class Archive {
   /// compactor).  Throws like open().
   void reload();
 
+  /// One fully built but not yet published partition: its manifest entry
+  /// plus the exact file payloads (segment, index, optional snapshot) that
+  /// stage_partition_files will write.  Produced by PartitionWriter::finish
+  /// on any thread — building touches no shared archive state — then staged
+  /// and registered on the committing thread (DESIGN.md §13).
+  struct PendingPartition {
+    PartitionInfo info;
+    std::vector<std::byte> segment;   ///< header + frames
+    std::vector<std::byte> index;     ///< write_index_bytes output
+    std::vector<std::byte> snapshot;  ///< framed shard; empty unless info.has_snapshot
+  };
+
   /// Buffers one partition's logs and seals them into the archive.
   class PartitionWriter {
    public:
@@ -70,12 +87,22 @@ class Archive {
     std::uint64_t log_count() const { return entries_.size(); }
 
     /// Write segment + index, register the partition, and return its info.
-    /// The writer is spent afterwards.
+    /// The writer is spent afterwards.  Equivalent to
+    /// finish + stage_partition_files + a single-partition commit_group —
+    /// same files, same bytes, same manifest-last write order.
     PartitionInfo seal();
+
+    /// Close the buffered partition without touching the filesystem or the
+    /// manifest: computes the segment CRC, serializes the index, and returns
+    /// everything as a PendingPartition (info.data_generation left 0 for
+    /// commit_group to stamp; builders that also produce a snapshot stamp it
+    /// with the group's target generation themselves).  The writer is spent.
+    /// Pure compute — safe to run concurrently with other writers.
+    PendingPartition finish();
 
    private:
     friend class Archive;
-    explicit PartitionWriter(Archive& owner);
+    PartitionWriter(Archive& owner, std::uint64_t id);
 
     Archive* owner_;
     std::uint64_t id_;
@@ -85,6 +112,32 @@ class Archive {
     std::uint64_t job_id_max_ = 0;
   };
   PartitionWriter begin_partition();
+  /// Writer for an explicit partition id, for builders that reserve a
+  /// contiguous id range up front (next_partition_id + k) and construct the
+  /// partitions in parallel.  Reads no mutable archive state, so concurrent
+  /// calls with DISTINCT ids are safe; the ids only become real at
+  /// commit_group, which checks they extend the manifest contiguously.
+  PartitionWriter begin_partition_at(std::uint64_t id);
+
+  /// Write a pending partition's files (segment, index, snapshot if any)
+  /// with the usual atomic temp+rename, WITHOUT touching the manifest — the
+  /// partition stays invisible until commit_group registers it.  The staged
+  /// payload vectors are released (the scale path keeps at most the
+  /// in-flight builds in memory, not the whole batch).  Const because no
+  /// in-memory archive state changes; must be called from the committing
+  /// thread only (file-op order is part of the crash-sweep contract).
+  void stage_partition_files(PendingPartition& p) const;
+
+  /// Register a batch of staged partitions in ONE atomic manifest commit —
+  /// a single generation bump and a single fsync-rename-dirsync per ingest
+  /// batch, however many partitions it carries.  Requirements (ConfigError
+  /// otherwise): ids are contiguous from next_partition_id in order, and any
+  /// generation stamp a builder already placed (data_generation, snapshot
+  /// fields) equals generation + 1 — a stale stamp means the manifest moved
+  /// under the builder.  A crash before the manifest rename leaves every
+  /// staged file unreferenced: readers see whole groups or nothing.
+  /// Returns the registered infos; an empty group is a no-op.
+  std::vector<PartitionInfo> commit_group(std::span<const PendingPartition> group);
 
   /// Reusable decode state for scan_partition (scan.hpp); kept as a nested
   /// alias because the query engine and tests name it through the Archive.

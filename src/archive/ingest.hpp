@@ -1,6 +1,17 @@
 // Ingest paths into the archive: the synthetic workload pipeline (via
 // wl::serialize_logs' archive-sink mode) and directories of standalone
 // Darshan log files.
+//
+// Both paths build partitions over the same deterministic cuts as ever —
+// the cut list is a pure function of (n_jobs, batches) — but publish them
+// as ONE group: every partition of an ingest call is staged to disk first
+// and registered by a single Archive::commit_group manifest write (one
+// generation bump, one fsync-rename-dirsync per call).  With
+// `ingest_threads > 1`, N workers build partitions concurrently (serialize,
+// deflate, CRC, optional snapshot — pure compute) while the calling thread
+// stages and commits; all file I/O stays on the calling thread in
+// partition-id order, so the VFS op sequence — and the archive bytes — are
+// identical at every thread count (DESIGN.md §13).
 #pragma once
 
 #include <cstdint>
@@ -23,27 +34,52 @@ struct IngestOptions {
   /// per log (the shard must be accumulated from decoded logs in ingest
   /// order — exactly what a rescan would compute).
   bool write_snapshots = false;
+  /// Serialize fan-out WITHIN a partition (wl::SerializeOptions::threads),
+  /// used on the serial build path.  0 = hardware concurrency.
   unsigned threads = 0;
+  /// Partition-parallel build workers: 1 (default) builds partitions one at
+  /// a time (with `threads` fan-out inside each); >1 builds that many
+  /// partitions concurrently, each serialized inline by its worker; 0 =
+  /// hardware concurrency.  Archive bytes are identical at every setting.
+  unsigned ingest_threads = 1;
+  /// Upper bound on logs per partition for ingest_log_files (0 = none):
+  /// the file list is split into max(batches, ceil(n / bound)) even shards.
+  std::uint64_t max_logs_per_partition = 0;
   darshan::WriteOptions write_options;
   core::SnapshotWriteOptions snapshot_options;
 };
 
+/// Phase timings follow the QueryStats convention: the *_ns phases are CPU
+/// time summed across build workers (thread-ns, not wall clock), except
+/// publish_ns which is wall time on the committing thread.
 struct IngestStats {
   std::uint64_t partitions = 0;
+  std::uint64_t groups = 0;  ///< manifest commits (generation bumps)
   std::uint64_t logs = 0;
   std::uint64_t bytes = 0;  ///< segment payload bytes appended
+  std::uint64_t serialize_ns = 0;  ///< generate + simulate
+  std::uint64_t compress_ns = 0;   ///< frame + deflate
+  std::uint64_t snapshot_ns = 0;   ///< shard accumulate + snapshot encode
+  std::uint64_t publish_ns = 0;    ///< stage files + manifest commit (wall)
   double seconds = 0;
+
+  double logs_per_second() const {
+    return seconds > 0 ? static_cast<double>(logs) / seconds : 0;
+  }
 };
 
 /// Generate the workload and append it as `batches` (+ optional huge)
-/// partitions.  Log order within a partition is exact generation order.
+/// partitions, committed as one group.  Log order within a partition is
+/// exact generation order; the archive bytes are bit-identical for every
+/// (threads, ingest_threads) combination.
 IngestStats ingest_generated(Archive& archive, const wl::WorkloadGenerator& gen,
                              const IngestOptions& opts = {});
 
 /// Append existing on-disk Darshan logs (e.g. a facility's daily drop
-/// directory) as one partition.  Files are read in the given order; each
-/// must parse (throws FormatError otherwise — corrupt inputs never enter
-/// the archive).
+/// directory), sharded into partitions per `batches` /
+/// `max_logs_per_partition` and committed as one group.  Files are read in
+/// the given order; each must parse (throws FormatError otherwise — corrupt
+/// inputs never enter the archive).
 IngestStats ingest_log_files(Archive& archive, const std::vector<std::filesystem::path>& files,
                              const IngestOptions& opts = {});
 

@@ -2,9 +2,10 @@
 //
 //   mlio_archive ingest  --dir D [--system Cori|Summit] [--jobs N] [--seed S]
 //                        [--batches B] [--logs-scale X] [--files-scale X]
-//                        [--threads T] [--no-huge] [--snapshots]
-//                        [--no-compress] [--zlib-level L]
-//   mlio_archive ingest  --dir D --from SRCDIR        (every regular file)
+//                        [--threads T] [--ingest-threads W] [--no-huge]
+//                        [--snapshots] [--no-compress] [--zlib-level L]
+//   mlio_archive ingest  --dir D --from SRCDIR [--part-logs N]
+//                        (every regular file, sharded into partitions)
 //   mlio_archive query   --dir D [--threads T] [--mlp-depth K]
 //                        [--no-write-snapshots] [--csv]
 //   mlio_archive verify  --dir D [--deep]
@@ -62,6 +63,8 @@ struct Args {
   double logs_scale = 0.25;
   double files_scale = 0.25;
   unsigned threads = 0;
+  unsigned ingest_threads = 1;        ///< partition-parallel build workers
+  std::uint64_t part_logs = 0;        ///< max logs per partition (--from path)
   bool huge = true;
   bool snapshots = false;
   bool write_snapshots = true;
@@ -87,8 +90,10 @@ struct Args {
       "usage: mlio_archive <ingest|query|verify|compact> --dir DIR [options]\n"
       "  ingest:  --system Cori|Summit --jobs N --seed S --batches B\n"
       "           --logs-scale X --files-scale X --threads T --no-huge\n"
+      "           --ingest-threads W (0 = all cores; build W partitions at once)\n"
       "           --snapshots --no-compress --zlib-level L\n"
-      "           (or --from SRCDIR to ingest existing log files)\n"
+      "           (or --from SRCDIR to ingest existing log files;\n"
+      "            --part-logs N bounds logs per partition)\n"
       "  query:   --threads T --mlp-depth K --no-write-snapshots --csv\n"
       "  verify:  --deep\n"
       "  compact: --max-logs N\n"
@@ -122,6 +127,8 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--logs-scale")) a.logs_scale = std::strtod(next("--logs-scale"), nullptr);
     else if (!std::strcmp(argv[i], "--files-scale")) a.files_scale = std::strtod(next("--files-scale"), nullptr);
     else if (!std::strcmp(argv[i], "--threads")) a.threads = static_cast<unsigned>(std::strtoul(next("--threads"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--ingest-threads")) a.ingest_threads = static_cast<unsigned>(std::strtoul(next("--ingest-threads"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--part-logs")) a.part_logs = std::strtoull(next("--part-logs"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--zlib-level")) a.zlib_level = static_cast<int>(std::strtol(next("--zlib-level"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--mlp-depth")) a.mlp_depth = static_cast<unsigned>(std::strtoul(next("--mlp-depth"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--requests")) a.requests = std::strtoull(next("--requests"), nullptr, 10);
@@ -168,6 +175,8 @@ int cmd_ingest(const Args& a, util::Vfs& vfs) {
   opts.include_huge = a.huge;
   opts.write_snapshots = a.snapshots;
   opts.threads = a.threads;
+  opts.ingest_threads = a.ingest_threads;
+  opts.max_logs_per_partition = a.part_logs;
   opts.write_options.compress = a.compress;
   opts.write_options.zlib_level = a.zlib_level;
 
@@ -194,7 +203,15 @@ int cmd_ingest(const Args& a, util::Vfs& vfs) {
               static_cast<unsigned long long>(stats.logs),
               util::format_bytes(static_cast<double>(stats.bytes)).c_str(),
               static_cast<unsigned long long>(stats.partitions), stats.seconds,
-              stats.seconds > 0 ? static_cast<double>(stats.logs) / stats.seconds : 0.0);
+              stats.logs_per_second());
+  std::printf(
+      "phases: serialize %.3f s, compress %.3f s, snapshot %.3f s (cpu); "
+      "publish %.3f s (wall, %llu group commit(s))\n",
+      static_cast<double>(stats.serialize_ns) * 1e-9,
+      static_cast<double>(stats.compress_ns) * 1e-9,
+      static_cast<double>(stats.snapshot_ns) * 1e-9,
+      static_cast<double>(stats.publish_ns) * 1e-9,
+      static_cast<unsigned long long>(stats.groups));
   std::printf("archive now holds %zu partition(s), generation %llu\n",
               ar.manifest().partitions.size(),
               static_cast<unsigned long long>(ar.manifest().generation));

@@ -28,8 +28,14 @@ void scan_frames(std::span<const std::byte> segment, std::span<const IndexEntry>
                  std::uint64_t min_offset,
                  const std::function<void(const darshan::LogData&)>& fn, ScanScratch& scratch,
                  const ScanOptions& opts, const std::string& label) {
+  // Subtraction form everywhere: `offset + size` can wrap u64 on hostile
+  // input, and a wrapped sum sails under segment.size().
+  const auto in_bounds = [&](const IndexEntry& e) {
+    return e.offset >= min_offset && e.offset <= segment.size() &&
+           e.size <= segment.size() - e.offset;
+  };
   const auto check = [&](const IndexEntry& e) {
-    if (e.offset < min_offset || e.offset + e.size > segment.size()) {
+    if (!in_bounds(e)) {
       throw util::FormatError("index of " + label + ": entry out of segment bounds");
     }
   };
@@ -66,7 +72,7 @@ void scan_frames(std::span<const std::byte> segment, std::span<const IndexEntry>
     constexpr std::size_t kLookahead = 2;
     for (std::size_t i = 0; i < std::min<std::size_t>(kLookahead, m); ++i) {
       const IndexEntry& nx = entries[base + i];
-      if (nx.offset >= min_offset && nx.offset + nx.size <= segment.size()) {
+      if (in_bounds(nx)) {
         prefetch_front(segment.data() + nx.offset, static_cast<std::size_t>(nx.size));
       }
     }
@@ -75,7 +81,7 @@ void scan_frames(std::span<const std::byte> segment, std::span<const IndexEntry>
       check(e);
       if (i + kLookahead < m) {
         const IndexEntry& nx = entries[base + i + kLookahead];
-        if (nx.offset >= min_offset && nx.offset + nx.size <= segment.size()) {
+        if (in_bounds(nx)) {
           prefetch_front(segment.data() + nx.offset, static_cast<std::size_t>(nx.size));
         }
       }

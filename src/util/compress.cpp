@@ -2,6 +2,7 @@
 
 #include <zlib.h>
 
+#include <algorithm>
 #include <limits>
 
 #include "util/error.hpp"
@@ -27,9 +28,17 @@ Deflater::~Deflater() = default;
 Deflater::Deflater(Deflater&&) noexcept = default;
 Deflater& Deflater::operator=(Deflater&&) noexcept = default;
 
+// Single-shot deflate/inflate hand zlib 32-bit avail_in/avail_out counts; a
+// larger buffer would truncate silently.  Log frames are MBs at most, so the
+// bound is a typed failure for corrupt/hostile sizes, not a real limit.
+constexpr std::size_t kMaxZlibSingleShot = std::numeric_limits<uInt>::max();
+
 void Deflater::compress(std::span<const std::byte> input, int level,
                         std::vector<std::byte>& out) {
   if (level < 1 || level > 9) throw ConfigError("zlib level must be in [1, 9]");
+  if (input.size() > kMaxZlibSingleShot) {
+    throw FormatError("deflate: input exceeds the 4 GiB single-shot bound");
+  }
   if (impl_->level != level) {
     if (impl_->level >= 0) deflateEnd(&impl_->zs);
     impl_->zs = z_stream{};
@@ -73,6 +82,11 @@ Inflater& Inflater::operator=(Inflater&&) noexcept = default;
 void Inflater::decompress(std::span<const std::byte> input, std::size_t expected_size,
                           std::vector<std::byte>& out, InflateEngine engine,
                           bool verify_checksum) {
+  if (input.size() > kMaxZlibSingleShot || expected_size > kMaxZlibSingleShot) {
+    // The kFast engine is size_t-clean, but a frame header claiming a >4 GiB
+    // body is corrupt regardless of engine — reject before allocating it.
+    throw FormatError("inflate: size exceeds the 4 GiB single-shot bound");
+  }
   out.resize(expected_size);
   if (expected_size == 0 && input.empty()) return;
   if (engine == InflateEngine::kFast) {
@@ -114,10 +128,22 @@ std::vector<std::byte> zlib_decompress(std::span<const std::byte> input,
   return out;
 }
 
-std::uint32_t crc32(std::span<const std::byte> input) {
-  const uLong c = ::crc32(0L, reinterpret_cast<const Bytef*>(input.data()),
-                          static_cast<uInt>(input.size()));
+std::uint32_t crc32_chunked(std::span<const std::byte> input, std::size_t chunk_bytes) {
+  MLIO_ASSERT(chunk_bytes >= 1);
+  uLong c = ::crc32(0L, nullptr, 0);
+  std::size_t off = 0;
+  while (off < input.size()) {
+    const std::size_t n = std::min(chunk_bytes, input.size() - off);
+    c = ::crc32(c, reinterpret_cast<const Bytef*>(input.data() + off), static_cast<uInt>(n));
+    off += n;
+  }
   return static_cast<std::uint32_t>(c);
+}
+
+std::uint32_t crc32(std::span<const std::byte> input) {
+  // zlib's crc32 takes a 32-bit length; a single call on a >4 GiB segment
+  // would silently truncate.  1 GiB chunks keep every call well inside uInt.
+  return crc32_chunked(input, std::size_t{1} << 30);
 }
 
 }  // namespace mlio::util

@@ -72,7 +72,14 @@ std::vector<std::byte> zlib_compress(std::span<const std::byte> input, int level
 std::vector<std::byte> zlib_decompress(std::span<const std::byte> input,
                                        std::size_t expected_size);
 
-/// CRC-32 (zlib polynomial) of `input`.
+/// CRC-32 (zlib polynomial) of `input`.  Safe for buffers past zlib's 32-bit
+/// single-call bound: the input is fed in chunks (segment files on the scale
+/// path can exceed 4 GiB, and a truncated-length CRC would silently pass the
+/// wrong checksum into the manifest).
 std::uint32_t crc32(std::span<const std::byte> input);
+
+/// Chunked CRC seam: identical result to crc32() for any `chunk_bytes >= 1`.
+/// Exposed so tests can prove chunking invariance without a 4 GiB buffer.
+std::uint32_t crc32_chunked(std::span<const std::byte> input, std::size_t chunk_bytes);
 
 }  // namespace mlio::util

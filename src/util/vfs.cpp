@@ -579,7 +579,10 @@ void FaultVfs::sync_dir(const fs::path& dir) {
       const std::scoped_lock lock(mu_);
       undo = last_rename_;
     }
-    if (undo.valid && draw(a.index, dir, 1) == 1) {
+    // Coin keyed on the rename TARGET, not `dir`: a dirsync's filename() is
+    // the scratch directory's own name, which legitimately differs between
+    // a sweep run and its replay directory — the draw must not.
+    if (undo.valid && draw(a.index, undo.to, 1) == 1) {
       // The rename never became durable: the target reverts to its old
       // bytes (or vanishes) and the tmp file reappears with the new bytes.
       const std::vector<std::byte> new_bytes = raw_read(undo.to);

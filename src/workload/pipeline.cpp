@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "util/error.hpp"
@@ -178,6 +179,7 @@ void serialize_logs(const WorkloadGenerator& gen, Stratum stratum, std::uint64_t
   const std::uint64_t block =
       opts.block_jobs != 0 ? opts.block_jobs : auto_block_size(n);
   const std::uint64_t n_blocks = (n + block - 1) / block;
+  const bool timed = opts.phases != nullptr;
 
   // Each block buffers its framed logs (bytes + per-log sizes and job
   // records); blocks are drained to the sink in index order afterwards, so
@@ -189,25 +191,63 @@ void serialize_logs(const WorkloadGenerator& gen, Stratum stratum, std::uint64_t
   };
   std::vector<BlockBuffer> blocks(n_blocks);
 
-  util::ThreadPool pool(opts.threads);
-  std::vector<WorkerScratch> scratch(std::max(1u, pool.thread_count()));
-  pool.parallel_for_dynamic(
-      0, n, block, [&](std::uint64_t b, std::uint64_t lo, std::uint64_t hi, unsigned w) {
-        BlockBuffer& buf = blocks[b];
-        WorkerScratch& ws = scratch[w];
-        const auto emit = [&](const sim::JobSpec& spec) {
-          executor.execute_into(spec, ws.log);
-          const auto frame = darshan::write_log_bytes_into(ws.log, ws.io, opts.write_options);
-          buf.bytes.insert(buf.bytes.end(), frame.begin(), frame.end());
-          buf.sizes.push_back(frame.size());
-          buf.jobs.push_back(ws.log.job);
-        };
-        if (stratum == Stratum::kBulk) {
-          gen.generate_bulk_range(job_lo + lo, job_lo + hi, emit);
-        } else {
-          gen.generate_huge_range(job_lo + lo, job_lo + hi, emit);
-        }
-      });
+  const auto run_block = [&](std::uint64_t b, std::uint64_t lo, std::uint64_t hi,
+                             WorkerScratch& ws, SerializePhases& ph) {
+    BlockBuffer& buf = blocks[b];
+    const auto emit = [&](const sim::JobSpec& spec) {
+      const auto t0 = timed ? SteadyClock::now() : SteadyClock::time_point{};
+      executor.execute_into(spec, ws.log);
+      const auto t1 = timed ? SteadyClock::now() : SteadyClock::time_point{};
+      const auto frame = darshan::write_log_bytes_into(ws.log, ws.io, opts.write_options);
+      if (timed) {
+        const auto t2 = SteadyClock::now();
+        ph.serialize_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+        ph.compress_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1).count());
+      }
+      buf.bytes.insert(buf.bytes.end(), frame.begin(), frame.end());
+      buf.sizes.push_back(frame.size());
+      buf.jobs.push_back(ws.log.job);
+    };
+    if (stratum == Stratum::kBulk) {
+      gen.generate_bulk_range(job_lo + lo, job_lo + hi, emit);
+    } else {
+      gen.generate_huge_range(job_lo + lo, job_lo + hi, emit);
+    }
+  };
+
+  if (opts.pool == nullptr && util::ThreadPool::in_worker()) {
+    // Called from inside a pool worker (a partition-parallel ingest build):
+    // a nested pool would degrade to inline anyway, so skip constructing it
+    // and run the blocks on the caller directly.
+    WorkerScratch ws;
+    SerializePhases ph;
+    for (std::uint64_t b = 0; b < n_blocks; ++b) {
+      const std::uint64_t lo = b * block;
+      run_block(b, lo, std::min(n, lo + block), ws, ph);
+    }
+    if (timed) {
+      opts.phases->serialize_ns += ph.serialize_ns;
+      opts.phases->compress_ns += ph.compress_ns;
+    }
+  } else {
+    std::optional<util::ThreadPool> own;
+    util::ThreadPool& pool = opts.pool != nullptr ? *opts.pool : own.emplace(opts.threads);
+    const std::size_t slots = std::max(1u, pool.thread_count());
+    std::vector<WorkerScratch> scratch(slots);
+    std::vector<SerializePhases> phases(slots);
+    pool.parallel_for_dynamic(
+        0, n, block, [&](std::uint64_t b, std::uint64_t lo, std::uint64_t hi, unsigned w) {
+          run_block(b, lo, hi, scratch[w], phases[w]);
+        });
+    if (timed) {
+      for (const SerializePhases& ph : phases) {
+        opts.phases->serialize_ns += ph.serialize_ns;
+        opts.phases->compress_ns += ph.compress_ns;
+      }
+    }
+  }
 
   for (const BlockBuffer& buf : blocks) {
     std::size_t offset = 0;

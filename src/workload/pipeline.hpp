@@ -19,6 +19,10 @@
 #include "iosim/executor.hpp"
 #include "workload/generator.hpp"
 
+namespace mlio::util {
+class ThreadPool;
+}
+
 namespace mlio::wl {
 
 struct PipelineOptions {
@@ -88,10 +92,26 @@ PipelineResult run_pipeline(const WorkloadGenerator& gen, const PipelineOptions&
 /// Which generator stratum serialize_logs draws from.
 enum class Stratum { kBulk, kHuge };
 
+/// Per-phase CPU time of one serialize_logs call, summed across its workers
+/// (the same convention as QueryStats' phase seconds: thread-seconds, not
+/// wall clock).  serialize_logs ADDS into the caller's struct, so one
+/// instance can accumulate over a whole multi-partition ingest.
+struct SerializePhases {
+  std::uint64_t serialize_ns = 0;  ///< generate + simulate (execute_into)
+  std::uint64_t compress_ns = 0;   ///< frame + deflate (write_log_bytes_into)
+};
+
 struct SerializeOptions {
   unsigned threads = 0;            ///< 0 = hardware concurrency
   std::uint64_t block_jobs = 0;    ///< 0 = auto (same rule as run_pipeline)
   darshan::WriteOptions write_options;
+  /// Reuse an existing pool instead of constructing one per call (a
+  /// multi-partition ingest would otherwise spawn and join threads per
+  /// partition).  When null and the caller is itself a pool worker, the
+  /// blocks run inline on the caller — no pool is constructed at all.
+  util::ThreadPool* pool = nullptr;
+  /// When set, per-phase CPU time is accumulated into this struct.
+  SerializePhases* phases = nullptr;
 };
 
 /// One serialized log: the framed on-disk bytes plus its job record (the

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "archive/archive.hpp"
+#include "archive/ingest.hpp"
 #include "archive/query.hpp"
 #include "core/snapshot.hpp"
 #include "darshan/log_format.hpp"
@@ -115,6 +116,49 @@ TEST_F(ArchiveFaultsTest, CrashSweepIngestSnapshotCompact) {
   // Empty archive, 3 ingests, 2 snapshot stores, 1 compact = 7 manifest
   // publishes; distinct query states: empty + after each ingest + compacted.
   EXPECT_GE(rep.committed_states, 4u);
+  EXPECT_GT(rep.replays_checked, 0u);
+}
+
+// Parallel group ingest under the same exhaustive sweep: three build
+// workers race the committer while the crash fires at EVERY file op.  All
+// VFS I/O stays on the committing thread in cut order, so the sweep's pass-1
+// op recording is deterministic; the crash-visibility invariant says a
+// reopened archive exposes whole committed groups only — so across two
+// ingest calls the committed states are exactly {empty, group1,
+// group1+group2}, never a partial batch, snapshots included.
+TEST_F(ArchiveFaultsTest, CrashSweepParallelGroupIngest) {
+  wl::GeneratorConfig cfg;
+  cfg.logs_per_job_scale = 0.2;
+  cfg.files_per_log_scale = 0.2;
+  cfg.seed = 13;
+  cfg.n_jobs = 6;
+  const wl::WorkloadGenerator gen1(wl::SystemProfile::cori_2019(), cfg);
+  cfg.seed = 14;
+  cfg.n_jobs = 5;
+  const wl::WorkloadGenerator gen2(wl::SystemProfile::cori_2019(), cfg);
+
+  const harness::CrashWorkload workload = [&](const fs::path& dir, util::Vfs& vfs) {
+    Archive ar = Archive::create(dir, vfs);
+    IngestOptions opts;
+    opts.batches = 3;
+    opts.include_huge = false;
+    opts.write_snapshots = true;
+    opts.threads = 1;
+    opts.ingest_threads = 3;  // workers race the committer on every replay
+    ingest_generated(ar, gen1, opts);
+    ingest_generated(ar, gen2, opts);
+  };
+
+  harness::CrashSweepOptions opts;
+  opts.seed = 19;
+  const harness::CrashSweepReport rep = harness::crash_sweep(dir_, workload, opts);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_GT(rep.total_ops, 40u);
+  EXPECT_EQ(rep.crash_points, rep.total_ops);
+  // create + 2 group commits = 3 manifest publishes; with 3 partitions and
+  // 3 snapshots per group riding each commit, the distinct committed states
+  // are exactly empty / group1 / group1+group2 — a partial group is a bug.
+  EXPECT_EQ(rep.committed_states, 3u);
   EXPECT_GT(rep.replays_checked, 0u);
 }
 
