@@ -16,6 +16,13 @@
 //            service lane (generation-delta engine, DESIGN.md §12: a warm
 //            get at an unchanged generation is one cache lookup).  The
 //            linear lane grows with P; the memoized lane must stay ~flat.
+//   live   — (--live-jobs N, 0 = skip) the continuous-mode lane (DESIGN.md
+//            §14): run_live_soak streams the pool through time-windowed
+//            cuts while windowed readers and the BACKGROUND leveled
+//            compactor race it, then drains the policy to its fixed point.
+//            The JSON records steady-state logs/s, the live partition count
+//            and its post-drain ceiling vs windows published, and the
+//            bit-identity verdict (every pinned answer vs serial replay).
 //   scale  — (--scale-jobs N, 0 = skip) the fleet-scale milestone lane: a
 //            large facility ingested once per --ingest-threads value
 //            (partition-parallel build, group manifest commit, DESIGN.md
@@ -41,6 +48,7 @@
 
 #include "archive/ingest.hpp"
 #include "archive/query.hpp"
+#include "service/driver.hpp"
 #include "service/service.hpp"
 #include "util/compress.hpp"
 #include "util/vfs.hpp"
@@ -61,6 +69,10 @@ struct Args {
   unsigned mlp_depth = archive::kDefaultMlpDepth;
   bool compress = true;
   std::vector<unsigned> sweep = {9, 36, 144};  ///< partition counts; empty = skip
+  std::uint64_t live_jobs = 0;      ///< live-lane frame pool size; 0 = skip
+  unsigned live_readers = 2;        ///< concurrent windowed readers
+  unsigned live_fanout = 4;         ///< leveled policy fanout
+  std::int64_t live_window = 86400; ///< window width (seconds of job start time)
   std::uint64_t scale_jobs = 0;     ///< scale-lane facility size; 0 = skip
   std::uint64_t scale_batches = 0;  ///< scale-lane partitions; 0 = auto
   std::vector<unsigned> ingest_threads = {1, 4};  ///< scale-lane worker counts
@@ -98,6 +110,10 @@ Args parse(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--mlp-depth")) a.mlp_depth = static_cast<unsigned>(std::strtoul(next("--mlp-depth"), nullptr, 10));
     else if (!std::strcmp(argv[i], "--no-compress")) a.compress = false;
     else if (!std::strcmp(argv[i], "--sweep")) a.sweep = parse_sweep(next("--sweep"));
+    else if (!std::strcmp(argv[i], "--live-jobs")) a.live_jobs = std::strtoull(next("--live-jobs"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--live-readers")) a.live_readers = static_cast<unsigned>(std::strtoul(next("--live-readers"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--live-fanout")) a.live_fanout = static_cast<unsigned>(std::strtoul(next("--live-fanout"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--live-window")) a.live_window = std::strtoll(next("--live-window"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--scale-jobs")) a.scale_jobs = std::strtoull(next("--scale-jobs"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--scale-batches")) a.scale_batches = std::strtoull(next("--scale-batches"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--ingest-threads")) a.ingest_threads = parse_sweep(next("--ingest-threads"));
@@ -107,6 +123,8 @@ Args parse(int argc, char** argv) {
       std::printf("usage: %s [--jobs N] [--seed S] [--batches B] [--logs-scale X]\n"
                   "          [--files-scale X] [--threads T] [--reps R] [--mlp-depth K]\n"
                   "          [--no-compress] [--sweep P1,P2,... (0 = skip)] [--dir DIR]\n"
+                  "          [--live-jobs N (0 = skip)] [--live-readers R] [--live-fanout F]\n"
+                  "          [--live-window SECONDS]\n"
                   "          [--scale-jobs N (0 = skip)] [--scale-batches B (0 = auto)]\n"
                   "          [--ingest-threads T1,T2,...] [--out FILE]\n", argv[0]);
       std::exit(0);
@@ -308,6 +326,49 @@ int main(int argc, char** argv) {
     std::filesystem::remove_all(dir);
   }
 
+  // Live lane: the archive as a running system — streaming window cuts,
+  // concurrent windowed readers, the background leveled compactor — then
+  // the policy drained to its fixed point for the partition-count ceiling.
+  service::LiveReport live;
+  std::uint64_t live_partitions_drained = 0;
+  bool live_ok = true;
+  if (args.live_jobs > 0) {
+    const std::filesystem::path dir = base / "live";
+    std::filesystem::remove_all(dir);
+    { (void)archive::Archive::create(dir); }
+    service::ArchiveService::Options sopts;
+    sopts.stream.window_seconds = args.live_window;
+    service::ArchiveService svc(dir, sopts);
+
+    service::LiveConfig lcfg;
+    lcfg.readers = args.live_readers;
+    lcfg.compactor.policy.fanout = args.live_fanout;
+    const std::vector<service::ServiceFrame> pool =
+        service::make_frame_pool(args.live_jobs, args.seed);
+    live = service::run_live_soak(svc, lcfg, pool);
+
+    while (svc.compact_step(lcfg.compactor.policy).has_value()) {
+    }
+    live_partitions_drained = svc.pin().manifest().partitions.size();
+    live_ok = live.ok();
+    std::printf(
+        "live: %.0f logs/s steady state (%llu logs, %llu appends, %llu windows)\n"
+        "      %llu windowed gets, %llu background merges, partitions %llu live / %llu drained\n"
+        "      verified %llu/%llu generations, divergent %llu, gc pending %llu -> %s\n",
+        live.logs_per_second(), static_cast<unsigned long long>(live.logs_streamed),
+        static_cast<unsigned long long>(live.appends),
+        static_cast<unsigned long long>(live.windows_published),
+        static_cast<unsigned long long>(live.window_gets),
+        static_cast<unsigned long long>(live.compactions),
+        static_cast<unsigned long long>(live.final_partitions),
+        static_cast<unsigned long long>(live_partitions_drained),
+        static_cast<unsigned long long>(live.verified_generations),
+        static_cast<unsigned long long>(live.generations_observed),
+        static_cast<unsigned long long>(live.divergent),
+        static_cast<unsigned long long>(live.gc_pending_after), live_ok ? "ok" : "FAIL");
+    std::filesystem::remove_all(dir);
+  }
+
   // Scale milestone lane: one large facility per ingest-thread count.
   // Every lane must produce the same archive down to the last byte; the
   // first lane also measures cold/warm query time at that size.
@@ -472,6 +533,36 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "  ],\n");
   }
+  if (args.live_jobs > 0) {
+    std::fprintf(
+        f,
+        "  \"live\": {\n"
+        "    \"jobs\": %llu, \"logs\": %llu, \"wall_s\": %.4f, \"logs_per_s\": %.2f,\n"
+        "    \"appends\": %llu, \"windows_published\": %llu, \"newest_window\": %llu,\n"
+        "    \"window_gets\": %llu, \"background_merges\": %llu, \"compactor_errors\": %llu,\n"
+        "    \"partitions_live\": %llu, \"partitions_drained\": %llu,\n"
+        "    \"boundary_cuts\": %llu, \"cap_cuts\": %llu, \"late_logs\": %llu,\n"
+        "    \"generations_verified\": %llu, \"divergent\": %llu, \"gc_pending_after\": %llu,\n"
+        "    \"bit_identical\": %s\n"
+        "  },\n",
+        static_cast<unsigned long long>(args.live_jobs),
+        static_cast<unsigned long long>(live.logs_streamed), live.wall_seconds,
+        live.logs_per_second(), static_cast<unsigned long long>(live.appends),
+        static_cast<unsigned long long>(live.windows_published),
+        static_cast<unsigned long long>(live.newest_window),
+        static_cast<unsigned long long>(live.window_gets),
+        static_cast<unsigned long long>(live.compactions),
+        static_cast<unsigned long long>(live.compactor_errors),
+        static_cast<unsigned long long>(live.final_partitions),
+        static_cast<unsigned long long>(live_partitions_drained),
+        static_cast<unsigned long long>(live.stream.boundary_cuts),
+        static_cast<unsigned long long>(live.stream.cap_cuts),
+        static_cast<unsigned long long>(live.stream.late_logs),
+        static_cast<unsigned long long>(live.verified_generations),
+        static_cast<unsigned long long>(live.divergent),
+        static_cast<unsigned long long>(live.gc_pending_after),
+        live.divergent == 0 ? "true" : "false");
+  }
   if (!scale.lanes.empty()) {
     std::fprintf(f,
                  "  \"scale\": {\n"
@@ -515,5 +606,5 @@ int main(int argc, char** argv) {
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", args.out.c_str());
-  return bit_identical && warm_all_cached && sweep_bits_ok && scale_ok ? 0 : 1;
+  return bit_identical && warm_all_cached && sweep_bits_ok && scale_ok && live_ok ? 0 : 1;
 }

@@ -280,72 +280,61 @@ std::size_t Archive::commit_snapshots(std::span<const SnapshotReceipt> receipts)
 
 std::size_t Archive::compact(std::uint64_t max_logs) { return compact(max_logs, nullptr); }
 
-std::size_t Archive::compact(std::uint64_t max_logs,
-                             std::vector<std::filesystem::path>* deferred_gc) {
-  // Greedy pass: maximal runs of >= 2 adjacent partitions, each smaller than
-  // max_logs, collapse into one partition at the run's position.  Raw frame
-  // copy — logs keep their exact bytes and ingest order.
-  std::vector<PartitionInfo> out;
-  std::vector<std::uint64_t> removed_ids;
-  std::size_t i = 0;
+PartitionInfo Archive::build_merged_partition(std::size_t first, std::size_t count,
+                                              std::uint32_t target_level) {
   const auto& parts = manifest_.partitions;
-  bool changed = false;
-  while (i < parts.size()) {
-    std::size_t j = i;
-    while (j < parts.size() && parts[j].log_count < max_logs) ++j;
-    if (j - i < 2) {
-      out.push_back(parts[i]);
-      ++i;
-      continue;
-    }
-
-    const std::uint64_t new_id = manifest_.next_partition_id++;
-    std::vector<std::byte> segment;
-    append_segment_header(segment, new_id);
-    std::vector<IndexEntry> entries;
-    PartitionInfo np;
-    np.id = new_id;
-    for (std::size_t k = i; k < j; ++k) {
-      const PartitionInfo& src = parts[k];
-      const std::vector<std::byte> bytes = checked_segment(*vfs_, segment_path(src.id), src);
-      const std::vector<IndexEntry> src_entries =
-          read_index_bytes(vfs_->read_file(index_path(src.id)), src.id);
-      for (const IndexEntry& e : src_entries) {
-        // Subtraction form: `offset + size` can wrap u64 on hostile input.
-        if (e.offset < kSegmentHeaderBytes || e.offset > bytes.size() ||
-            e.size > bytes.size() - e.offset) {
-          throw util::FormatError("compact: index entry out of segment bounds");
-        }
-        IndexEntry ne = e;
-        ne.offset = segment.size();
-        segment.insert(segment.end(), bytes.begin() + static_cast<std::ptrdiff_t>(e.offset),
-                       bytes.begin() + static_cast<std::ptrdiff_t>(e.offset + e.size));
-        entries.push_back(ne);
-        if (np.log_count == 0) {
-          np.job_id_min = np.job_id_max = ne.job_id;
-        } else {
-          np.job_id_min = std::min(np.job_id_min, ne.job_id);
-          np.job_id_max = std::max(np.job_id_max, ne.job_id);
-        }
-        np.log_count += 1;
+  const std::uint64_t new_id = manifest_.next_partition_id++;
+  std::vector<std::byte> segment;
+  append_segment_header(segment, new_id);
+  std::vector<IndexEntry> entries;
+  PartitionInfo np;
+  np.id = new_id;
+  np.level = target_level;
+  for (std::size_t k = first; k < first + count; ++k) {
+    const PartitionInfo& src = parts[k];
+    const std::vector<std::byte> bytes = checked_segment(*vfs_, segment_path(src.id), src);
+    const std::vector<IndexEntry> src_entries =
+        read_index_bytes(vfs_->read_file(index_path(src.id)), src.id);
+    for (const IndexEntry& e : src_entries) {
+      // Subtraction form: `offset + size` can wrap u64 on hostile input.
+      if (e.offset < kSegmentHeaderBytes || e.offset > bytes.size() ||
+          e.size > bytes.size() - e.offset) {
+        throw util::FormatError("compact: index entry out of segment bounds");
       }
-      removed_ids.push_back(src.id);
+      IndexEntry ne = e;
+      ne.offset = segment.size();
+      segment.insert(segment.end(), bytes.begin() + static_cast<std::ptrdiff_t>(e.offset),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(e.offset + e.size));
+      entries.push_back(ne);
+      if (np.log_count == 0) {
+        np.job_id_min = np.job_id_max = ne.job_id;
+      } else {
+        np.job_id_min = std::min(np.job_id_min, ne.job_id);
+        np.job_id_max = std::max(np.job_id_max, ne.job_id);
+      }
+      np.log_count += 1;
     }
-    np.segment_bytes = segment.size();
-    np.segment_crc = util::crc32(segment);
-    np.data_generation = manifest_.generation + 1;  // stamped by write_manifest below
-    vfs_->write_file_atomic(segment_path(new_id), segment);
-    vfs_->write_file_atomic(index_path(new_id), write_index_bytes(new_id, entries));
-    out.push_back(np);
-    changed = true;
-    i = j;
+    // Window union: window_min 0 ("unwindowed history") dominates the min,
+    // so a merge that swallows a batch partition stays honest about reaching
+    // past the oldest window.
+    if (k == first) {
+      np.window_min = src.window_min;
+      np.window_max = src.window_max;
+    } else {
+      np.window_min = std::min(np.window_min, src.window_min);
+      np.window_max = std::max(np.window_max, src.window_max);
+    }
   }
-  gc_errors_.clear();
-  if (!changed) return 0;
+  np.segment_bytes = segment.size();
+  np.segment_crc = util::crc32(segment);
+  np.data_generation = manifest_.generation + 1;  // stamped by write_manifest
+  vfs_->write_file_atomic(segment_path(new_id), segment);
+  vfs_->write_file_atomic(index_path(new_id), write_index_bytes(new_id, entries));
+  return np;
+}
 
-  const std::size_t removed = manifest_.partitions.size() - out.size();
-  manifest_.partitions = std::move(out);
-  write_manifest();
+void Archive::gc_partitions(const std::vector<std::uint64_t>& removed_ids,
+                            std::vector<std::filesystem::path>* deferred_gc) {
   // Old files go only after the manifest no longer references them.  A
   // failed removal is deliberately non-fatal — the compact is already
   // durably committed and the leftovers are unreferenced garbage — but it
@@ -367,7 +356,68 @@ std::size_t Archive::compact(std::uint64_t max_logs,
       }
     }
   }
+}
+
+std::size_t Archive::compact(std::uint64_t max_logs,
+                             std::vector<std::filesystem::path>* deferred_gc) {
+  // Greedy pass: maximal runs of >= 2 adjacent partitions, each smaller than
+  // max_logs, collapse into one partition at the run's position.  Raw frame
+  // copy — logs keep their exact bytes and ingest order.
+  std::vector<PartitionInfo> out;
+  std::vector<std::uint64_t> removed_ids;
+  std::size_t i = 0;
+  const auto& parts = manifest_.partitions;
+  bool changed = false;
+  while (i < parts.size()) {
+    std::size_t j = i;
+    while (j < parts.size() && parts[j].log_count < max_logs) ++j;
+    if (j - i < 2) {
+      out.push_back(parts[i]);
+      ++i;
+      continue;
+    }
+    std::uint32_t level = 0;
+    for (std::size_t k = i; k < j; ++k) {
+      level = std::max(level, parts[k].level);
+      removed_ids.push_back(parts[k].id);
+    }
+    out.push_back(build_merged_partition(i, j - i, level + 1));
+    changed = true;
+    i = j;
+  }
+  gc_errors_.clear();
+  if (!changed) return 0;
+
+  const std::size_t removed = manifest_.partitions.size() - out.size();
+  manifest_.partitions = std::move(out);
+  write_manifest();
+  gc_partitions(removed_ids, deferred_gc);
   return removed;
+}
+
+PartitionInfo Archive::compact_range(std::size_t first, std::size_t count,
+                                     std::uint32_t target_level,
+                                     std::vector<std::filesystem::path>* deferred_gc) {
+  if (count < 2 || first > manifest_.partitions.size() ||
+      count > manifest_.partitions.size() - first) {
+    throw util::ConfigError("compact_range: run [" + std::to_string(first) + ", +" +
+                            std::to_string(count) + ") is not a mergeable range of the " +
+                            std::to_string(manifest_.partitions.size()) + "-partition manifest");
+  }
+  std::vector<std::uint64_t> removed_ids;
+  removed_ids.reserve(count);
+  for (std::size_t k = first; k < first + count; ++k) {
+    removed_ids.push_back(manifest_.partitions[k].id);
+  }
+  const PartitionInfo np = build_merged_partition(first, count, target_level);
+  gc_errors_.clear();
+  const auto begin = manifest_.partitions.begin();
+  manifest_.partitions.erase(begin + static_cast<std::ptrdiff_t>(first + 1),
+                             begin + static_cast<std::ptrdiff_t>(first + count));
+  manifest_.partitions[first] = np;
+  write_manifest();
+  gc_partitions(removed_ids, deferred_gc);
+  return np;
 }
 
 Archive::VerifyReport Archive::verify(bool deep) const {

@@ -212,6 +212,16 @@ class Archive {
   std::size_t compact(std::uint64_t max_logs,
                       std::vector<std::filesystem::path>* deferred_gc);
 
+  /// Merge the contiguous run of partitions [first, first + count) into ONE
+  /// new partition placed at the run's position, stamped `target_level`
+  /// (archive/stream.hpp's leveled policy plans these).  Same mechanics as
+  /// compact(): raw frame copy in ingest order, snapshots of the sources
+  /// dropped, window ranges unioned, sources deleted (or deferred) only
+  /// after the new manifest is durable.  Throws ConfigError on an
+  /// out-of-range run or count < 2.  Returns the merged partition's info.
+  PartitionInfo compact_range(std::size_t first, std::size_t count, std::uint32_t target_level,
+                              std::vector<std::filesystem::path>* deferred_gc = nullptr);
+
   /// Failed garbage-collection removals of the most recent compact() —
   /// empty when every unreferenced file was deleted.
   const std::vector<std::string>& gc_errors() const { return gc_errors_; }
@@ -235,6 +245,18 @@ class Archive {
 
   /// Bump the generation and atomically persist the manifest.
   void write_manifest();
+
+  /// Build and stage (segment + index files, no manifest write) one merged
+  /// partition out of manifest_.partitions[first, first + count), under a
+  /// freshly allocated id.  Shared by compact() and compact_range(); the
+  /// returned info is stamped data_generation = generation + 1 for the
+  /// caller's write_manifest to make real.
+  PartitionInfo build_merged_partition(std::size_t first, std::size_t count,
+                                       std::uint32_t target_level);
+
+  /// Delete (or defer) the three files of every removed partition id.
+  void gc_partitions(const std::vector<std::uint64_t>& removed_ids,
+                     std::vector<std::filesystem::path>* deferred_gc);
 
   std::filesystem::path dir_;
   Manifest manifest_;

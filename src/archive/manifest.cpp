@@ -22,6 +22,9 @@ std::vector<std::byte> write_manifest_bytes(const Manifest& m) {
     body.u8(p.has_snapshot ? 1 : 0);
     body.u64(p.snapshot_generation);
     body.u32(p.snapshot_crc);
+    body.u64(p.window_min);
+    body.u64(p.window_max);
+    body.u32(p.level);
   }
 
   util::ByteWriter frame;
@@ -63,6 +66,12 @@ Manifest read_manifest_bytes(std::span<const std::byte> data) {
     p.has_snapshot = br.u8() != 0;
     p.snapshot_generation = br.u64();
     p.snapshot_crc = br.u32();
+    p.window_min = br.u64();
+    p.window_max = br.u64();
+    p.level = br.u32();
+    if (p.window_min > p.window_max) {
+      throw util::FormatError("manifest: window range inverted");
+    }
     m.partitions.push_back(p);
   }
   if (!br.at_end()) throw util::FormatError("manifest: trailing body bytes");

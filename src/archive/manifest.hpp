@@ -30,7 +30,9 @@
 namespace mlio::archive {
 
 inline constexpr std::uint32_t kManifestMagic = 0x4352414d;  // "MARC"
-inline constexpr std::uint16_t kManifestVersion = 1;
+/// v2 added the continuous-mode window metadata (window_min/window_max/level)
+/// to every partition entry.  Readers require an exact version match.
+inline constexpr std::uint16_t kManifestVersion = 2;
 inline constexpr std::uint32_t kSegmentMagic = 0x4745534d;  // "MSEG"
 inline constexpr std::uint16_t kSegmentVersion = 1;
 inline constexpr std::uint32_t kIndexMagic = 0x5844494d;  // "MIDX"
@@ -51,6 +53,16 @@ struct PartitionInfo {
   bool has_snapshot = false;
   std::uint64_t snapshot_generation = 0;
   std::uint32_t snapshot_crc = 0;  ///< CRC-32 of the whole snapshot file
+  /// Continuous-mode metadata (archive/stream.hpp).  Window ids are 1-based
+  /// (`window_id_for`); 0 means "not windowed" — batch-ingested partitions
+  /// carry 0/0, and a leveled merge that swallows a batch partition keeps
+  /// window_min = 0 ("extends into unwindowed history").  The manifest
+  /// reader rejects window_min > window_max when window_min is nonzero.
+  std::uint64_t window_min = 0;  ///< oldest window id covered (0 = unwindowed)
+  std::uint64_t window_max = 0;  ///< newest window id covered
+  /// LSM level: 0 for freshly ingested partitions (batch or stream window),
+  /// bumped by one above the highest source on every compaction merge.
+  std::uint32_t level = 0;
 };
 
 struct Manifest {

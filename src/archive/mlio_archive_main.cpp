@@ -6,13 +6,21 @@
 //                        [--snapshots] [--no-compress] [--zlib-level L]
 //   mlio_archive ingest  --dir D --from SRCDIR [--part-logs N]
 //                        (every regular file, sharded into partitions)
+//   mlio_archive ingest  --dir D --window SEC [--window-logs N]
+//                        (continuous mode: stream generated logs through
+//                        time-windowed partition cuts)
 //   mlio_archive query   --dir D [--threads T] [--mlp-depth K]
-//                        [--no-write-snapshots] [--csv]
+//                        [--no-write-snapshots] [--csv] [--last-windows N]
 //   mlio_archive verify  --dir D [--deep]
-//   mlio_archive compact --dir D [--max-logs N]
+//   mlio_archive compact --dir D [--max-logs N | --leveled [--fanout F]]
 //   mlio_archive serve   --dir D --requests N [--clients C] [--warmup W]
 //                        [--seed S] [--cache-mb M] [--merged-cache-mb M]
 //                        [--merge-threads T] [--mix G:I:C] [--mlp-depth K]
+//   mlio_archive serve   --dir D --follow [--jobs N] [--clients C]
+//                        [--window SEC] [--window-logs N] [--last-windows N]
+//                        [--fanout F] (live soak: stream ingest + windowed
+//                        reads + background leveled compactor, verified
+//                        against serial replay)
 //
 // Every command also accepts `--fault-spec SPEC` (util/vfs.hpp grammar,
 // e.g. "seed=7;crash-at=12" or "short-write@2:*.seg"): the command then
@@ -39,7 +47,9 @@
 
 #include "archive/ingest.hpp"
 #include "archive/query.hpp"
+#include "archive/stream.hpp"
 #include "service/driver.hpp"
+#include "workload/pipeline.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -83,6 +93,13 @@ struct Args {
   unsigned weight_get = 90;
   unsigned weight_ingest = 8;
   unsigned weight_compact = 2;
+  // continuous mode
+  std::int64_t window = 0;          ///< window length in seconds (>0 = streaming)
+  std::uint64_t window_logs = 0;    ///< per-window log cap (0 = boundary cuts only)
+  std::uint64_t last_windows = 0;   ///< windowed query span (0 = whole archive)
+  bool follow = false;              ///< serve: live soak instead of closed loop
+  bool leveled = false;             ///< compact: leveled policy instead of max-logs
+  unsigned fanout = 4;              ///< leveled merge fanout
 };
 
 [[noreturn]] void usage(int rc) {
@@ -94,12 +111,18 @@ struct Args {
       "           --snapshots --no-compress --zlib-level L\n"
       "           (or --from SRCDIR to ingest existing log files;\n"
       "            --part-logs N bounds logs per partition)\n"
+      "           (or --window SEC [--window-logs N] to stream through\n"
+      "            time-windowed partition cuts)\n"
       "  query:   --threads T --mlp-depth K --no-write-snapshots --csv\n"
+      "           --last-windows N (fold only the last N time windows)\n"
       "  verify:  --deep\n"
-      "  compact: --max-logs N\n"
+      "  compact: --max-logs N | --leveled [--fanout F]\n"
       "  serve:   --requests N --clients C --warmup W --seed S --cache-mb M\n"
       "           --merged-cache-mb M (0 = no memoization) --merge-threads T\n"
       "           --mix G:I:C --mlp-depth K\n"
+      "           (or --follow [--jobs N] [--window SEC] [--window-logs N]\n"
+      "            [--last-windows N] [--fanout F]: live soak — streaming\n"
+      "            ingest + windowed reads + background leveled compactor)\n"
       "  all:     --fault-spec SPEC (deterministic fault injection; see util/vfs.hpp)\n");
   std::exit(rc);
 }
@@ -145,6 +168,12 @@ Args parse(int argc, char** argv) {
         std::exit(2);
       }
     }
+    else if (!std::strcmp(argv[i], "--window")) a.window = static_cast<std::int64_t>(std::strtoll(next("--window"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--window-logs")) a.window_logs = std::strtoull(next("--window-logs"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--last-windows")) a.last_windows = std::strtoull(next("--last-windows"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--fanout")) a.fanout = static_cast<unsigned>(std::strtoul(next("--fanout"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--follow")) a.follow = true;
+    else if (!std::strcmp(argv[i], "--leveled")) a.leveled = true;
     else if (!std::strcmp(argv[i], "--no-huge")) a.huge = false;
     else if (!std::strcmp(argv[i], "--snapshots")) a.snapshots = true;
     else if (!std::strcmp(argv[i], "--no-write-snapshots")) a.write_snapshots = false;
@@ -168,7 +197,54 @@ void emit(const Args& a, const util::Table& t) {
   std::printf("%s", (a.csv ? t.to_csv() : t.to_string()).c_str());
 }
 
+/// Continuous-mode ingest: stream generated logs through the window cutter
+/// in arrival order; every cut commits one partition (one generation bump).
+int cmd_ingest_stream(const Args& a, util::Vfs& vfs) {
+  archive::Archive ar = archive::Archive::open_or_create(a.dir, vfs);
+  archive::StreamOptions sopts;
+  sopts.window_seconds = a.window;
+  sopts.max_window_logs = a.window_logs;
+  sopts.write_snapshots = a.snapshots;
+  archive::StreamIngester ing(ar, sopts);
+
+  wl::GeneratorConfig cfg;
+  cfg.seed = a.seed;
+  cfg.n_jobs = a.jobs;
+  cfg.logs_per_job_scale = a.logs_scale;
+  cfg.files_per_log_scale = a.files_scale;
+  const wl::SystemProfile& profile =
+      a.system == "Summit" ? wl::SystemProfile::summit_2020() : wl::SystemProfile::cori_2019();
+  const wl::WorkloadGenerator gen(profile, cfg);
+  wl::serialize_logs(gen, wl::Stratum::kBulk, 0, a.jobs, {},
+                     [&](const darshan::JobRecord& job, std::span<const std::byte> frame) {
+                       (void)ing.append(job, frame);
+                     });
+  (void)ing.flush();
+
+  const archive::StreamStats& st = ing.stats();
+  std::printf(
+      "streamed %llu logs (%s) into %llu window partition(s): %llu boundary cut(s), "
+      "%llu cap cut(s), %llu late arrival(s)\n",
+      static_cast<unsigned long long>(st.logs),
+      util::format_bytes(static_cast<double>(st.bytes)).c_str(),
+      static_cast<unsigned long long>(st.windows_published),
+      static_cast<unsigned long long>(st.boundary_cuts),
+      static_cast<unsigned long long>(st.cap_cuts),
+      static_cast<unsigned long long>(st.late_logs));
+  std::printf("archive now holds %zu partition(s), generation %llu\n",
+              ar.manifest().partitions.size(),
+              static_cast<unsigned long long>(ar.manifest().generation));
+  return 0;
+}
+
 int cmd_ingest(const Args& a, util::Vfs& vfs) {
+  if (a.window > 0) {
+    if (!a.from.empty()) {
+      std::fprintf(stderr, "ingest: --window is for generated streams (not --from)\n");
+      return 2;
+    }
+    return cmd_ingest_stream(a, vfs);
+  }
   archive::Archive ar = archive::Archive::open_or_create(a.dir, vfs);
   archive::IngestOptions opts;
   opts.batches = a.batches;
@@ -218,7 +294,46 @@ int cmd_ingest(const Args& a, util::Vfs& vfs) {
   return 0;
 }
 
+/// Windowed query: Table 2 over the last N windows only, plus the ops view
+/// (core/load_timeline over the selected partition suffix).
+int cmd_query_window(const Args& a, util::Vfs& vfs) {
+  archive::Archive ar = archive::Archive::open(a.dir, vfs);
+  archive::QueryOptions opts;
+  opts.mlp_depth = a.mlp_depth;
+  archive::WindowSelection sel;
+  const archive::QueryResult q = archive::query_window(ar, a.last_windows, opts, &sel);
+  const core::Analysis& an = q.analysis;
+
+  util::Table t({"metric", "value"});
+  t.add_row({"logs", util::format_count(static_cast<double>(an.summary().logs()))});
+  t.add_row({"jobs", util::format_count(static_cast<double>(an.summary().jobs()))});
+  t.add_row({"files", util::format_count(static_cast<double>(an.summary().files()))});
+  t.add_row({"node-hours", util::format_count(an.summary().node_hours())});
+  std::printf("\n== Census, last %llu window(s) (Table 2) ==\n",
+              static_cast<unsigned long long>(a.last_windows));
+  emit(a, t);
+  std::printf(
+      "\nwindow: %llu of %llu window(s) covered (%zu of %zu partition(s)%s); "
+      "%llu snapshot hit(s), %llu rescanned, %.3f s\n",
+      static_cast<unsigned long long>(sel.windows_covered),
+      static_cast<unsigned long long>(sel.newest_window), sel.count,
+      ar.manifest().partitions.size(),
+      sel.whole_archive() ? ", whole archive" : "",
+      static_cast<unsigned long long>(q.stats.snapshot_hits),
+      static_cast<unsigned long long>(q.stats.partitions_scanned), q.stats.total_seconds);
+
+  // Ops view of the same suffix: job concurrency over a day-long horizon.
+  const core::LoadTimeline tl = archive::window_timeline(ar, ar.manifest(), sel, 86400, 48);
+  std::printf("timeline: peak concurrency %u log(s), %.1f%% busy, PFS read %s/s mean\n",
+              tl.peak_concurrency(), 100.0 * tl.busy_fraction(),
+              util::format_bytes(tl.mean_throughput(core::Layer::kPfs, true)).c_str());
+  std::printf("analysis fingerprint: %016llx\n",
+              static_cast<unsigned long long>(an.fingerprint()));
+  return 0;
+}
+
 int cmd_query(const Args& a, util::Vfs& vfs) {
+  if (a.last_windows > 0) return cmd_query_window(a, vfs);
   archive::Archive ar = archive::Archive::open(a.dir, vfs);
   archive::QueryOptions opts;
   opts.threads = a.threads;
@@ -302,7 +417,70 @@ int cmd_verify(const Args& a, util::Vfs& vfs) {
   return rep.ok() ? 0 : 1;
 }
 
+/// Live soak: one feeder streams generated logs through the service's open
+/// window, reader clients hammer windowed gets, and the background leveled
+/// compactor merges history underneath both.  Every windowed answer is
+/// verified against a serial replay of its pinned generation.
+int cmd_serve_follow(const Args& a, util::Vfs& vfs) {
+  service::ArchiveService::Options sopts;
+  sopts.cache.capacity_bytes = a.cache_mb << 20;
+  sopts.merged.capacity_bytes = a.merged_cache_mb << 20;
+  sopts.merge_threads = a.merge_threads;
+  sopts.mlp_depth = a.mlp_depth;
+  sopts.stream.window_seconds = a.window > 0 ? a.window : 3600;
+  sopts.stream.max_window_logs = a.window_logs;
+  service::ArchiveService svc(a.dir, sopts, vfs);
+
+  service::LiveConfig lcfg;
+  lcfg.readers = a.clients;
+  lcfg.seed = a.seed;
+  lcfg.last_windows = a.last_windows > 0 ? a.last_windows : 4;
+  lcfg.compactor.policy.fanout = a.fanout;
+  const std::vector<service::ServiceFrame> pool = service::make_frame_pool(a.jobs, a.seed + 1);
+  const service::LiveReport rep = service::run_live_soak(svc, lcfg, pool);
+
+  util::Table t({"kind", "count", "p50 us", "p90 us", "p99 us"});
+  const auto row = [&](const char* kind, std::uint64_t n, const util::LatencyHistogram& h) {
+    t.add_row({kind, util::format_count(static_cast<double>(n)),
+               util::format_fixed(h.p50_ns() * 1e-3, 1), util::format_fixed(h.p90_ns() * 1e-3, 1),
+               util::format_fixed(h.p99_ns() * 1e-3, 1)});
+  };
+  row("append", rep.appends, rep.append_latency);
+  row("get-window", rep.window_gets, rep.get_latency);
+  std::printf("\n== Live soak (%u reader(s), last %llu window(s)) ==\n", lcfg.readers,
+              static_cast<unsigned long long>(lcfg.last_windows));
+  emit(a, t);
+  std::printf(
+      "\n%.0f logs/s streamed (%llu logs, %llu window(s) published: %llu boundary / "
+      "%llu cap cut(s), %llu late)\n",
+      rep.logs_per_second(), static_cast<unsigned long long>(rep.logs_streamed),
+      static_cast<unsigned long long>(rep.windows_published),
+      static_cast<unsigned long long>(rep.stream.boundary_cuts),
+      static_cast<unsigned long long>(rep.stream.cap_cuts),
+      static_cast<unsigned long long>(rep.stream.late_logs));
+  std::printf(
+      "compactor: %llu background merge(s), %llu error(s); %llu live partition(s) over "
+      "%llu window(s)\n",
+      static_cast<unsigned long long>(rep.compactions),
+      static_cast<unsigned long long>(rep.compactor_errors),
+      static_cast<unsigned long long>(rep.final_partitions),
+      static_cast<unsigned long long>(rep.newest_window));
+  std::printf("verified %llu generation(s): %s; %llu deferred-GC file(s) pending\n",
+              static_cast<unsigned long long>(rep.verified_generations),
+              rep.divergent == 0 ? "all windowed answers match serial replay"
+                                 : "DIVERGED from serial replay",
+              static_cast<unsigned long long>(rep.gc_pending_after));
+  if (!rep.ok()) {
+    std::fprintf(stderr, "serve: %llu divergence(s), %llu gc file(s) leaked\n",
+                 static_cast<unsigned long long>(rep.divergent),
+                 static_cast<unsigned long long>(rep.gc_pending_after));
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_serve(const Args& a, util::Vfs& vfs) {
+  if (a.follow) return cmd_serve_follow(a, vfs);
   if (a.requests == 0) {
     std::fprintf(stderr, "serve: --requests N is required (closed-loop requests per client)\n");
     return 2;
@@ -374,9 +552,20 @@ int cmd_serve(const Args& a, util::Vfs& vfs) {
 int cmd_compact(const Args& a, util::Vfs& vfs) {
   archive::Archive ar = archive::Archive::open(a.dir, vfs);
   const std::size_t before = ar.manifest().partitions.size();
-  const std::size_t removed = ar.compact(a.max_logs);
-  std::printf("compacted %zu -> %zu partition(s) (threshold %llu logs)\n", before,
-              before - removed, static_cast<unsigned long long>(a.max_logs));
+  if (a.leveled) {
+    // Drain the leveled plan: merge full fanout runs (lowest level first)
+    // until no level holds one — the same policy the background compactor
+    // applies continuously, run to a fixed point offline.
+    const archive::LeveledPolicy policy{a.fanout};
+    std::size_t merges = 0;
+    while (archive::compact_leveled(ar, policy)) merges += 1;
+    std::printf("leveled compaction: %zu merge(s), %zu -> %zu partition(s) (fanout %u)\n",
+                merges, before, ar.manifest().partitions.size(), a.fanout);
+  } else {
+    const std::size_t removed = ar.compact(a.max_logs);
+    std::printf("compacted %zu -> %zu partition(s) (threshold %llu logs)\n", before,
+                before - removed, static_cast<unsigned long long>(a.max_logs));
+  }
   for (const std::string& e : ar.gc_errors()) std::printf("GC WARNING: %s\n", e.c_str());
   return 0;
 }

@@ -203,4 +203,102 @@ QueryResult query_archive(Archive& archive, const QueryOptions& opts, QueryScrat
   return result;
 }
 
+WindowSelection select_last_windows(const Manifest& m, std::uint64_t last_windows) {
+  WindowSelection sel;
+  const std::vector<PartitionInfo>& parts = m.partitions;
+  for (const PartitionInfo& p : parts) {
+    sel.newest_window = std::max(sel.newest_window, p.window_max);
+  }
+  if (last_windows == 0 || sel.newest_window == 0 || last_windows >= sel.newest_window) {
+    // Whole archive: nothing to cut off (also the clamp for out-of-range
+    // requests and the fallback for purely batch archives).
+    sel.first = 0;
+    sel.count = parts.size();
+    sel.cutoff = 0;
+  } else {
+    sel.cutoff = sel.newest_window - last_windows + 1;
+    std::size_t first = parts.size();
+    while (first > 0 && parts[first - 1].window_max >= sel.cutoff) --first;
+    sel.first = first;
+    sel.count = parts.size() - first;
+  }
+  // The span the suffix actually covers: window_min 0 in the selection
+  // means it reaches into unwindowed history, i.e. the full span.
+  std::uint64_t wmin = 0;
+  for (std::size_t i = sel.first; i < parts.size(); ++i) {
+    if (i == sel.first) {
+      wmin = parts[i].window_min;
+    } else {
+      wmin = std::min(wmin, parts[i].window_min);
+    }
+  }
+  if (sel.count == 0 || sel.newest_window == 0) {
+    sel.windows_covered = 0;
+  } else if (wmin == 0 || wmin > sel.newest_window) {
+    sel.windows_covered = sel.newest_window;  // hostile wmin clamps here too
+  } else {
+    sel.windows_covered = sel.newest_window - wmin + 1;
+  }
+  return sel;
+}
+
+QueryResult query_window(Archive& archive, std::uint64_t last_windows, const QueryOptions& opts,
+                         WindowSelection* selection) {
+  const auto t0 = SteadyClock::now();
+  QueryResult result;
+  QueryStats& stats = result.stats;
+  // Copy the entries so a reload under the caller's feet cannot move them.
+  const std::vector<PartitionInfo> partitions = archive.manifest().partitions;
+  const WindowSelection sel = select_last_windows(archive.manifest(), last_windows);
+  if (selection != nullptr) *selection = sel;
+  stats.partitions = sel.count;
+
+  Archive::ScanScratch scan_scratch;
+  core::AnalyzeScratch analyze_scratch;
+  ScanOptions scan_opts;
+  scan_opts.mlp_depth = opts.mlp_depth;
+  scan_opts.read_options.seed_compat_parse = opts.seed_compat;
+  for (std::size_t i = sel.first; i < partitions.size(); ++i) {
+    const PartitionInfo& p = partitions[i];
+    std::optional<core::Analysis> shard;
+    try {
+      shard = archive.load_snapshot(p);
+      if (shard.has_value()) {
+        stats.snapshot_hits += 1;
+      } else {
+        core::Analysis rebuilt;
+        std::uint64_t logs = 0;
+        archive.scan_partition(
+            p,
+            [&](const darshan::LogData& log) {
+              rebuilt.add(log, analyze_scratch);
+              logs += 1;
+            },
+            scan_scratch, scan_opts);
+        stats.partitions_scanned += 1;
+        stats.logs_scanned += logs;
+        shard = std::move(rebuilt);
+      }
+    } catch (...) {
+      rethrow_rebuild_error(archive, p, std::current_exception());
+    }
+    result.analysis.merge(*shard);
+  }
+  stats.full_merges = 1;
+  stats.total_seconds = seconds_since(t0);
+  return result;
+}
+
+core::LoadTimeline window_timeline(const Archive& archive, const Manifest& m,
+                                   const WindowSelection& sel, std::int64_t horizon_seconds,
+                                   std::size_t n_buckets) {
+  core::LoadTimeline timeline(horizon_seconds, n_buckets);
+  Archive::ScanScratch scratch;
+  for (std::size_t i = sel.first; i < m.partitions.size(); ++i) {
+    archive.scan_partition(
+        m.partitions[i], [&](const darshan::LogData& log) { timeline.add_log(log); }, scratch);
+  }
+  return timeline;
+}
+
 }  // namespace mlio::archive

@@ -18,6 +18,7 @@
 
 #include "archive/archive.hpp"
 #include "core/analysis.hpp"
+#include "core/load_timeline.hpp"
 #include "core/snapshot.hpp"
 #include "util/error.hpp"
 
@@ -130,5 +131,47 @@ QueryResult query_archive(Archive& archive, const QueryOptions& opts = {});
 /// Scratch-reuse variant: per-worker buffers come from (and persist in)
 /// `scratch`.  Stats still cover only this query.
 QueryResult query_archive(Archive& archive, const QueryOptions& opts, QueryScratch& scratch);
+
+/// The partition suffix answering "the last N windows" (DESIGN.md §14).
+/// Selection is PARTITION-granular: walking back from the manifest tail,
+/// every partition whose window_max reaches the cutoff is included, and the
+/// walk stops at the first that does not (batch partitions, window_max 0,
+/// always stop it).  At aligned window cuts the suffix is exactly the
+/// requested windows; after a leveled merge coarsened history across the
+/// cutoff, the suffix honestly widens (windows_covered reports the real
+/// span) rather than silently truncating merged logs.  Streaming appends in
+/// time order and compaction only merges neighbors, so window ranges are
+/// non-decreasing along the partition list and the suffix is well defined;
+/// on a hostile manifest the walk still terminates and stays in bounds.
+struct WindowSelection {
+  std::size_t first = 0;            ///< index of the first selected partition
+  std::size_t count = 0;            ///< selected partitions (suffix length)
+  std::uint64_t newest_window = 0;  ///< max window id in the manifest (0 = none)
+  std::uint64_t cutoff = 0;         ///< oldest window id requested; 0 = whole archive
+  std::uint64_t windows_covered = 0;  ///< window span actually selected
+  bool whole_archive() const { return first == 0; }
+};
+
+/// Pure function of (manifest, last_windows).  last_windows == 0, a request
+/// exceeding the archive's window span (out-of-range ids clamp, never
+/// overflow), or a manifest with no windowed partitions all select the
+/// whole archive.
+WindowSelection select_last_windows(const Manifest& m, std::uint64_t last_windows);
+
+/// Fold ONLY the selected suffix's shards (valid snapshot else rescan), in
+/// manifest order — the windowed Table 2.  Cost is proportional to the
+/// window, not the archive.  Serial by design: windows are small; the
+/// whole-archive engine above is the parallel path.  Writes no snapshots.
+/// `selection`, when non-null, receives the evaluated WindowSelection.
+QueryResult query_window(Archive& archive, std::uint64_t last_windows,
+                         const QueryOptions& opts = {}, WindowSelection* selection = nullptr);
+
+/// Ops-view consumer of a window selection: replay the selected partitions'
+/// logs into a LoadTimeline (core/load_timeline.hpp).  `m` must be the
+/// manifest the selection was computed from (the service passes a pinned
+/// manifest; the CLI passes archive.manifest()).
+core::LoadTimeline window_timeline(const Archive& archive, const Manifest& m,
+                                   const WindowSelection& sel, std::int64_t horizon_seconds,
+                                   std::size_t n_buckets);
 
 }  // namespace mlio::archive

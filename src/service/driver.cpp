@@ -1,5 +1,7 @@
 #include "service/driver.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <latch>
 #include <mutex>
@@ -148,6 +150,102 @@ WorkloadReport run_closed_loop(ArchiveService& service, const WorkloadConfig& cf
   }
 
   report.cache = service.cache_counters();
+  return report;
+}
+
+LiveReport run_live_soak(ArchiveService& service, const LiveConfig& cfg,
+                         const std::vector<ServiceFrame>& frame_pool) {
+  MLIO_ASSERT(!frame_pool.empty());
+  MLIO_ASSERT(cfg.logs_per_append > 0);
+
+  std::mutex evidence_mu;
+  std::map<std::uint64_t, GenerationEvidence> evidence;  // generation -> answers
+  const auto record_answer = [&](const ArchiveService::GetResult& r) {
+    if (!cfg.verify) return;
+    const std::scoped_lock lock(evidence_mu);
+    GenerationEvidence& ev = evidence[r.generation];
+    if (!ev.pin.valid()) ev.pin = r.pin;  // retains the generation's files
+    ev.fingerprints[r.fingerprint] += 1;
+  };
+
+  LiveReport report;
+  std::atomic<bool> feed_done{false};
+
+  service.start_compactor(cfg.compactor);
+  const auto t_measure = SteadyClock::now();
+
+  // Readers: closed loop of windowed gets for as long as the feed lasts
+  // (plus one final look at the flushed state each).
+  std::vector<ClientState> readers(cfg.readers);
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.readers);
+  for (unsigned c = 0; c < cfg.readers; ++c) {
+    threads.emplace_back([&, c] {
+      ClientState& me = readers[c];
+      do {
+        const auto t0 = SteadyClock::now();
+        ArchiveService::GetResult r = service.get_window(cfg.last_windows);
+        me.get_latency.record(ns_since(t0));
+        me.stats.merge(r.stats);
+        me.gets += 1;
+        record_answer(r);
+      } while (!feed_done.load(std::memory_order_acquire));
+    });
+  }
+
+  // The feeder: ONE thread, arrival order — window cuts are a property of
+  // the stream, so the feed is never sharded across threads.
+  for (std::size_t lo = 0; lo < frame_pool.size(); lo += cfg.logs_per_append) {
+    const std::size_t n =
+        std::min<std::size_t>(cfg.logs_per_append, frame_pool.size() - lo);
+    const auto t0 = SteadyClock::now();
+    ArchiveService::StreamResult sr =
+        service.stream_append(std::span<const ServiceFrame>(frame_pool.data() + lo, n));
+    report.append_latency.record(ns_since(t0));
+    report.appends += 1;
+    report.logs_streamed += n;
+    report.windows_published += sr.published.size();
+  }
+  {
+    const ArchiveService::StreamResult sr = service.stream_flush();
+    report.windows_published += sr.published.size();
+  }
+  feed_done.store(true, std::memory_order_release);
+
+  for (std::thread& t : threads) t.join();
+  report.wall_seconds = static_cast<double>(ns_since(t_measure)) * 1e-9;
+  service.stop_compactor();
+
+  for (const ClientState& me : readers) {
+    report.get_latency.merge(me.get_latency);
+    report.stats.merge(me.stats);
+    report.window_gets += me.gets;
+  }
+  report.compactions = service.compactions();
+  report.compactor_errors = service.compactor_errors();
+  report.stream = service.stream_stats();
+
+  {
+    const ArchiveService::Pin final_pin = service.pin();
+    report.final_partitions = final_pin.manifest().partitions.size();
+    for (const archive::PartitionInfo& p : final_pin.manifest().partitions) {
+      report.newest_window = std::max(report.newest_window, p.window_max);
+    }
+  }
+
+  // The oracle: each observed generation's windowed answers must match a
+  // serial replay of that pinned generation's selected suffix bit for bit.
+  report.generations_observed = evidence.size();
+  for (auto& [generation, ev] : evidence) {
+    const std::uint64_t expected =
+        service.replay_serial_window(ev.pin, cfg.last_windows).fingerprint();
+    for (const auto& [fp, count] : ev.fingerprints) {
+      if (fp != expected) report.divergent += count;
+    }
+    report.verified_generations += 1;
+    ev.pin = ArchiveService::Pin();  // unpin: deferred GC may now advance
+  }
+  report.gc_pending_after = service.deferred_gc_pending();
   return report;
 }
 

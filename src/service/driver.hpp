@@ -77,4 +77,60 @@ std::vector<ServiceFrame> make_frame_pool(std::uint64_t n_jobs, std::uint64_t se
 WorkloadReport run_closed_loop(ArchiveService& service, const WorkloadConfig& cfg,
                                const std::vector<ServiceFrame>& frame_pool);
 
+// ---- Live mode (DESIGN.md §14) -------------------------------------------
+//
+// One feeder thread streams the frame pool in arrival order through
+// stream_append (a single logical stream — window cuts depend on arrival
+// order, so the feed is never sharded), while reader threads issue windowed
+// gets and the service's background leveled compactor merges history
+// underneath both.  Verification mirrors run_closed_loop: the first pin per
+// observed generation is retained, and after the run every windowed answer
+// is confronted with replay_serial_window of its pinned generation — the
+// serial, cache-free oracle.  Bit-identity must hold across every
+// ingest/compactor interleaving.
+
+struct LiveConfig {
+  unsigned readers = 2;               ///< windowed-get client threads
+  std::uint64_t logs_per_append = 4;  ///< frames per stream_append call
+  std::uint64_t seed = 42;
+  std::uint64_t last_windows = 4;  ///< windowed query span (0 = whole archive)
+  ArchiveService::CompactorOptions compactor;  ///< background policy + poll
+  bool verify = true;  ///< serial-replay every observed (generation, window)
+};
+
+struct LiveReport {
+  double wall_seconds = 0;  ///< feed start to last reader join
+  std::uint64_t logs_streamed = 0;
+  std::uint64_t appends = 0;            ///< stream_append calls
+  std::uint64_t windows_published = 0;  ///< window cuts committed (incl. final flush)
+  std::uint64_t window_gets = 0;
+  std::uint64_t compactions = 0;        ///< background merges during the soak
+  std::uint64_t compactor_errors = 0;
+  std::uint64_t final_partitions = 0;   ///< live partition count after the soak
+  std::uint64_t newest_window = 0;      ///< window span ingested
+  archive::StreamStats stream;          ///< ingester telemetry (cuts, late logs)
+
+  util::LatencyHistogram append_latency;
+  util::LatencyHistogram get_latency;
+  ServiceStats stats;  ///< merged over every measured windowed get
+
+  std::uint64_t generations_observed = 0;
+  std::uint64_t verified_generations = 0;
+  std::uint64_t divergent = 0;        ///< windowed answers contradicting the replay
+  std::uint64_t gc_pending_after = 0; ///< deferred-GC files left once pins dropped
+
+  double logs_per_second() const {
+    return wall_seconds > 0 ? static_cast<double>(logs_streamed) / wall_seconds : 0;
+  }
+  bool ok() const { return divergent == 0 && gc_pending_after == 0; }
+};
+
+/// Run the live soak: stream `frame_pool` through the service's open window
+/// while `cfg.readers` clients hammer get_window and the background
+/// compactor races both.  Flushes the open window at the end, stops the
+/// compactor, then runs the replay oracle.  The service must not already
+/// have a running compactor.
+LiveReport run_live_soak(ArchiveService& service, const LiveConfig& cfg,
+                         const std::vector<ServiceFrame>& frame_pool);
+
 }  // namespace mlio::service

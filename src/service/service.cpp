@@ -33,6 +33,7 @@ ArchiveService::ArchiveService(const std::filesystem::path& dir, const Options& 
                                util::Vfs& vfs)
     : archive_(archive::Archive::open(dir, vfs)),
       opts_(opts),
+      ingester_(archive_, opts.stream),
       cache_(opts.cache),
       merged_(opts.merged) {
   published_ = std::make_shared<const archive::Manifest>(archive_.manifest());
@@ -43,8 +44,11 @@ ArchiveService::ArchiveService(const std::filesystem::path& dir)
     : ArchiveService(dir, Options{}) {}
 
 ArchiveService::~ArchiveService() {
+  stop_compactor();
   // Any pins still alive here are use-after-free bugs in the caller; the
-  // best we can do is drain the GC list unconditionally.
+  // best we can do is drain the GC list unconditionally.  Logs buffered in
+  // the open stream window were never promised durable — callers that want
+  // them call stream_flush first.
   {
     const std::scoped_lock lock(pin_mu_);
     pinned_generations_.clear();
@@ -427,6 +431,198 @@ std::size_t ArchiveService::compact(std::uint64_t max_logs, ServiceStats* stats)
   }
   sweep_gc();
   return removed;
+}
+
+// ---- Continuous mode (DESIGN.md §14) --------------------------------------
+
+ArchiveService::StreamResult ArchiveService::stream_append(std::span<const ServiceFrame> frames,
+                                                           ServiceStats* stats) {
+  std::unique_lock<std::mutex> lock = timed_lock(writer_mu_, stats);
+  if (stats != nullptr) stats->requests += 1;
+  StreamResult r;
+  for (const ServiceFrame& f : frames) {
+    if (std::optional<archive::PartitionInfo> cut = ingester_.append(f.job, f.bytes)) {
+      r.published.push_back(*std::move(cut));
+    }
+  }
+  if (!r.published.empty()) publish_locked();
+  r.generation = archive_.manifest().generation;
+  r.open_logs = ingester_.open_logs();
+  return r;
+}
+
+ArchiveService::StreamResult ArchiveService::stream_flush(ServiceStats* stats) {
+  std::unique_lock<std::mutex> lock = timed_lock(writer_mu_, stats);
+  if (stats != nullptr) stats->requests += 1;
+  StreamResult r;
+  if (std::optional<archive::PartitionInfo> cut = ingester_.flush()) {
+    r.published.push_back(*std::move(cut));
+    publish_locked();
+  }
+  r.generation = archive_.manifest().generation;
+  r.open_logs = ingester_.open_logs();
+  return r;
+}
+
+archive::StreamStats ArchiveService::stream_stats() {
+  const std::scoped_lock lock(writer_mu_);
+  return ingester_.stats();
+}
+
+std::optional<archive::PartitionInfo> ArchiveService::compact_step(
+    const archive::LeveledPolicy& policy, ServiceStats* stats) {
+  std::optional<archive::PartitionInfo> merged;
+  {
+    std::unique_lock<std::mutex> lock = timed_lock(writer_mu_, stats);
+    if (stats != nullptr) stats->requests += 1;
+    std::vector<std::filesystem::path> doomed;
+    merged = archive::compact_leveled(archive_, policy, &doomed);
+    if (merged) publish_locked();
+    if (!doomed.empty()) {
+      const std::scoped_lock gc_lock(gc_mu_);
+      deferred_.push_back(DeferredGc{archive_.manifest().generation, std::move(doomed)});
+    }
+  }
+  sweep_gc();
+  return merged;
+}
+
+void ArchiveService::start_compactor(const CompactorOptions& opts) {
+  const std::scoped_lock lock(compactor_mu_);
+  if (compactor_pool_ != nullptr) {
+    throw util::ConfigError("service: background compactor is already running");
+  }
+  compactor_stop_ = false;
+  compactor_pool_ = std::make_unique<util::ThreadPool>(1);
+  compactor_pool_->submit([this, opts] { compactor_loop(opts); });
+}
+
+void ArchiveService::stop_compactor() {
+  std::unique_ptr<util::ThreadPool> pool;
+  {
+    const std::scoped_lock lock(compactor_mu_);
+    if (compactor_pool_ == nullptr) return;
+    compactor_stop_ = true;
+    pool = std::move(compactor_pool_);
+  }
+  compactor_cv_.notify_all();
+  pool->wait_idle();
+  pool.reset();  // joins the worker
+}
+
+bool ArchiveService::compactor_running() const {
+  const std::scoped_lock lock(compactor_mu_);
+  return compactor_pool_ != nullptr;
+}
+
+void ArchiveService::compactor_loop(CompactorOptions opts) {
+  // Runs as ONE long task on the dedicated pool; ThreadPool tasks must not
+  // throw, so every iteration is fenced.  After a successful merge the loop
+  // re-plans immediately — a cascade (level 0 fills level 1 fills level 2…)
+  // drains without idling between steps.
+  for (;;) {
+    {
+      const std::scoped_lock lock(compactor_mu_);
+      if (compactor_stop_) return;
+    }
+    bool merged = false;
+    try {
+      merged = compact_step(opts.policy).has_value();
+      if (merged) compactions_.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      compactor_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!merged) {
+      std::unique_lock<std::mutex> lock(compactor_mu_);
+      compactor_cv_.wait_for(lock, opts.interval, [this] { return compactor_stop_; });
+      if (compactor_stop_) return;
+    }
+  }
+}
+
+ArchiveService::GetResult ArchiveService::get_window_pinned(const Pin& pin,
+                                                            std::uint64_t last_windows,
+                                                            bool keep_analysis) {
+  MLIO_ASSERT(pin.valid());
+  const archive::WindowSelection sel =
+      archive::select_last_windows(pin.manifest(), last_windows);
+  if (sel.whole_archive()) {
+    // The suffix is the whole partition list: the memoized whole-archive
+    // engine IS the windowed answer (bit-identical — same shards, same
+    // fold), and it gets tier-1/2 reuse for free.
+    GetResult r = get_pinned(pin, keep_analysis);
+    r.windows = sel;
+    return r;
+  }
+
+  const auto t0 = SteadyClock::now();
+  GetResult r;
+  r.generation = pin.generation();
+  r.pin = pin;
+  r.windows = sel;
+  r.stats.requests = 1;
+  const std::vector<archive::PartitionInfo>& parts = pin.manifest().partitions;
+  r.stats.query.partitions = sel.count;
+  r.stats.query.full_merges = 1;
+
+  // Serial suffix fold through the shared shard cache.  Windows are small
+  // by design (cost proportional to the window, not the archive), so the
+  // canonical left fold needs no tree; bits match replay_serial_window by
+  // construction.
+  const auto t_scan = SteadyClock::now();
+  core::Analysis merged;
+  for (std::size_t i = sel.first; i < parts.size(); ++i) {
+    merged.merge(*resolve_shard(parts[i], r.stats));
+  }
+  r.stats.scan_ns = ns_since(t_scan);
+  r.stats.query.scan_seconds = static_cast<double>(r.stats.scan_ns) * 1e-9;
+  r.fingerprint = merged.fingerprint();
+  if (keep_analysis) r.analysis = std::make_shared<const core::Analysis>(std::move(merged));
+  r.stats.query.total_seconds = static_cast<double>(ns_since(t0)) * 1e-9;
+  return r;
+}
+
+ArchiveService::GetResult ArchiveService::get_window(std::uint64_t last_windows,
+                                                     bool keep_analysis) {
+  ServiceStats carried;
+  for (unsigned attempt = 0;; ++attempt) {
+    const auto t0 = SteadyClock::now();
+    Pin p = pin();
+    carried.queue_wait_ns += ns_since(t0);
+    try {
+      GetResult r = get_window_pinned(p, last_windows, keep_analysis);
+      r.stats.queue_wait_ns += carried.queue_wait_ns;
+      r.stats.stale_retries += carried.stale_retries;
+      return r;
+    } catch (const archive::StaleReadError&) {
+      if (attempt >= opts_.max_stale_retries) throw;
+      carried.stale_retries += 1;
+      refresh_from_disk();
+    } catch (const util::IoError&) {
+      if (attempt >= opts_.max_stale_retries) throw;
+      carried.stale_retries += 1;
+      if (!refresh_from_disk()) throw;
+    }
+  }
+}
+
+core::Analysis ArchiveService::replay_serial_window(const Pin& pin,
+                                                    std::uint64_t last_windows) const {
+  MLIO_ASSERT(pin.valid());
+  const archive::WindowSelection sel =
+      archive::select_last_windows(pin.manifest(), last_windows);
+  const std::vector<archive::PartitionInfo>& parts = pin.manifest().partitions;
+  core::Analysis replay;
+  archive::Archive::ScanScratch scratch;
+  archive::ScanOptions scan_opts;
+  scan_opts.mlp_depth = 1;
+  for (std::size_t i = sel.first; i < parts.size(); ++i) {
+    core::Analysis shard;
+    archive_.scan_partition(
+        parts[i], [&](const darshan::LogData& log) { shard.add(log); }, scratch, scan_opts);
+    replay.merge(shard);
+  }
+  return replay;
 }
 
 }  // namespace mlio::service

@@ -29,10 +29,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <span>
 #include <vector>
@@ -40,6 +43,7 @@
 #include "archive/archive.hpp"
 #include "archive/query.hpp"
 #include "archive/scan.hpp"
+#include "archive/stream.hpp"
 #include "service/cache.hpp"
 #include "util/vfs.hpp"
 
@@ -105,6 +109,9 @@ class ArchiveService {
     /// serving path, and snapshot writes would serialize readers behind the
     /// manifest lock.
     bool write_snapshots_on_ingest = false;
+    /// Continuous mode: window cuts and caps for stream_append (archive/
+    /// stream.hpp).  Only consulted by the streaming entry points.
+    archive::StreamOptions stream;
   };
 
   /// Opens an existing archive (throws like Archive::open).  The Vfs must
@@ -144,6 +151,9 @@ class ArchiveService {
     /// The merged analysis; populated only when requested (it is the answer
     /// a real client would consume, but the bench only needs the digest).
     std::shared_ptr<const core::Analysis> analysis;
+    /// Windowed gets only: which partition suffix answered, and the window
+    /// span it honestly covers.  Default-constructed for whole-archive gets.
+    archive::WindowSelection windows;
   };
 
   /// Answer a whole-archive query at the current generation.  Thread-safe;
@@ -171,6 +181,76 @@ class ArchiveService {
   /// Compact with deferred GC (writer path; serialized internally).
   /// Returns the number of partitions removed.
   std::size_t compact(std::uint64_t max_logs, ServiceStats* stats = nullptr);
+
+  // ---- Continuous mode (DESIGN.md §14) -----------------------------------
+
+  struct StreamResult {
+    /// Windows cut and committed by this call (one generation bump each).
+    std::vector<archive::PartitionInfo> published;
+    std::uint64_t generation = 0;  ///< generation after any publishes
+    std::uint64_t open_logs = 0;   ///< logs still buffered in the open window
+  };
+
+  /// Append frames to the open time window (writer path; serialized
+  /// internally with ingest/compact/the background compactor).  Windows cut
+  /// on boundaries or caps per Options::stream; each cut publishes through
+  /// the group-commit path and readers observe it on their next pin.
+  StreamResult stream_append(std::span<const ServiceFrame> frames, ServiceStats* stats = nullptr);
+
+  /// Cut and publish the open window regardless of boundaries (end of a
+  /// feed, or a shutdown that must not drop buffered logs).
+  StreamResult stream_flush(ServiceStats* stats = nullptr);
+
+  /// Streaming telemetry snapshot (taken under the writer lock).
+  archive::StreamStats stream_stats();
+
+  struct CompactorOptions {
+    archive::LeveledPolicy policy;
+    /// Idle poll period: how long the background thread sleeps after finding
+    /// nothing mergeable.  After a successful merge it re-plans immediately
+    /// (cascading merges drain without waiting).
+    std::chrono::milliseconds interval{2};
+  };
+
+  /// Start the background leveled compactor — one long-running task on a
+  /// dedicated util::ThreadPool worker, looping plan_leveled/compact_range
+  /// against the live manifest under the writer lock, racing stream_append
+  /// and pinned readers safely via the MVCC deferred-GC machinery.  Throws
+  /// ConfigError if already running.
+  void start_compactor(const CompactorOptions& opts);
+  void start_compactor() { start_compactor(CompactorOptions{}); }
+  /// Signal, join, and discard the background compactor.  Idempotent; the
+  /// destructor calls it.
+  void stop_compactor();
+  bool compactor_running() const;
+  /// Successful background merges since start (across restarts).
+  std::uint64_t compactions() const { return compactions_.load(std::memory_order_relaxed); }
+  /// Background iterations that threw (the loop swallows and keeps going).
+  std::uint64_t compactor_errors() const {
+    return compactor_errors_.load(std::memory_order_relaxed);
+  }
+
+  /// One leveled compaction step inline (the loop body; also the
+  /// deterministic entry tests drive directly).  Returns the merged
+  /// partition, or nullopt when no level holds a full fanout run.
+  std::optional<archive::PartitionInfo> compact_step(const archive::LeveledPolicy& policy,
+                                                     ServiceStats* stats = nullptr);
+
+  /// Windowed get: "Table 2 for the last N windows" — fold only the
+  /// partition suffix select_last_windows picks, through the shared shard
+  /// cache.  last_windows == 0 means the whole archive.  Retries internally
+  /// on a stale read, like get().
+  GetResult get_window(std::uint64_t last_windows, bool keep_analysis = false);
+  /// Same, against an explicit pin (no retry).
+  GetResult get_window_pinned(const Pin& pin, std::uint64_t last_windows,
+                              bool keep_analysis = false);
+
+  /// Windowed verification oracle: serial, cache-free, snapshot-free replay
+  /// of the pinned generation's selected suffix at mlp_depth 1.  Every
+  /// concurrent get_window answer for (generation, last_windows) must match
+  /// its fingerprint bit for bit.  replay_serial(pin) == the last_windows=0
+  /// case.
+  core::Analysis replay_serial_window(const Pin& pin, std::uint64_t last_windows) const;
 
   std::uint64_t generation() const;
   CacheCounters cache_counters() const { return cache_.counters(); }
@@ -205,8 +285,12 @@ class ArchiveService {
   std::vector<std::shared_ptr<const core::Analysis>> resolve_all(const Pin& pin,
                                                                  ServiceStats& stats);
 
+  /// Body of the background compactor task (runs on compactor_pool_).
+  void compactor_loop(CompactorOptions opts);
+
   archive::Archive archive_;  ///< manifest mutated only under writer_mu_
   Options opts_;
+  archive::StreamIngester ingester_;  ///< open-window buffer; under writer_mu_
 
   mutable std::mutex pin_mu_;  ///< guards published_ and pinned_generations_
   std::shared_ptr<const archive::Manifest> published_;
@@ -220,6 +304,15 @@ class ArchiveService {
   SnapshotCache cache_;
   MergedResultCache merged_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< merge pool; null when serial
+
+  /// Background compactor: a 1-worker pool running compactor_loop until
+  /// stop_compactor flips the flag under compactor_mu_.
+  std::unique_ptr<util::ThreadPool> compactor_pool_;
+  mutable std::mutex compactor_mu_;  ///< guards compactor_pool_ and _stop_
+  std::condition_variable compactor_cv_;
+  bool compactor_stop_ = false;
+  std::atomic<std::uint64_t> compactions_{0};
+  std::atomic<std::uint64_t> compactor_errors_{0};
 };
 
 }  // namespace mlio::service

@@ -5,12 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <limits>
 #include <vector>
 
 #include "archive/archive.hpp"
 #include "archive/ingest.hpp"
 #include "archive/query.hpp"
+#include "archive/stream.hpp"
 #include "core/snapshot.hpp"
+#include "darshan/log_format.hpp"
+#include "darshan/runtime.hpp"
 #include "util/byte_io.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -246,6 +250,168 @@ TEST_F(ArchiveCorruption, RandomMutationPropertySweep) {
 
   // The restore discipline held: the archive ends the sweep pristine.
   EXPECT_TRUE(Archive::open(dir_).verify(true).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Window-metadata framing fuzz (DESIGN.md §14).  The v2 manifest carries
+// window_min/window_max/level per partition; hostile bytes in that framing
+// must surface as a typed FormatError or a bit-clean parse — never UB, and
+// never a parsed manifest that sends the window selection or the leveled
+// planner out of bounds.
+
+/// A v2 manifest exercising every window-metadata shape: batch (0/0),
+/// merged-into-history (0/max), aligned single windows, and a multi-window
+/// merged run at a higher level.
+Manifest windowed_manifest() {
+  Manifest m;
+  m.generation = 9;
+  m.next_partition_id = 5;
+  m.partitions.resize(4);
+  m.partitions[0].id = 1;  // batch history
+  m.partitions[1].id = 2;  // merged: extends into unwindowed history
+  m.partitions[1].window_max = 6;
+  m.partitions[1].level = 2;
+  m.partitions[2].id = 3;  // merged run of windows 7..9 at level 1
+  m.partitions[2].window_min = 7;
+  m.partitions[2].window_max = 9;
+  m.partitions[2].level = 1;
+  m.partitions[3].id = 4;  // fresh window at level 0
+  m.partitions[3].window_min = m.partitions[3].window_max = 10;
+  for (PartitionInfo& p : m.partitions) p.log_count = 2;
+  return m;
+}
+
+/// Whatever a hostile manifest parses to must keep the consumers in bounds:
+/// every selection for every N indexes real partitions, and any compaction
+/// plan names a real adjacent run.
+void expect_consumers_in_bounds(const Manifest& m) {
+  for (std::uint64_t n : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{3},
+                          std::numeric_limits<std::uint64_t>::max()}) {
+    const WindowSelection sel = select_last_windows(m, n);
+    ASSERT_LE(sel.first, m.partitions.size());
+    ASSERT_LE(sel.count, m.partitions.size() - sel.first);
+  }
+  for (const unsigned fanout : {2u, 4u}) {
+    if (const auto plan = plan_leveled(m, LeveledPolicy{fanout})) {
+      ASSERT_LE(plan->first, m.partitions.size());
+      ASSERT_GE(plan->count, 2u);
+      ASSERT_LE(plan->count, m.partitions.size() - plan->first);
+    }
+  }
+}
+
+TEST(WindowManifestFuzz, TruncationAtEveryPrefixIsATypedError) {
+  const std::vector<std::byte> bytes = write_manifest_bytes(windowed_manifest());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(read_manifest_bytes(std::span(bytes.data(), len)), util::FormatError)
+        << "prefix length " << len;
+  }
+  // The untruncated bytes round-trip with every window field intact.
+  const Manifest back = read_manifest_bytes(bytes);
+  ASSERT_EQ(back.partitions.size(), 4u);
+  EXPECT_EQ(back.partitions[1].window_min, 0u);
+  EXPECT_EQ(back.partitions[1].window_max, 6u);
+  EXPECT_EQ(back.partitions[2].window_min, 7u);
+  EXPECT_EQ(back.partitions[2].level, 1u);
+}
+
+TEST(WindowManifestFuzz, BitFlipsAtEveryByteNeverEscapeTheContract) {
+  const std::vector<std::byte> bytes = write_manifest_bytes(windowed_manifest());
+  util::Rng rng(20260809);
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::vector<std::byte> hostile = bytes;
+    hostile[pos] ^= static_cast<std::byte>(rng.uniform_u64(1, 255));
+    try {
+      const Manifest m = read_manifest_bytes(hostile);
+      // A flip the CRC failed to catch (or in bytes it does not cover) must
+      // still parse to something the window machinery can hold: no inverted
+      // windowed ranges, and in-bounds consumers.
+      for (const PartitionInfo& p : m.partitions) {
+        ASSERT_TRUE(p.window_min == 0 || p.window_min <= p.window_max);
+      }
+      expect_consumers_in_bounds(m);
+    } catch (const util::FormatError&) {
+      // the contract for nearly every flip
+    }
+  }
+}
+
+TEST(WindowManifestFuzz, InvertedWindowRangeIsRejectedEvenWithAValidCrc) {
+  // Not a random flip: a well-formed, correctly-checksummed manifest whose
+  // window range is inverted.  The framing CRC cannot catch it, so the
+  // semantic check must.
+  Manifest m = windowed_manifest();
+  m.partitions[2].window_min = 9;
+  m.partitions[2].window_max = 7;
+  EXPECT_THROW(read_manifest_bytes(write_manifest_bytes(m)), util::FormatError);
+
+  // But "merged into unwindowed history" (min 0, max > 0) is a legal state,
+  // not an inversion.
+  m.partitions[2].window_min = 0;
+  EXPECT_NO_THROW(read_manifest_bytes(write_manifest_bytes(m)));
+}
+
+TEST(WindowManifestFuzz, HostileWindowIdsAndLevelsStayInBounds) {
+  // Out-of-range stamps a buggy or malicious writer could produce: window
+  // ids and levels pinned at their numeric maxima.  They must round-trip,
+  // and neither the selection cutoff nor the planner's level bump may wrap.
+  Manifest m = windowed_manifest();
+  m.partitions[3].window_min = std::numeric_limits<std::uint64_t>::max();
+  m.partitions[3].window_max = std::numeric_limits<std::uint64_t>::max();
+  m.partitions[2].level = std::numeric_limits<std::uint32_t>::max();
+  m.partitions[1].level = std::numeric_limits<std::uint32_t>::max();
+  m.partitions[0].level = std::numeric_limits<std::uint32_t>::max();
+  const Manifest back = read_manifest_bytes(write_manifest_bytes(m));
+  EXPECT_EQ(back.partitions[3].window_max, std::numeric_limits<std::uint64_t>::max());
+  expect_consumers_in_bounds(back);
+  if (const auto plan = plan_leveled(back, LeveledPolicy{2})) {
+    EXPECT_EQ(plan->target_level, std::numeric_limits<std::uint32_t>::max());  // clamped
+  }
+}
+
+// Stale generation stamps on a WINDOWED partition: the manifest says the
+// data changed after the snapshot was taken, so a windowed query must
+// rescan that shard instead of trusting it — and reproduce the clean
+// windowed answer bit for bit.
+TEST(WindowManifestFuzz, StaleGenerationStampOnWindowedPartitionForcesRescan) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "mlio_window_stale";
+  fs::remove_all(dir);
+  Archive ar = Archive::create(dir);
+  StreamOptions opts;
+  opts.window_seconds = 100;
+  opts.write_snapshots = true;
+  StreamIngester ing(ar, opts);
+  for (std::uint64_t w = 0; w < 3; ++w) {
+    darshan::JobRecord job;
+    job.job_id = w + 1;
+    job.nprocs = 2;
+    job.nnodes = 1;
+    darshan::Runtime rt(job, {{"/gpfs", "gpfs"}});
+    const auto h = rt.open_file(darshan::ModuleId::kPosix, 0, "/gpfs/data", 0.0);
+    rt.record_reads(h, 0, 4096, 4, 0.0, 0.5);
+    const darshan::LogData log = rt.finalize(static_cast<std::int64_t>(w) * 100 + 1,
+                                             static_cast<std::int64_t>(w) * 100 + 9);
+    (void)ing.append(log.job, darshan::write_log_bytes(log));
+  }
+  (void)ing.flush();
+  const std::vector<std::byte> clean =
+      core::write_snapshot_bytes(query_window(ar, 2).analysis, 0);
+
+  {  // Forge the stale stamp on the newest windowed partition.
+    Manifest m = ar.manifest();
+    m.generation += 1;
+    m.partitions.back().data_generation = m.generation;
+    util::write_file_atomic(dir / "manifest.bin", write_manifest_bytes(m));
+  }
+  Archive reopened = Archive::open(dir);
+  QueryOptions qopts;
+  qopts.write_snapshots = false;
+  WindowSelection sel;
+  const QueryResult q = query_window(reopened, 2, qopts, &sel);
+  EXPECT_EQ(sel.count, 2u);
+  EXPECT_GT(q.stats.partitions_scanned, 0u);  // the stale shard was not trusted
+  EXPECT_EQ(core::write_snapshot_bytes(q.analysis, 0), clean);
+  fs::remove_all(dir);
 }
 
 }  // namespace

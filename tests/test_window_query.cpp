@@ -1,0 +1,286 @@
+// Windowed-query property tests (DESIGN.md §14): at aligned window cuts,
+// "Table 2 for the last N windows" must equal a whole-archive rebuild
+// restricted to exactly those partitions — bit-identical canonical state
+// bytes, not just fingerprints — for every N, and that identity must
+// survive a leveled compaction that rewrites the very partitions the
+// selection walks.  The oracle is built straight from the raw frames (the
+// arrival sequence restricted to the covered window span), so it shares no
+// code with the partition-suffix walk it checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "archive/archive.hpp"
+#include "archive/query.hpp"
+#include "archive/stream.hpp"
+#include "core/analysis.hpp"
+#include "core/load_timeline.hpp"
+#include "core/snapshot.hpp"
+#include "darshan/log_format.hpp"
+#include "darshan/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace mlio::archive {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Frame {
+  darshan::JobRecord job;
+  std::vector<std::byte> bytes;
+};
+
+Frame make_frame(std::uint64_t job_id, std::int64_t start, std::uint64_t salt) {
+  darshan::JobRecord job;
+  job.job_id = job_id;
+  job.nprocs = 2;
+  job.nnodes = 1;
+  darshan::Runtime rt(job, {{"/gpfs", "gpfs"}, {"/mnt/bb", "xfs"}});
+  util::Rng rng(salt * 0x9e37u + job_id);
+  const auto h =
+      rt.open_file(darshan::ModuleId::kPosix, 0, "/gpfs/f" + std::to_string(job_id % 5), 0.0);
+  rt.record_reads(h, 0, rng.log_uniform_u64(256, 1 << 16), rng.uniform_u64(1, 20), 0.0, 0.5);
+  rt.record_writes(h, 0, rng.log_uniform_u64(256, 1 << 16), rng.uniform_u64(1, 20), 0.5, 0.4);
+  const darshan::LogData log = rt.finalize(start, start + 30);
+  Frame f;
+  f.job = log.job;
+  f.bytes = darshan::write_log_bytes(log);
+  return f;
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<std::byte> state_bytes(const core::Analysis& a) {
+  return core::write_snapshot_bytes(a, 0);
+}
+
+constexpr std::int64_t kWindowSeconds = 100;
+
+/// The frame-level oracle, cut-aware: the archive's bit contract is "fixed
+/// cuts -> fixed bits", so the oracle rebuilds each SELECTED partition's
+/// shard from the raw frames its declared window range claims (arrival
+/// order — stream appends and adjacency-only merges both preserve it), then
+/// left-folds the shards in partition order.  Built entirely from frames
+/// and the manifest's window stamps, it independently verifies both that
+/// every partition holds exactly its declared windows and that the fold
+/// over those cuts reproduces the answer bit for bit — before AND after a
+/// leveled merge rewrites the cuts.
+core::Analysis oracle(const std::vector<Frame>& frames, const Manifest& m,
+                      const WindowSelection& sel) {
+  core::Analysis a;
+  for (std::size_t i = sel.first; i < m.partitions.size(); ++i) {
+    const PartitionInfo& p = m.partitions[i];
+    core::Analysis shard;
+    for (const Frame& f : frames) {
+      const std::uint64_t w = window_id_for(f.job.start_time, kWindowSeconds);
+      if (w >= std::max<std::uint64_t>(p.window_min, 1) && w <= p.window_max) {
+        shard.add(darshan::read_log_bytes(f.bytes));
+      }
+    }
+    a.merge(shard);
+  }
+  return a;
+}
+
+/// For every requested N (including out-of-range clamps), the windowed
+/// answer must be bit-identical to the frame oracle over the cuts the
+/// selection names.  Valid both at aligned cuts (covered == requested)
+/// and after a merge coarsened history (covered >= requested, honestly
+/// reported via windows_covered).
+void check_all_windows(Archive& ar, const std::vector<Frame>& frames,
+                       std::uint64_t newest_window) {
+  for (std::uint64_t n = 0; n <= newest_window + 2; ++n) {
+    WindowSelection sel;
+    const QueryResult q = query_window(ar, n, {}, &sel);
+    EXPECT_EQ(sel.newest_window, newest_window) << "n=" << n;
+    EXPECT_EQ(state_bytes(q.analysis), state_bytes(oracle(frames, ar.manifest(), sel)))
+        << "n=" << n;
+    if (n > 0 && !sel.whole_archive()) {
+      EXPECT_GE(sel.windows_covered, n) << "selection must never silently truncate";
+      EXPECT_EQ(sel.cutoff, newest_window - n + 1) << "n=" << n;
+    }
+  }
+}
+
+TEST(WindowQuery, AlignedCutsAreBitIdenticalToFrameOracleForEveryN) {
+  const fs::path dir = fresh_dir("mlio_window_aligned");
+  Archive ar = Archive::create(dir);
+  StreamOptions opts;
+  opts.window_seconds = kWindowSeconds;
+  StreamIngester ing(ar, opts);
+
+  // 8 windows, 1-3 logs each, all cuts on window boundaries (aligned).
+  std::vector<Frame> frames;
+  std::uint64_t job = 1;
+  for (std::uint64_t w = 0; w < 8; ++w) {
+    const std::uint64_t logs = 1 + (w % 3);
+    for (std::uint64_t l = 0; l < logs; ++l) {
+      frames.push_back(make_frame(job, static_cast<std::int64_t>(w) * kWindowSeconds +
+                                           static_cast<std::int64_t>(l) * 7,
+                                  job));
+      const Frame& f = frames.back();
+      (void)ing.append(f.job, f.bytes);
+      ++job;
+    }
+  }
+  (void)ing.flush();
+  ASSERT_EQ(ar.manifest().partitions.size(), 8u);
+
+  check_all_windows(ar, frames, 8);
+
+  // At aligned cuts the selection covers EXACTLY the requested windows.
+  WindowSelection sel;
+  (void)query_window(ar, 3, {}, &sel);
+  EXPECT_EQ(sel.windows_covered, 3u);
+  EXPECT_EQ(sel.count, 3u);
+}
+
+TEST(WindowQuery, IdentityHoldsAcrossLeveledCompactionThatRewritesWindows) {
+  const fs::path dir = fresh_dir("mlio_window_compacted");
+  Archive ar = Archive::create(dir);
+  StreamOptions opts;
+  opts.window_seconds = kWindowSeconds;
+  StreamIngester ing(ar, opts);
+
+  std::vector<Frame> frames;
+  for (std::uint64_t w = 0; w < 9; ++w) {
+    frames.push_back(
+        make_frame(w + 1, static_cast<std::int64_t>(w) * kWindowSeconds + 5, w * 31));
+    const Frame& f = frames.back();
+    (void)ing.append(f.job, f.bytes);
+  }
+  (void)ing.flush();
+  ASSERT_EQ(ar.manifest().partitions.size(), 9u);
+  check_all_windows(ar, frames, 9);
+
+  // Merge step by step; after EVERY merge the identity must still hold for
+  // every N — suffixes that stay aligned keep their exact bits, suffixes the
+  // merge coarsened honestly widen to the merged span's bits.
+  while (compact_leveled(ar, LeveledPolicy{3}).has_value()) {
+    check_all_windows(ar, frames, 9);
+  }
+  EXPECT_LT(ar.manifest().partitions.size(), 9u);  // compaction actually ran
+}
+
+TEST(WindowQuery, SnapshotAndRescanAnswersAreBitIdentical) {
+  const fs::path dir = fresh_dir("mlio_window_snap");
+  Archive ar = Archive::create(dir);
+  StreamOptions opts;
+  opts.window_seconds = kWindowSeconds;
+  opts.write_snapshots = true;  // windows publish with their shard snapshot
+  StreamIngester ing(ar, opts);
+
+  std::vector<Frame> frames;
+  for (std::uint64_t w = 0; w < 5; ++w) {
+    frames.push_back(
+        make_frame(w + 1, static_cast<std::int64_t>(w) * kWindowSeconds + 3, w * 17));
+    const Frame& f = frames.back();
+    (void)ing.append(f.job, f.bytes);
+  }
+  (void)ing.flush();
+
+  WindowSelection sel;
+  const QueryResult from_snap = query_window(ar, 2, {}, &sel);
+  EXPECT_EQ(from_snap.stats.snapshot_hits, sel.count);
+  EXPECT_EQ(from_snap.stats.partitions_scanned, 0u);
+
+  // Drop the snapshots: the rescan path must produce the same bits.
+  for (const PartitionInfo& p : ar.manifest().partitions) {
+    fs::remove(ar.snapshot_path(p.id));
+  }
+  ar.reload();
+  const QueryResult rescanned = query_window(ar, 2);
+  EXPECT_GT(rescanned.stats.partitions_scanned, 0u);
+  EXPECT_EQ(state_bytes(rescanned.analysis), state_bytes(from_snap.analysis));
+}
+
+TEST(WindowQuery, SelectionEdgeCases) {
+  // Empty manifest.
+  Manifest empty;
+  const WindowSelection none = select_last_windows(empty, 3);
+  EXPECT_TRUE(none.whole_archive());
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_EQ(none.windows_covered, 0u);
+
+  // Batch-only archive: no windowed partitions -> whole archive.
+  Manifest batch;
+  batch.partitions.resize(3);
+  const WindowSelection all = select_last_windows(batch, 2);
+  EXPECT_TRUE(all.whole_archive());
+  EXPECT_EQ(all.count, 3u);
+
+  // A batch partition STOPS the backward walk: only the windowed tail is
+  // ever selected by a bounded request.
+  Manifest mixed;
+  mixed.partitions.resize(3);
+  mixed.partitions[1].window_min = mixed.partitions[1].window_max = 4;
+  mixed.partitions[2].window_min = mixed.partitions[2].window_max = 5;
+  const WindowSelection tail = select_last_windows(mixed, 2);
+  EXPECT_EQ(tail.first, 1u);
+  EXPECT_EQ(tail.count, 2u);
+  EXPECT_EQ(tail.windows_covered, 2u);
+
+  // Requests beyond the archive's span clamp to the whole archive; huge N
+  // must not overflow the cutoff arithmetic.
+  const WindowSelection clamped =
+      select_last_windows(mixed, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE(clamped.whole_archive());
+  EXPECT_EQ(clamped.count, 3u);
+
+  // Hostile window ids at the top of the range: selection stays in bounds.
+  Manifest hostile;
+  hostile.partitions.resize(2);
+  hostile.partitions[1].window_min = std::numeric_limits<std::uint64_t>::max();
+  hostile.partitions[1].window_max = std::numeric_limits<std::uint64_t>::max();
+  const WindowSelection top = select_last_windows(hostile, 1);
+  EXPECT_EQ(top.first, 1u);
+  EXPECT_EQ(top.count, 1u);
+  EXPECT_EQ(top.cutoff, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(WindowQuery, TimelineCoversExactlyTheSelectedSuffix) {
+  const fs::path dir = fresh_dir("mlio_window_timeline");
+  Archive ar = Archive::create(dir);
+  StreamOptions opts;
+  opts.window_seconds = kWindowSeconds;
+  StreamIngester ing(ar, opts);
+  std::vector<Frame> frames;
+  for (std::uint64_t w = 0; w < 4; ++w) {
+    frames.push_back(
+        make_frame(w + 1, static_cast<std::int64_t>(w) * kWindowSeconds + 2, w * 7));
+    const Frame& f = frames.back();
+    (void)ing.append(f.job, f.bytes);
+  }
+  (void)ing.flush();
+
+  WindowSelection sel;
+  (void)query_window(ar, 2, {}, &sel);
+  ASSERT_EQ(sel.count, 2u);  // windows 3 and 4 -> the last two partitions
+  const core::LoadTimeline tl = window_timeline(ar, ar.manifest(), sel, 500, 50);
+
+  // Reference: feed the SAME selected logs straight into a timeline — the
+  // suffix replay must match it bucket for bucket, and the unselected
+  // early-window logs must leave no trace.
+  core::LoadTimeline ref(500, 50);
+  ref.add_log(darshan::read_log_bytes(frames[2].bytes));
+  ref.add_log(darshan::read_log_bytes(frames[3].bytes));
+  ASSERT_EQ(tl.buckets(), ref.buckets());
+  for (std::size_t b = 0; b < tl.buckets(); ++b) {
+    EXPECT_EQ(tl.bucket(b).active_logs, ref.bucket(b).active_logs) << "bucket " << b;
+    EXPECT_EQ(tl.bucket(b).read_bytes[1], ref.bucket(b).read_bytes[1]) << "bucket " << b;
+  }
+  EXPECT_EQ(tl.busy_fraction(), ref.busy_fraction());
+  EXPECT_GT(tl.peak_concurrency(), 0u);
+}
+
+}  // namespace
+}  // namespace mlio::archive
